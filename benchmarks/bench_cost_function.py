@@ -1,0 +1,44 @@
+"""Study S4 — the storage cost function ``CS = SpaceM*CM + SpaceO*CO``.
+
+Section 3.2 proposes parameterising the split decision by the relative price
+of magnetic and optical storage.  The sweep varies CM/CO and compares the
+cost-driven policy against the two fixed policies; expected shape: as CM/CO
+grows the cost-driven policy performs more time splits and its total storage
+cost tracks (or beats) the better of the two fixed policies.
+"""
+
+from repro.analysis.experiment import run_cost_function_study
+from repro.workload import WorkloadSpec
+
+from .harness import run_study_once
+
+SPEC = WorkloadSpec(operations=4_000, update_fraction=0.5, seed=1989)
+COLUMNS = [
+    "cost_ratio",
+    "magnetic_bytes",
+    "historical_bytes",
+    "storage_cost",
+    "data_time_splits",
+    "data_key_splits",
+    "redundancy_ratio",
+]
+
+
+def test_s4_cost_function_sweep(benchmark):
+    result = run_study_once(
+        benchmark,
+        lambda: run_cost_function_study(cost_ratios=(1.0, 2.0, 5.0, 10.0, 20.0), spec=SPEC),
+        columns=COLUMNS,
+    )
+    rows = {row.label: row.metrics for row in result.rows}
+    lowest = rows["cost-driven CM/CO=1"]
+    highest = rows["cost-driven CM/CO=20"]
+    assert highest["data_time_splits"] >= lowest["data_time_splits"]
+    assert highest["magnetic_bytes"] <= lowest["magnetic_bytes"]
+    for ratio in ("1", "5", "20"):
+        adaptive = rows[f"cost-driven CM/CO={ratio}"]["storage_cost"]
+        fixed_best = min(
+            rows[f"always-key CM/CO={ratio}"]["storage_cost"],
+            rows[f"always-time CM/CO={ratio}"]["storage_cost"],
+        )
+        assert adaptive <= fixed_best * 1.15

@@ -1,0 +1,105 @@
+"""Micro-benchmarks: operation throughput of the structures under test.
+
+Not part of the paper's measurement plan, but useful engineering context for
+anyone adopting the library: how expensive are inserts and the various query
+classes on each structure, at equal workload and page/sector sizes.  These
+use normal pytest-benchmark timing (multiple rounds) because they measure
+hot-path latency rather than whole-study outcomes.
+"""
+
+import pytest
+
+from repro.baselines import BPlusTree, NaiveMultiversionIndex
+from repro.core import ThresholdPolicy, TSBTree
+from repro.wobt import WOBT
+from repro.workload import WorkloadSpec, generate
+
+SPEC = WorkloadSpec(operations=1_500, update_fraction=0.6, seed=7)
+OPERATIONS = generate(SPEC)
+
+
+def loaded_tsb_tree() -> TSBTree:
+    tree = TSBTree(page_size=1024, policy=ThresholdPolicy(0.5))
+    for operation in OPERATIONS:
+        tree.insert(operation.key, operation.value, timestamp=operation.timestamp)
+    return tree
+
+
+class TestInsertThroughput:
+    def test_tsb_tree_insert_workload(self, benchmark):
+        def build():
+            tree = TSBTree(page_size=1024, policy=ThresholdPolicy(0.5))
+            for operation in OPERATIONS:
+                tree.insert(operation.key, operation.value, timestamp=operation.timestamp)
+            return tree
+
+        tree = benchmark.pedantic(build, rounds=3, iterations=1)
+        assert tree.counters.inserts == len(OPERATIONS)
+
+    def test_wobt_insert_workload(self, benchmark):
+        def build():
+            wobt = WOBT(node_sectors=8)
+            for operation in OPERATIONS:
+                wobt.insert(operation.key, operation.value, timestamp=operation.timestamp)
+            return wobt
+
+        wobt = benchmark.pedantic(build, rounds=3, iterations=1)
+        assert wobt.counters.inserts == len(OPERATIONS)
+
+    def test_bplus_insert_workload(self, benchmark):
+        def build():
+            tree = BPlusTree(page_size=1024)
+            for operation in OPERATIONS:
+                tree.insert(operation.key, operation.value)
+            return tree
+
+        benchmark.pedantic(build, rounds=3, iterations=1)
+
+    def test_naive_multiversion_insert_workload(self, benchmark):
+        def build():
+            index = NaiveMultiversionIndex(page_size=1024)
+            for operation in OPERATIONS:
+                index.insert(operation.key, operation.value, timestamp=operation.timestamp)
+            return index
+
+        benchmark.pedantic(build, rounds=3, iterations=1)
+
+
+class TestQueryLatency:
+    @pytest.fixture(scope="class")
+    def tree(self):
+        return loaded_tsb_tree()
+
+    @pytest.fixture(scope="class")
+    def keys(self):
+        return sorted({operation.key for operation in OPERATIONS})
+
+    def test_current_lookup(self, benchmark, tree, keys):
+        def lookups():
+            for key in keys[:200]:
+                tree.search_current(key)
+
+        benchmark(lookups)
+
+    def test_as_of_lookup(self, benchmark, tree, keys):
+        midpoint = OPERATIONS[-1].timestamp // 2
+
+        def lookups():
+            for key in keys[:200]:
+                tree.search_as_of(key, midpoint)
+
+        benchmark(lookups)
+
+    def test_key_history(self, benchmark, tree, keys):
+        def histories():
+            for key in keys[:50]:
+                tree.key_history(key)
+
+        benchmark(histories)
+
+    def test_snapshot(self, benchmark, tree):
+        midpoint = OPERATIONS[-1].timestamp // 2
+        benchmark(lambda: tree.snapshot(midpoint))
+
+    def test_current_range_scan(self, benchmark, tree):
+        benchmark(lambda: tree.range_search())

@@ -1,0 +1,26 @@
+"""Study S5 — device I/O per query class.
+
+The paper's architectural promise: current data stays clustered in a small
+number of magnetic nodes, so current lookups never pay optical (or robot)
+latencies; historical queries may.  The study measures device reads, mounts
+and modelled latency for each query class against a jukebox-backed tree with
+a small, cold buffer pool.
+"""
+
+from repro.analysis.experiment import run_query_io_study
+from repro.workload import WorkloadSpec
+
+from .harness import run_study_once
+
+SPEC = WorkloadSpec(operations=5_000, update_fraction=0.6, seed=1989)
+
+
+def test_s5_query_io_by_class(benchmark):
+    result = run_study_once(
+        benchmark, lambda: run_query_io_study(spec=SPEC, query_count=150)
+    )
+    rows = {row.label: row.metrics for row in result.rows}
+    assert rows["current lookups"]["historical_reads"] == 0
+    assert rows["current range scan"]["historical_reads"] == 0
+    assert rows["as-of lookups (T=25%)"]["historical_reads"] > 0
+    assert rows["key histories"]["historical_reads"] > 0

@@ -1,0 +1,17 @@
+"""Study S7 — temporal secondary-index queries (paper section 3.6).
+
+"How many records had a given secondary key at a given time" is answered
+from the secondary TSB-tree alone; the study checks every count against the
+scenario oracle and reports the secondary tree's own space use.
+"""
+
+from repro.analysis.experiment import run_secondary_study
+
+from .harness import run_study_once
+
+
+def test_s7_secondary_index_queries(benchmark):
+    result = run_study_once(benchmark, run_secondary_study)
+    for row in result.rows:
+        if "oracle_count" in row.metrics:
+            assert row.metrics["secondary_count"] == row.metrics["oracle_count"], row.label

@@ -1,0 +1,38 @@
+"""Study S1 — total space, current-database space and redundancy per policy.
+
+This is the first axis of the paper's section 5 measurement plan: replay one
+workload under every splitting policy and measure where the bytes end up.
+Expected shape (see EXPERIMENTS.md): ``always-key`` minimises total space and
+redundancy but keeps everything on the magnetic disk; ``always-time``
+minimises the current database at the price of redundancy; threshold and
+cost-driven policies interpolate.
+"""
+
+from repro.analysis.experiment import run_policy_study
+from repro.workload import WorkloadSpec
+
+from .harness import run_study_once
+
+SPEC = WorkloadSpec(operations=5_000, update_fraction=0.5, seed=1989)
+COLUMNS = [
+    "magnetic_bytes",
+    "historical_bytes",
+    "total_bytes",
+    "redundant_versions",
+    "redundancy_ratio",
+    "historical_utilization",
+    "current_db_fraction",
+    "data_time_splits",
+    "data_key_splits",
+]
+
+
+def test_s1_space_by_splitting_policy(benchmark):
+    result = run_study_once(
+        benchmark, lambda: run_policy_study(spec=SPEC), columns=COLUMNS
+    )
+    rows = {row.label: row.metrics for row in result.rows}
+    # Sanity-check the headline shape so a silently broken run fails loudly.
+    assert rows["always-key"]["historical_bytes"] == 0
+    assert rows["always-time[current]"]["magnetic_bytes"] <= rows["always-key"]["magnetic_bytes"]
+    assert rows["always-key"]["redundancy_ratio"] <= rows["always-time[current]"]["redundancy_ratio"]

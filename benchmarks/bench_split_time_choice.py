@@ -1,0 +1,73 @@
+"""Ablation — the section 3.3 choice of time-split value.
+
+The WOBT has no choice: it always splits at the current time.  The TSB-tree
+may pick any time later than the node's last time split; the paper argues
+that splitting at the time of the last update keeps freshly inserted records
+out of the historical node and that the choice trades redundancy against
+current-database size.  This ablation replays one update-burst-then-insert
+workload under each chooser and reports both the cumulative redundant copies
+written and the final space split.
+"""
+
+from repro.analysis.metrics import space_row
+from repro.analysis.experiment import StudyResult
+from repro.core import AlwaysTimeSplitPolicy, TSBTree, collect_space_stats
+
+from .harness import run_study_once
+
+CHOOSERS = ("current", "last_update", "min_redundancy", "median")
+COLUMNS = [
+    "magnetic_bytes",
+    "historical_bytes",
+    "total_bytes",
+    "redundant_versions",
+    "redundant_versions_written",
+    "redundancy_ratio",
+]
+
+
+def _bursty_workload(tree: TSBTree) -> None:
+    """Update bursts on hot keys followed by runs of fresh inserts (section 3.3)."""
+    timestamp = 0
+    next_new_key = 100_000
+    for _round in range(120):
+        for hot_key in range(8):
+            timestamp += 1
+            tree.insert(hot_key, f"update-{timestamp}".encode(), timestamp=timestamp)
+        for _ in range(12):
+            timestamp += 1
+            tree.insert(next_new_key, b"freshly inserted record", timestamp=timestamp)
+            next_new_key += 1
+
+
+def run_split_time_ablation() -> StudyResult:
+    result = StudyResult(study="Ablation: time-split value choice (section 3.3)")
+    for chooser in CHOOSERS:
+        tree = TSBTree(page_size=1024, policy=AlwaysTimeSplitPolicy(chooser))
+        _bursty_workload(tree)
+        stats = collect_space_stats(tree)
+        result.rows.append(
+            space_row(
+                f"split at {chooser}",
+                stats,
+                {"redundant_versions_written": tree.counters.redundant_versions_written},
+            )
+        )
+    return result
+
+
+def test_ablation_split_time_choice(benchmark):
+    result = run_study_once(benchmark, run_split_time_ablation, columns=COLUMNS)
+    rows = {row.label: row.metrics for row in result.rows}
+    # Splitting at the last update writes no more redundancy than splitting
+    # at the current time on this workload (the paper's section 3.3 argument).
+    assert (
+        rows["split at last_update"]["redundant_versions_written"]
+        <= rows["split at current"]["redundant_versions_written"]
+    )
+    # The greedy per-split minimiser is not globally optimal, so allow a small
+    # tolerance against the current-time baseline.
+    assert (
+        rows["split at min_redundancy"]["redundant_versions_written"]
+        <= rows["split at current"]["redundant_versions_written"] * 1.05
+    )

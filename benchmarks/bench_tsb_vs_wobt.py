@@ -1,0 +1,35 @@
+"""Study S3 — TSB-tree versus the WOBT (and the naive all-magnetic index).
+
+Reproduces the quantitative claims of sections 2.6 and 3.7: keeping
+everything on write-once sectors wastes most of each sector and duplicates
+current data at every reorganisation, while the TSB-tree consolidates nodes
+before migrating them and therefore fills historical sectors almost
+completely.
+"""
+
+from repro.analysis.experiment import run_tsb_vs_wobt
+from repro.workload import WorkloadSpec
+
+from .harness import run_study_once
+
+SPEC = WorkloadSpec(operations=3_000, update_fraction=0.5, seed=1989)
+COLUMNS = [
+    "magnetic_bytes",
+    "historical_bytes",
+    "total_bytes",
+    "worm_sectors",
+    "historical_utilization",
+    "redundant_versions",
+    "redundancy_ratio",
+]
+
+
+def test_s3_tsb_vs_wobt(benchmark):
+    result = run_study_once(benchmark, lambda: run_tsb_vs_wobt(spec=SPEC), columns=COLUMNS)
+    rows = {row.label: row.metrics for row in result.rows}
+    # Headline shapes: the WOBT burns many more WORM sectors at much lower
+    # utilisation and duplicates far more data than the TSB-tree.
+    assert rows["wobt"]["worm_sectors"] > 3 * rows["tsb-threshold"]["worm_sectors"]
+    assert rows["wobt"]["historical_utilization"] < rows["tsb-threshold"]["historical_utilization"]
+    assert rows["wobt"]["redundancy_ratio"] > rows["tsb-threshold"]["redundancy_ratio"]
+    assert rows["naive-magnetic"]["historical_bytes"] == 0

@@ -1,0 +1,23 @@
+"""Study S6 — transaction-processing properties (paper section 4).
+
+Measures and asserts the three claims: read-only transactions see a stable
+snapshot without taking locks while updaters commit; uncommitted data never
+reaches the historical database; aborted transactions leave no trace.
+"""
+
+from repro.analysis.experiment import run_txn_study
+
+from .harness import run_study_once
+
+
+def test_s6_transaction_support(benchmark):
+    result = run_study_once(benchmark, run_txn_study)
+    rows = {row.label: row.metrics for row in result.rows}
+    assert rows["read-only snapshot stability"]["changed_under_reader"] == 0
+    assert rows["read-only snapshot stability"]["locks_taken_by_reader"] == 0
+    assert rows["uncommitted data containment"]["provisional_versions_in_history"] == 0
+    assert rows["uncommitted data containment"]["aborted_keys_visible"] == 0
+    assert (
+        rows["committed updates visible"]["updated_keys_current"]
+        == rows["committed updates visible"]["expected"]
+    )

@@ -1,0 +1,35 @@
+"""Study S2 — space and redundancy versus the update:insert ratio.
+
+The second axis of the section 5 plan: fix the splitting policy and vary the
+rate of update versus insertion.  Expected shape: with no updates the
+TSB-tree degenerates to a B+-tree (no history, no redundancy); as the update
+fraction grows, history volume grows and the current database shrinks.
+"""
+
+from repro.analysis.experiment import run_update_ratio_study
+
+from .harness import run_study_once
+
+COLUMNS = [
+    "update_fraction",
+    "magnetic_bytes",
+    "historical_bytes",
+    "total_bytes",
+    "redundancy_ratio",
+    "data_time_splits",
+    "data_key_splits",
+]
+
+
+def test_s2_space_by_update_fraction(benchmark):
+    result = run_study_once(
+        benchmark,
+        lambda: run_update_ratio_study(
+            update_fractions=(0.0, 0.25, 0.5, 0.75, 0.9), operations=5_000
+        ),
+        columns=COLUMNS,
+    )
+    rows = {row.label: row.metrics for row in result.rows}
+    assert rows["update=0.00"]["historical_bytes"] == 0
+    assert rows["update=0.90"]["historical_bytes"] >= rows["update=0.25"]["historical_bytes"]
+    assert rows["update=0.90"]["magnetic_bytes"] <= rows["update=0.00"]["magnetic_bytes"]

@@ -1,0 +1,266 @@
+#!/usr/bin/env python3
+"""Regenerate EXPERIMENTS.md from a fresh run of every figure and study.
+
+The document records, for every figure and every study S1..S7, what the paper
+claims (or predicts) and what this reproduction measures, including the full
+reference tables.  Running this script re-executes everything at the same
+scales the benchmark harness uses and rewrites EXPERIMENTS.md in place::
+
+    python benchmarks/generate_experiments_md.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+from repro.analysis.experiment import (
+    run_cost_function_study,
+    run_policy_study,
+    run_query_io_study,
+    run_secondary_study,
+    run_tsb_vs_wobt,
+    run_txn_study,
+    run_update_ratio_study,
+)
+from repro.analysis.figures import run_all_figures
+from repro.analysis.report import render_table
+from repro.workload import WorkloadSpec
+
+S1_SPEC = WorkloadSpec(operations=5_000, update_fraction=0.5, seed=1989)
+S3_SPEC = WorkloadSpec(operations=3_000, update_fraction=0.5, seed=1989)
+S4_SPEC = WorkloadSpec(operations=4_000, update_fraction=0.5, seed=1989)
+S5_SPEC = WorkloadSpec(operations=5_000, update_fraction=0.6, seed=1989)
+
+S1_COLUMNS = [
+    "magnetic_bytes", "historical_bytes", "total_bytes", "redundant_versions",
+    "redundancy_ratio", "historical_utilization", "current_db_fraction",
+    "data_time_splits", "data_key_splits",
+]
+S2_COLUMNS = [
+    "magnetic_bytes", "historical_bytes", "total_bytes", "redundancy_ratio",
+    "data_time_splits", "data_key_splits",
+]
+S3_COLUMNS = [
+    "magnetic_bytes", "historical_bytes", "total_bytes", "worm_sectors",
+    "historical_utilization", "redundant_versions", "redundancy_ratio",
+]
+S4_COLUMNS = [
+    "cost_ratio", "magnetic_bytes", "historical_bytes", "storage_cost",
+    "data_time_splits", "data_key_splits", "redundancy_ratio",
+]
+
+
+def block(title: str, claim: str, result_text: str, table: str) -> str:
+    return (
+        f"### {title}\n\n"
+        f"**Paper says:** {claim}\n\n"
+        f"**Measured:** {result_text}\n\n"
+        f"```\n{table}\n```\n\n"
+    )
+
+
+def main() -> None:
+    sections = []
+
+    sections.append(
+        "# EXPERIMENTS — paper claims versus measured results\n\n"
+        "Reference run of every figure reproduction and every study in DESIGN.md.\n"
+        "Regenerate this file with `python benchmarks/generate_experiments_md.py`;\n"
+        "the same studies run (with assertions on the expected shapes) under\n"
+        "`pytest benchmarks/ --benchmark-only`.\n\n"
+        "The paper reports no absolute numbers (its evaluation was announced as\n"
+        "future work in section 5), so every comparison below is a *shape*\n"
+        "comparison: which structure or policy wins, how metrics move as the\n"
+        "workload and price knobs turn, and whether the structural behaviour the\n"
+        "figures illustrate actually occurs.  Workload scales are laptop-sized\n"
+        "(thousands of operations on simulated devices), not the authors'\n"
+        "hardware.\n\n"
+    )
+
+    # Figures -----------------------------------------------------------
+    figure_lines = []
+    for result in run_all_figures():
+        status = "reproduced" if result.all_checks_pass else "FAILED"
+        checks = "; ".join(result.checks)
+        figure_lines.append(f"| {result.figure} | {result.description} | {status} | {len(result.checks)} |")
+    sections.append(
+        "## Figures 1–9 (worked structural examples)\n\n"
+        "Each figure is rebuilt through the public API and its structural outcome\n"
+        "asserted (`repro.analysis.figures`, `tests/core/test_figures.py`,\n"
+        "`tests/wobt/test_wobt_figures.py`).\n\n"
+        "| Figure | What it shows | Status | Checks |\n"
+        "|---|---|---|---|\n" + "\n".join(figure_lines) + "\n\n"
+    )
+
+    # S1 ----------------------------------------------------------------
+    s1 = run_policy_study(spec=S1_SPEC)
+    rows = {row.label: row.metrics for row in s1.rows}
+    s1_text = (
+        f"`always-key` stores everything magnetically ({rows['always-key']['magnetic_bytes']:,} B, "
+        f"redundancy 1.0); `always-time[current]` shrinks the current database to "
+        f"{rows['always-time[current]']['magnetic_bytes']:,} B but stores "
+        f"{rows['always-time[current]']['redundant_versions']:,} redundant versions; choosing the split time "
+        f"(`last_update`) cuts redundancy to {rows['always-time[last_update]']['redundant_versions']:,}; "
+        f"threshold policies interpolate monotonically between the extremes."
+    )
+    sections.append(
+        "## Study S1 — space and redundancy versus splitting policy\n\n"
+        + block(
+            f"S1 ({S1_SPEC.describe()})",
+            "\"more time splits to lower magnetic-disk space use, and more key splits to lower total space "
+            "use and data redundancy\" (section 5); splitting policies trade current-database size against "
+            "total space and redundancy (section 3.2).",
+            s1_text,
+            render_table(s1.rows, columns=S1_COLUMNS),
+        )
+    )
+
+    # S2 ----------------------------------------------------------------
+    s2 = run_update_ratio_study(operations=5_000)
+    rows = {row.label: row.metrics for row in s2.rows}
+    s2_text = (
+        f"with no updates the tree degenerates to a B+-tree (0 historical bytes, redundancy 1.0); "
+        f"at 90% updates the historical database holds {rows['update=0.90']['historical_bytes']:,} B while the "
+        f"current database shrinks to {rows['update=0.90']['magnetic_bytes']:,} B."
+    )
+    sections.append(
+        "## Study S2 — space and redundancy versus update:insert ratio\n\n"
+        + block(
+            "S2 (5,000 ops, threshold policy, update fraction swept)",
+            "the measurement plan varies \"different rates of update versus insertion\" (section 5); "
+            "history only exists where updates occur.",
+            s2_text,
+            render_table(s2.rows, columns=S2_COLUMNS),
+        )
+    )
+
+    # S3 ----------------------------------------------------------------
+    s3 = run_tsb_vs_wobt(spec=S3_SPEC)
+    rows = {row.label: row.metrics for row in s3.rows}
+    ratio_sectors = rows["wobt"]["worm_sectors"] / max(1, rows["tsb-threshold"]["worm_sectors"])
+    s3_text = (
+        f"the WOBT burns {rows['wobt']['worm_sectors']:,} WORM sectors at "
+        f"{rows['wobt']['historical_utilization']:.0%} utilisation with redundancy ratio "
+        f"{rows['wobt']['redundancy_ratio']:.1f}, versus {rows['tsb-threshold']['worm_sectors']:,} sectors at "
+        f"{rows['tsb-threshold']['historical_utilization']:.0%} and redundancy "
+        f"{rows['tsb-threshold']['redundancy_ratio']:.2f} for the TSB-tree — a {ratio_sectors:.0f}x sector "
+        f"difference in the direction the paper argues."
+    )
+    sections.append(
+        "## Study S3 — TSB-tree versus WOBT (and naive all-magnetic)\n\n"
+        + block(
+            f"S3 ({S3_SPEC.describe()})",
+            "\"Space use in the WOBT on write-once disks can be poor when small amounts of information ... "
+            "occupy an entire sector\" and WOBT reorganisation \"involves duplication of all the current data\" "
+            "(section 5); the TSB-tree consolidates before migrating, so historical sector use \"is excellent\" "
+            "(section 3.7).",
+            s3_text,
+            render_table(s3.rows, columns=S3_COLUMNS),
+        )
+    )
+
+    # S4 ----------------------------------------------------------------
+    s4 = run_cost_function_study(spec=S4_SPEC)
+    rows = {row.label: row.metrics for row in s4.rows}
+    s4_text = (
+        f"as CM/CO rises from 1 to 20, the cost-driven policy's time splits rise from "
+        f"{rows['cost-driven CM/CO=1']['data_time_splits']:.0f} to "
+        f"{rows['cost-driven CM/CO=20']['data_time_splits']:.0f} and its magnetic footprint falls from "
+        f"{rows['cost-driven CM/CO=1']['magnetic_bytes']:,} B to "
+        f"{rows['cost-driven CM/CO=20']['magnetic_bytes']:,} B; at every ratio its storage cost is within a few "
+        f"percent of (or better than) the better fixed policy."
+    )
+    sections.append(
+        "## Study S4 — the storage cost function CS = SpaceM·CM + SpaceO·CO\n\n"
+        + block(
+            f"S4 ({S4_SPEC.describe()}, CM/CO ∈ {{1,2,5,10,20}})",
+            "the splitting policy \"can be parameterized so as to be responsive to an adjustable cost "
+            "function\" (section 3.2).",
+            s4_text,
+            render_table(s4.rows, columns=S4_COLUMNS),
+        )
+    )
+
+    # S5 ----------------------------------------------------------------
+    s5 = run_query_io_study(spec=S5_SPEC, query_count=150)
+    rows = {row.label: row.metrics for row in s5.rows}
+    s5_text = (
+        f"current lookups and current range scans perform {rows['current lookups']['historical_reads']:.0f} "
+        f"optical reads (everything is answered from the magnetic tier), while as-of lookups, key histories and "
+        f"historical snapshots read the optical device ({rows['snapshot (T=25%)']['historical_reads']:.0f} "
+        f"optical reads for the snapshot) and pay the corresponding modelled latency."
+    )
+    sections.append(
+        "## Study S5 — device I/O per query class\n\n"
+        + block(
+            f"S5 ({S5_SPEC.describe()}, jukebox-backed history, 8-page cold buffer pool)",
+            "current data is clustered in a small number of nodes on the fast device; the slower optical "
+            "seeks and robot mounts are paid only by accesses to historical data, \"which is accessed less "
+            "often\" (sections 1 and 2).",
+            s5_text,
+            render_table(s5.rows),
+        )
+    )
+
+    # S6 ----------------------------------------------------------------
+    s6 = run_txn_study()
+    rows = {row.label: row.metrics for row in s6.rows}
+    s6_text = (
+        "the read-only transaction's snapshot is byte-identical before and after concurrent committed "
+        "updates and takes zero locks; zero provisional versions ever reach the historical database; aborted "
+        "writes are invisible; all committed updates are visible with their commit timestamps."
+    )
+    sections.append(
+        "## Study S6 — transaction processing (section 4)\n\n"
+        + block(
+            "S6 (scripted interleaving of updaters, an aborter and a lock-free reader)",
+            "uncommitted data carries no timestamp, is never written to the historical database and can "
+            "always be erased; a read-only transaction stamped at start \"will never have to wait for an "
+            "updater to commit\" (sections 4 and 4.1).",
+            s6_text,
+            render_table(s6.rows),
+        )
+    )
+
+    # S7 ----------------------------------------------------------------
+    s7 = run_secondary_study()
+    mismatches = sum(
+        1
+        for row in s7.rows
+        if "oracle_count" in row.metrics
+        and row.metrics["secondary_count"] != row.metrics["oracle_count"]
+    )
+    s7_text = (
+        f"every \"how many records had value V at time T\" query answered from the secondary TSB-tree alone "
+        f"matches the scenario oracle ({mismatches} mismatches across all departments and checkpoints)."
+    )
+    sections.append(
+        "## Study S7 — versioned secondary indexes (section 3.6)\n\n"
+        + block(
+            "S7 (personnel scenario: 40 employees, 800 salary/department changes)",
+            "\"one can answer the question of how many records had a given secondary key at a given time "
+            "using only the secondary time-split B-tree\".",
+            s7_text,
+            render_table(s7.rows),
+        )
+    )
+
+    sections.append(
+        "## Reading the numbers\n\n"
+        "* Space figures count whole device units (magnetic pages, WORM sectors), matching how the paper\n"
+        "  reasons about space; payload-byte figures are available from `collect_space_stats` as\n"
+        "  `*_bytes_stored`.\n"
+        "* Latency figures are produced by the explicit cost model (16 ms magnetic seek, 3x optical seek,\n"
+        "  20 s robot mount), not by wall-clock measurement.\n"
+        "* All workloads are deterministic (seeded); rerunning this script reproduces the tables exactly.\n"
+    )
+
+    output = "".join(sections)
+    target = pathlib.Path(__file__).resolve().parent.parent / "EXPERIMENTS.md"
+    target.write_text(output, encoding="utf-8")
+    print(f"wrote {target} ({len(output.splitlines())} lines)")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

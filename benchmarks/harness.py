@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the studies listed in DESIGN.md /
+EXPERIMENTS.md (S1-S7) or a supporting micro-benchmark.  Studies are run
+exactly once per benchmark (``rounds=1``) because they are deterministic,
+whole-workload measurements rather than microsecond-scale hot loops; the
+interesting output is the result table attached to ``benchmark.extra_info``
+and printed to stdout, not the timing statistics.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.report import render_comparison
+from repro.analysis.experiment import StudyResult
+
+
+def run_study_once(benchmark, study_callable, *, columns: Optional[Sequence[str]] = None):
+    """Run a study exactly once under the benchmark timer and report its table."""
+    result: StudyResult = benchmark.pedantic(study_callable, rounds=1, iterations=1)
+    table = render_comparison(result.study, result.rows, columns=columns)
+    print("\n" + table)
+    benchmark.extra_info["study"] = result.study
+    benchmark.extra_info["rows"] = [
+        {"label": row.label, **row.metrics} for row in result.rows
+    ]
+    return result

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Re-run every worked figure from the paper and print the outcomes.
+
+Each of the paper's Figures 1-9 illustrates one structural behaviour of the
+WOBT or the TSB-tree.  ``repro.analysis.figures`` rebuilds each situation
+through the public API and checks the outcome the figure shows; this script
+prints the results (the figure tests assert the same checks).
+
+Run with::
+
+    python examples/paper_figures.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import run_all_figures
+
+
+def main() -> None:
+    results = run_all_figures()
+    failures = 0
+    for result in results:
+        print(result.summary())
+        for check, passed in result.checks.items():
+            marker = "ok " if passed else "FAIL"
+            print(f"    [{marker}] {check}")
+            if not passed:
+                failures += 1
+        if result.details:
+            for name, value in result.details.items():
+                print(f"      {name}: {value}")
+        print()
+    if failures:
+        raise SystemExit(f"{failures} figure checks failed")
+    print(f"All {len(results)} figures reproduced.")
+
+
+if __name__ == "__main__":
+    main()

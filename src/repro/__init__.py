@@ -1,0 +1,76 @@
+"""repro — a reproduction of "Access Methods for Multiversion Data".
+
+Lomet & Salzberg, SIGMOD 1989: the Time-Split B-tree (TSB-tree), a single
+integrated index over a versioned, timestamped, non-deleting database whose
+current data lives on an erasable magnetic disk and whose historical data is
+incrementally migrated to a cheaper (possibly write-once) device.
+
+Quick start::
+
+    from repro import TSBTree
+
+    tree = TSBTree()
+    tree.insert("alice", b"balance=50", timestamp=1)
+    tree.insert("alice", b"balance=90", timestamp=5)
+
+    tree.search_current("alice").value      # b"balance=90"
+    tree.search_as_of("alice", 3).value     # b"balance=50"
+
+Sub-packages:
+
+* :mod:`repro.core` — the TSB-tree, splitting policies, secondary indexes,
+  space statistics and the structural invariant checker.
+* :mod:`repro.storage` — the two-tier storage substrate (magnetic disk,
+  WORM optical disk, optical jukebox, buffer pool, cost model).
+* :mod:`repro.wobt` — Easton's Write-Once B-tree, the baseline the paper
+  starts from.
+* :mod:`repro.baselines` — single-version B+-tree and a naive multiversion
+  B-tree used as comparison points.
+* :mod:`repro.txn` — transaction support (section 4).
+* :mod:`repro.workload` — stepwise-constant workload generators.
+* :mod:`repro.analysis` — the experiment harness that regenerates every
+  figure and study listed in DESIGN.md / EXPERIMENTS.md.
+"""
+
+from repro.core import (
+    AlwaysKeySplitPolicy,
+    AlwaysTimeSplitPolicy,
+    CostDrivenPolicy,
+    SecondaryIndex,
+    SpaceStats,
+    SplitPolicy,
+    ThresholdPolicy,
+    TSBTree,
+    Version,
+    WOBTEmulationPolicy,
+    assert_tree_valid,
+    check_tree,
+    collect_space_stats,
+    make_policy,
+)
+from repro.storage import Address, CostModel, MagneticDisk, OpticalLibrary, WormDisk
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Address",
+    "AlwaysKeySplitPolicy",
+    "AlwaysTimeSplitPolicy",
+    "CostDrivenPolicy",
+    "CostModel",
+    "MagneticDisk",
+    "OpticalLibrary",
+    "SecondaryIndex",
+    "SpaceStats",
+    "SplitPolicy",
+    "ThresholdPolicy",
+    "TSBTree",
+    "Version",
+    "WOBTEmulationPolicy",
+    "WormDisk",
+    "__version__",
+    "assert_tree_valid",
+    "check_tree",
+    "collect_space_stats",
+    "make_policy",
+]

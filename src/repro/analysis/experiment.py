@@ -1,0 +1,465 @@
+"""The section 5 measurement studies (and the prose-claim checks).
+
+The paper's evaluation was announced, not reported: *"We expect to measure
+total space use, space use in the current database, and amount of redundancy,
+under different splitting policies and with different rates of update versus
+insertion."*  Each ``run_*`` function below performs one of those studies (or
+one of the quantitative claims made in prose) on the simulated two-tier
+storage and returns :class:`~repro.analysis.metrics.ExperimentRow` objects
+ready for rendering.  The benchmark harness in ``benchmarks/`` wraps these
+functions one-to-one (S1..S7), and EXPERIMENTS.md records a reference run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.metrics import ExperimentRow, QueryCost, query_cost_from_deltas, space_row
+from repro.baselines.naive_multiversion import NaiveMultiversionIndex
+from repro.core.policy import (
+    AlwaysKeySplitPolicy,
+    AlwaysTimeSplitPolicy,
+    CostDrivenPolicy,
+    SplitPolicy,
+    ThresholdPolicy,
+    WOBTEmulationPolicy,
+)
+from repro.core.secondary import SecondaryIndex
+from repro.core.stats import collect_space_stats
+from repro.core.tsb_tree import TSBTree
+from repro.storage.costmodel import CostModel
+from repro.storage.optical_library import OpticalLibrary
+from repro.storage.pagecache import PageCache
+from repro.storage.worm import WormDisk
+from repro.txn.manager import TransactionManager
+from repro.wobt.wobt_tree import WOBT
+from repro.workload.generator import Operation, WorkloadSpec, apply_to, generate
+from repro.workload.scenarios import personnel_records
+
+
+@dataclass
+class StudyResult:
+    """A titled collection of result rows (one experiment table)."""
+
+    study: str
+    rows: List[ExperimentRow] = field(default_factory=list)
+
+    def column(self, name: str) -> Dict[str, float]:
+        return {row.label: row.metrics[name] for row in self.rows if name in row.metrics}
+
+
+def default_policies(cost_model: Optional[CostModel] = None) -> List[SplitPolicy]:
+    """The policy set compared by study S1."""
+    cost_model = cost_model or CostModel()
+    return [
+        AlwaysKeySplitPolicy(),
+        AlwaysTimeSplitPolicy("current"),
+        AlwaysTimeSplitPolicy("last_update"),
+        ThresholdPolicy(0.25),
+        ThresholdPolicy(0.5),
+        ThresholdPolicy(0.75),
+        CostDrivenPolicy(cost_model),
+        WOBTEmulationPolicy(),
+    ]
+
+
+def build_tree(policy: SplitPolicy, page_size: int = 1024, use_jukebox: bool = False) -> TSBTree:
+    """A TSB-tree on a fresh magnetic disk + WORM device (or jukebox)."""
+    historical = (
+        OpticalLibrary(sector_size=min(1024, page_size))
+        if use_jukebox
+        else WormDisk(sector_size=min(1024, page_size))
+    )
+    return TSBTree(page_size=page_size, policy=policy, historical=historical)
+
+
+# ----------------------------------------------------------------------
+# S1: space and redundancy versus splitting policy
+# ----------------------------------------------------------------------
+def run_policy_study(
+    spec: Optional[WorkloadSpec] = None,
+    policies: Optional[Sequence[SplitPolicy]] = None,
+    cost_model: Optional[CostModel] = None,
+    page_size: int = 1024,
+) -> StudyResult:
+    """Replay one workload under each splitting policy and measure space use."""
+    spec = spec or WorkloadSpec(operations=8_000, update_fraction=0.5, seed=1989)
+    cost_model = cost_model or CostModel()
+    policies = list(policies) if policies is not None else default_policies(cost_model)
+    operations = generate(spec)
+    result = StudyResult(study="S1: space vs splitting policy")
+    for policy in policies:
+        tree = build_tree(policy, page_size=page_size)
+        apply_to(tree, operations)
+        stats = collect_space_stats(tree, cost_model)
+        extra = {
+            "data_time_splits": tree.counters.data_time_splits,
+            "data_key_splits": tree.counters.data_key_splits,
+        }
+        result.rows.append(space_row(policy.name, stats, extra))
+    return result
+
+
+# ----------------------------------------------------------------------
+# S2: space and redundancy versus update:insert ratio
+# ----------------------------------------------------------------------
+def run_update_ratio_study(
+    update_fractions: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 0.9),
+    policy_factory: Callable[[], SplitPolicy] = ThresholdPolicy,
+    operations: int = 8_000,
+    seed: int = 1989,
+    page_size: int = 1024,
+    cost_model: Optional[CostModel] = None,
+) -> StudyResult:
+    """Fix the policy, vary the rate of update versus insertion."""
+    cost_model = cost_model or CostModel()
+    result = StudyResult(study="S2: space vs update fraction")
+    for fraction in update_fractions:
+        spec = WorkloadSpec(operations=operations, update_fraction=fraction, seed=seed)
+        tree = build_tree(policy_factory(), page_size=page_size)
+        apply_to(tree, generate(spec))
+        stats = collect_space_stats(tree, cost_model)
+        extra = {
+            "update_fraction": fraction,
+            "data_time_splits": tree.counters.data_time_splits,
+            "data_key_splits": tree.counters.data_key_splits,
+        }
+        result.rows.append(space_row(f"update={fraction:.2f}", stats, extra))
+    return result
+
+
+# ----------------------------------------------------------------------
+# S3: TSB-tree versus WOBT (and the naive all-magnetic index)
+# ----------------------------------------------------------------------
+def run_tsb_vs_wobt(
+    spec: Optional[WorkloadSpec] = None,
+    page_size: int = 1024,
+    wobt_node_sectors: int = 8,
+    cost_model: Optional[CostModel] = None,
+) -> StudyResult:
+    """The section 2.6 / 3.7 comparison: sector waste and copy redundancy.
+
+    The same operation stream is applied to (a) a TSB-tree with its default
+    threshold policy, (b) an emulated-WOBT-policy TSB-tree, (c) a true WOBT
+    living entirely on WORM sectors and (d) the naive all-versions-on-magnetic
+    B+-tree.  The claims under test: the WOBT's write-once sectors are poorly
+    utilised and its reorganisations duplicate current data, while the
+    TSB-tree consolidates before migrating and so fills historical sectors
+    almost completely.
+    """
+    spec = spec or WorkloadSpec(operations=4_000, update_fraction=0.5, seed=1989)
+    cost_model = cost_model or CostModel()
+    operations = generate(spec)
+    result = StudyResult(study="S3: TSB-tree vs WOBT")
+
+    tsb = build_tree(ThresholdPolicy(0.5), page_size=page_size)
+    apply_to(tsb, operations)
+    tsb_stats = collect_space_stats(tsb, cost_model)
+    result.rows.append(
+        space_row("tsb-threshold", tsb_stats).merged_with(
+            {"worm_sectors": tsb_stats.historical_sectors}
+        )
+    )
+
+    tsb_wobt_policy = build_tree(WOBTEmulationPolicy(), page_size=page_size)
+    apply_to(tsb_wobt_policy, operations)
+    emu_stats = collect_space_stats(tsb_wobt_policy, cost_model)
+    result.rows.append(
+        space_row("tsb-wobt-policy", emu_stats).merged_with(
+            {"worm_sectors": emu_stats.historical_sectors}
+        )
+    )
+
+    wobt = WOBT(worm=WormDisk(sector_size=min(1024, page_size)), node_sectors=wobt_node_sectors)
+    apply_to(wobt, operations)
+    wobt_stats = wobt.space_stats()
+    result.rows.append(
+        ExperimentRow(
+            label="wobt",
+            metrics={
+                "magnetic_bytes": 0,
+                "historical_bytes": wobt_stats.bytes_used,
+                "total_bytes": wobt_stats.bytes_used,
+                "redundant_versions": wobt_stats.redundant_copies,
+                "redundancy_ratio": round(wobt_stats.redundancy_ratio, 4),
+                "historical_utilization": round(wobt_stats.reserved_utilization, 4),
+                "worm_sectors": wobt_stats.sectors_reserved,
+                "current_db_fraction": 0.0,
+            },
+        )
+    )
+
+    naive = NaiveMultiversionIndex(page_size=page_size)
+    for operation in operations:
+        naive.insert(operation.key, operation.value, timestamp=operation.timestamp)
+    naive_stats = naive.space_stats()
+    result.rows.append(
+        ExperimentRow(
+            label="naive-magnetic",
+            metrics={
+                "magnetic_bytes": naive_stats.magnetic_bytes_used,
+                "historical_bytes": 0,
+                "total_bytes": naive_stats.magnetic_bytes_used,
+                "redundant_versions": 0,
+                "redundancy_ratio": 1.0,
+                "historical_utilization": 1.0,
+                "worm_sectors": 0,
+                "current_db_fraction": 1.0,
+            },
+        )
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# S4: the storage cost function CS = SpaceM*CM + SpaceO*CO
+# ----------------------------------------------------------------------
+def run_cost_function_study(
+    cost_ratios: Sequence[float] = (1.0, 2.0, 5.0, 10.0, 20.0),
+    spec: Optional[WorkloadSpec] = None,
+    page_size: int = 1024,
+) -> StudyResult:
+    """Sweep CM/CO and watch the cost-driven policy shift toward time splits."""
+    spec = spec or WorkloadSpec(operations=6_000, update_fraction=0.5, seed=1989)
+    operations = generate(spec)
+    result = StudyResult(study="S4: storage cost function sweep")
+    for ratio in cost_ratios:
+        cost_model = CostModel.with_cost_ratio(ratio)
+        for label, policy in (
+            (f"cost-driven CM/CO={ratio:g}", CostDrivenPolicy(cost_model)),
+            (f"always-key CM/CO={ratio:g}", AlwaysKeySplitPolicy()),
+            (f"always-time CM/CO={ratio:g}", AlwaysTimeSplitPolicy("last_update")),
+        ):
+            tree = build_tree(policy, page_size=page_size)
+            apply_to(tree, operations)
+            stats = collect_space_stats(tree, cost_model)
+            extra = {
+                "cost_ratio": ratio,
+                "data_time_splits": tree.counters.data_time_splits,
+                "data_key_splits": tree.counters.data_key_splits,
+            }
+            result.rows.append(space_row(label, stats, extra))
+    return result
+
+
+# ----------------------------------------------------------------------
+# S5: query I/O — current lookups stay on the magnetic disk
+# ----------------------------------------------------------------------
+def run_query_io_study(
+    spec: Optional[WorkloadSpec] = None,
+    query_count: int = 200,
+    page_size: int = 1024,
+    policy: Optional[SplitPolicy] = None,
+    use_jukebox: bool = True,
+    cost_model: Optional[CostModel] = None,
+) -> StudyResult:
+    """Measure device touches per query class (current, as-of, history, snapshot)."""
+    spec = spec or WorkloadSpec(operations=6_000, update_fraction=0.6, seed=1989)
+    cost_model = cost_model or CostModel()
+    tree = build_tree(policy or ThresholdPolicy(0.5), page_size=page_size, use_jukebox=use_jukebox)
+    operations = generate(spec)
+    apply_to(tree, operations)
+    tree.flush()
+    # Query with a small, cold buffer pool so the magnetic-versus-optical
+    # access pattern is visible (a warm pool large enough to hold the whole
+    # current database would report zero device reads for every query class).
+    tree.cache = PageCache(tree.magnetic, capacity=8)
+
+    keys = sorted({operation.key for operation in operations})
+    final_time = operations[-1].timestamp
+    early_time = max(1, final_time // 4)
+
+    def measure(run_queries: Callable[[], None]) -> QueryCost:
+        magnetic_before = tree.magnetic.stats.snapshot()
+        historical_before = tree.historical.stats.snapshot()
+        run_queries()
+        magnetic_delta = tree.magnetic.stats.delta(magnetic_before)
+        historical_delta = tree.historical.stats.delta(historical_before)
+        return query_cost_from_deltas(magnetic_delta, historical_delta, cost_model)
+
+    sample = keys[:: max(1, len(keys) // query_count)][:query_count]
+
+    result = StudyResult(study="S5: query I/O by query class")
+
+    current_cost = measure(lambda: [tree.search_current(key) for key in sample])
+    result.rows.append(ExperimentRow("current lookups", current_cost.as_dict()))
+
+    asof_cost = measure(lambda: [tree.search_as_of(key, early_time) for key in sample])
+    result.rows.append(ExperimentRow("as-of lookups (T=25%)", asof_cost.as_dict()))
+
+    history_cost = measure(lambda: [tree.key_history(key) for key in sample[: max(1, query_count // 10)]])
+    result.rows.append(ExperimentRow("key histories", history_cost.as_dict()))
+
+    snapshot_cost = measure(lambda: tree.snapshot(early_time))
+    result.rows.append(ExperimentRow("snapshot (T=25%)", snapshot_cost.as_dict()))
+
+    current_snapshot_cost = measure(lambda: tree.range_search())
+    result.rows.append(ExperimentRow("current range scan", current_snapshot_cost.as_dict()))
+    return result
+
+
+# ----------------------------------------------------------------------
+# S6: transaction-processing claims of section 4
+# ----------------------------------------------------------------------
+def run_txn_study(page_size: int = 1024) -> StudyResult:
+    """Demonstrate and measure the section 4 properties.
+
+    * uncommitted data never reaches the historical database and is erasable;
+    * read-only transactions see a stable snapshot without locks while
+      updaters proceed;
+    * aborted transactions leave no trace.
+    """
+    tree = build_tree(AlwaysTimeSplitPolicy("current"), page_size=page_size)
+    manager = TransactionManager(tree)
+
+    committed_payload: Dict[int, bytes] = {}
+    for key in range(120):
+        txn = manager.begin()
+        value = f"initial-{key}".encode()
+        txn.write(key, value)
+        txn.commit()
+        committed_payload[key] = value
+
+    # Several committed update rounds so that time splits occur and the
+    # historical database is non-empty before the claims are checked.
+    for round_index in range(4):
+        for key in range(120):
+            txn = manager.begin()
+            value = f"round{round_index}-{key}".encode()
+            txn.write(key, value)
+            txn.commit()
+            committed_payload[key] = value
+
+    reader = manager.begin_readonly()
+    reader_snapshot_before = {k: v.value for k, v in reader.snapshot().items()}
+
+    # Concurrent updates and an abort while the reader is open.
+    updater = manager.begin()
+    for key in range(0, 120, 3):
+        updater.write(key, f"updated-{key}".encode())
+    aborted = manager.begin()
+    for key in range(1, 120, 3):
+        aborted.write(key, f"aborted-{key}".encode())
+    aborted.abort()
+    updater.commit()
+
+    reader_snapshot_after = {k: v.value for k, v in reader.snapshot().items()}
+
+    stats = collect_space_stats(tree)
+    provisional_in_history = 0
+    for node in tree.data_nodes():
+        if node.address.is_historical:
+            provisional_in_history += sum(1 for v in node.versions if v.is_provisional)
+
+    result = StudyResult(study="S6: transaction support")
+    result.rows.append(
+        ExperimentRow(
+            "read-only snapshot stability",
+            {
+                "snapshot_keys": len(reader_snapshot_before),
+                "changed_under_reader": sum(
+                    1
+                    for key, value in reader_snapshot_before.items()
+                    if reader_snapshot_after.get(key) != value
+                ),
+                "locks_taken_by_reader": 0,
+            },
+        )
+    )
+    result.rows.append(
+        ExperimentRow(
+            "uncommitted data containment",
+            {
+                "provisional_versions_in_history": provisional_in_history,
+                "aborted_keys_visible": sum(
+                    1
+                    for key in range(1, 120, 3)
+                    if tree.search_current(key) is not None
+                    and tree.search_current(key).value.startswith(b"aborted-")
+                ),
+                "historical_nodes": stats.historical_data_nodes,
+            },
+        )
+    )
+    result.rows.append(
+        ExperimentRow(
+            "committed updates visible",
+            {
+                "updated_keys_current": sum(
+                    1
+                    for key in range(0, 120, 3)
+                    if tree.search_current(key) is not None
+                    and tree.search_current(key).value.startswith(b"updated-")
+                ),
+                "expected": len(range(0, 120, 3)),
+            },
+        )
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# S7: secondary indexes (section 3.6)
+# ----------------------------------------------------------------------
+def run_secondary_study(page_size: int = 1024) -> StudyResult:
+    """Answer "how many records had value V at time T" from the secondary tree alone."""
+    scenario = personnel_records(employees=40, changes=800)
+    primary = build_tree(ThresholdPolicy(0.5), page_size=page_size)
+    secondary = SecondaryIndex("department", page_size=page_size)
+
+    for event in scenario.events:
+        primary.insert(event.entity, event.payload, timestamp=event.timestamp)
+        secondary.record_change(event.entity, event.attribute, timestamp=event.timestamp)
+
+    result = StudyResult(study="S7: secondary index queries")
+    checkpoints = [
+        scenario.final_timestamp // 4,
+        scenario.final_timestamp // 2,
+        scenario.final_timestamp,
+    ]
+    departments = ["engineering", "sales", "finance", "legal", "research"]
+    for checkpoint in checkpoints:
+        oracle_state = scenario.state_at(checkpoint)
+        for department in departments:
+            expected = sum(
+                1
+                for payload in oracle_state.values()
+                if payload.decode().endswith(f"dept={department}")
+            )
+            counted = secondary.count_with_value(department, as_of=checkpoint)
+            result.rows.append(
+                ExperimentRow(
+                    f"{department} @ T={checkpoint}",
+                    {"secondary_count": counted, "oracle_count": expected},
+                )
+            )
+    secondary_stats = collect_space_stats(secondary.tree)
+    result.rows.append(
+        ExperimentRow(
+            "secondary tree space",
+            {
+                "magnetic_bytes": secondary_stats.magnetic_bytes_used,
+                "historical_bytes": secondary_stats.historical_bytes_used,
+                "redundancy_ratio": round(secondary_stats.redundancy_ratio, 4),
+            },
+        )
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Convenience: run everything (used by EXPERIMENTS.md regeneration)
+# ----------------------------------------------------------------------
+def run_all_studies(operations: int = 6_000) -> List[StudyResult]:
+    """Run S1..S7 with a shared workload size and return every table."""
+    spec = WorkloadSpec(operations=operations, update_fraction=0.5, seed=1989)
+    return [
+        run_policy_study(spec=spec),
+        run_update_ratio_study(operations=operations),
+        run_tsb_vs_wobt(spec=WorkloadSpec(operations=min(operations, 4_000), update_fraction=0.5, seed=1989)),
+        run_cost_function_study(spec=spec),
+        run_query_io_study(spec=WorkloadSpec(operations=operations, update_fraction=0.6, seed=1989)),
+        run_txn_study(),
+        run_secondary_study(),
+    ]

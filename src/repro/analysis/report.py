@@ -1,0 +1,76 @@
+"""Plain-text result tables for the experiment harness.
+
+The paper has no numeric tables of its own (its evaluation was planned, not
+reported), so the harness prints its measurements in a uniform ASCII layout
+that EXPERIMENTS.md reproduces verbatim.  Keeping the renderer dumb — strings
+and column widths only — makes the output stable across platforms and easy
+to diff.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.metrics import ExperimentRow
+
+
+def format_value(value: object) -> str:
+    """Render one cell: integers plainly, floats with 4 significant digits."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return f"{int(value):,}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[ExperimentRow],
+    columns: Optional[Sequence[str]] = None,
+    label_header: str = "configuration",
+) -> str:
+    """Render experiment rows as an aligned ASCII table."""
+    if not rows:
+        return "(no results)"
+    if columns is None:
+        seen: List[str] = []
+        for row in rows:
+            for column in row.metrics:
+                if column not in seen:
+                    seen.append(column)
+        columns = seen
+
+    header = [label_header] + list(columns)
+    body: List[List[str]] = []
+    for row in rows:
+        body.append(
+            [row.label] + [format_value(row.metrics.get(column, "")) for column in columns]
+        )
+
+    widths = [len(cell) for cell in header]
+    for line in body:
+        for index, cell in enumerate(line):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_line(cells: Iterable[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    separator = "-+-".join("-" * width for width in widths)
+    lines = [render_line(header), separator]
+    lines.extend(render_line(line) for line in body)
+    return "\n".join(lines)
+
+
+def render_comparison(title: str, rows: Sequence[ExperimentRow], columns: Optional[Sequence[str]] = None) -> str:
+    """A titled table block, as written into EXPERIMENTS.md."""
+    table = render_table(rows, columns=columns)
+    underline = "=" * len(title)
+    return f"{title}\n{underline}\n{table}\n"
+
+
+def rows_to_dicts(rows: Sequence[ExperimentRow]) -> List[Dict[str, object]]:
+    """Flatten rows for JSON-ish consumption (benchmarks attach these as extra info)."""
+    return [{"label": row.label, **row.metrics} for row in rows]

@@ -1,0 +1,12 @@
+"""Comparison baselines: a single-version B+-tree and a naive multiversion index."""
+
+from repro.baselines.bplus_tree import BPlusTree, BPlusTreeError, BPlusTreeStats
+from repro.baselines.naive_multiversion import NaiveMultiversionIndex, NaiveSpaceStats
+
+__all__ = [
+    "BPlusTree",
+    "BPlusTreeError",
+    "BPlusTreeStats",
+    "NaiveMultiversionIndex",
+    "NaiveSpaceStats",
+]

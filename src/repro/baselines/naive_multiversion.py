@@ -1,0 +1,147 @@
+"""Naive multiversion baseline: every version in one magnetic B+-tree.
+
+Section 1 of the paper motivates the TSB-tree by observing that one usually
+wants the current database small and fast while history can live on slower,
+cheaper storage.  The obvious alternative — simply keeping every version in
+the same B+-tree on the magnetic disk — has no redundancy at all, but the
+current database grows without bound and every query pays for wading through
+history on the expensive device.
+
+:class:`NaiveMultiversionIndex` implements that alternative so the S1/S2
+studies can report its magnetic footprint next to the TSB-tree's.  Versions
+are stored under a composite ``(key, timestamp)`` key inside a standard
+:class:`~repro.baselines.bplus_tree.BPlusTree`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines.bplus_tree import BPlusTree, BPlusTreeStats
+from repro.storage.magnetic import MagneticDisk
+from repro.storage.serialization import Key
+
+#: zero-padding width for integer components so string order == numeric order.
+_INT_PAD = 20
+
+
+def _encode_component(component: Key) -> str:
+    if isinstance(component, bool) or not isinstance(component, (int, str)):
+        raise TypeError(f"unsupported key type {type(component).__name__}")
+    if isinstance(component, int):
+        if component < 0:
+            raise ValueError("negative keys are not supported by the naive baseline")
+        return f"i{component:0{_INT_PAD}d}"
+    if "\x00" in component:
+        raise ValueError("string keys must not contain NUL")
+    return f"s{component}"
+
+
+def _version_key(key: Key, timestamp: int) -> str:
+    return f"{_encode_component(key)}\x00{timestamp:0{_INT_PAD}d}"
+
+
+@dataclass
+class NaiveSpaceStats:
+    """Space accounting: everything is magnetic, nothing is redundant."""
+
+    magnetic_pages: int = 0
+    magnetic_bytes_used: int = 0
+    magnetic_bytes_stored: int = 0
+    versions: int = 0
+    keys: int = 0
+    height: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "magnetic_pages": self.magnetic_pages,
+            "magnetic_bytes_used": self.magnetic_bytes_used,
+            "magnetic_bytes_stored": self.magnetic_bytes_stored,
+            "versions": self.versions,
+            "keys": self.keys,
+            "height": self.height,
+        }
+
+
+class NaiveMultiversionIndex:
+    """All versions of all records in a single magnetic-disk B+-tree."""
+
+    def __init__(
+        self,
+        page_size: int = 1024,
+        magnetic: Optional[MagneticDisk] = None,
+    ) -> None:
+        self.tree = BPlusTree(page_size=page_size, magnetic=magnetic)
+        self._version_count = 0
+        self._latest_timestamp: Dict[Key, int] = {}
+        self._max_timestamp = 0
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def insert(self, key: Key, value: bytes, timestamp: Optional[int] = None) -> int:
+        """Insert a new version of ``key`` stamped with ``timestamp``."""
+        if timestamp is None:
+            timestamp = self._max_timestamp + 1
+        if timestamp < self._max_timestamp:
+            raise ValueError(
+                f"timestamp {timestamp} precedes latest committed {self._max_timestamp}"
+            )
+        self.tree.insert(_version_key(key, timestamp), bytes(value))
+        self._version_count += 1
+        self._latest_timestamp[key] = timestamp
+        self._max_timestamp = max(self._max_timestamp, timestamp)
+        return timestamp
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def search_current(self, key: Key) -> Optional[bytes]:
+        latest = self._latest_timestamp.get(key)
+        if latest is None:
+            return None
+        return self.tree.search(_version_key(key, latest))
+
+    def search_as_of(self, key: Key, timestamp: int) -> Optional[bytes]:
+        best: Optional[Tuple[int, bytes]] = None
+        for version_timestamp, value in self.key_history(key):
+            if version_timestamp <= timestamp and (
+                best is None or version_timestamp > best[0]
+            ):
+                best = (version_timestamp, value)
+        return best[1] if best else None
+
+    def key_history(self, key: Key) -> List[Tuple[int, bytes]]:
+        """All (timestamp, value) versions of ``key``, oldest first."""
+        prefix = _encode_component(key) + "\x00"
+        low = prefix
+        high = prefix + "\x7f"
+        history = []
+        for composite, value in self.tree.range_search(low, high):
+            timestamp = int(composite.split("\x00", 1)[1])
+            history.append((timestamp, value))
+        return history
+
+    def snapshot(self, timestamp: int) -> Dict[Key, bytes]:
+        """State of the database as of ``timestamp``."""
+        result: Dict[Key, bytes] = {}
+        for key in self._latest_timestamp:
+            value = self.search_as_of(key, timestamp)
+            if value is not None:
+                result[key] = value
+        return result
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def space_stats(self) -> NaiveSpaceStats:
+        base: BPlusTreeStats = self.tree.space_stats()
+        return NaiveSpaceStats(
+            magnetic_pages=base.pages,
+            magnetic_bytes_used=base.bytes_used,
+            magnetic_bytes_stored=base.bytes_stored,
+            versions=self._version_count,
+            keys=len(self._latest_timestamp),
+            height=base.height,
+        )

@@ -1,0 +1,141 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The CLI exposes the experiment harness without writing any Python:
+
+``python -m repro figures``
+    Re-run the paper's Figures 1–9 and print pass/fail for every check.
+
+``python -m repro study S1`` (or S2..S7, or ``all``)
+    Run one of the DESIGN.md studies and print its result table.  ``--ops``
+    scales the workload.
+
+``python -m repro demo``
+    A tiny end-to-end demonstration (insert, update, as-of query, snapshot)
+    printed step by step — the quickstart example in one command.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.experiment import (
+    StudyResult,
+    run_cost_function_study,
+    run_policy_study,
+    run_query_io_study,
+    run_secondary_study,
+    run_tsb_vs_wobt,
+    run_txn_study,
+    run_update_ratio_study,
+)
+from repro.analysis.figures import run_all_figures
+from repro.analysis.report import render_comparison
+from repro.core import ThresholdPolicy, TSBTree, collect_space_stats
+from repro.workload import WorkloadSpec
+
+
+def _study_runners(operations: int) -> Dict[str, Callable[[], StudyResult]]:
+    spec = WorkloadSpec(operations=operations, update_fraction=0.5, seed=1989)
+    query_spec = WorkloadSpec(operations=operations, update_fraction=0.6, seed=1989)
+    return {
+        "S1": lambda: run_policy_study(spec=spec),
+        "S2": lambda: run_update_ratio_study(operations=operations),
+        "S3": lambda: run_tsb_vs_wobt(
+            spec=WorkloadSpec(operations=min(operations, 4_000), update_fraction=0.5, seed=1989)
+        ),
+        "S4": lambda: run_cost_function_study(spec=spec),
+        "S5": lambda: run_query_io_study(spec=query_spec),
+        "S6": run_txn_study,
+        "S7": run_secondary_study,
+    }
+
+
+def command_figures(_args: argparse.Namespace) -> int:
+    failures = 0
+    for result in run_all_figures():
+        print(result.summary())
+        for check, passed in result.checks.items():
+            print(f"    [{'ok ' if passed else 'FAIL'}] {check}")
+            failures += 0 if passed else 1
+    if failures:
+        print(f"{failures} checks failed")
+        return 1
+    print("All figures reproduced.")
+    return 0
+
+
+def command_study(args: argparse.Namespace) -> int:
+    runners = _study_runners(args.ops)
+    names: List[str]
+    if args.name.lower() == "all":
+        names = list(runners)
+    else:
+        name = args.name.upper()
+        if name not in runners:
+            print(f"unknown study {args.name!r}; choose one of {', '.join(runners)} or 'all'")
+            return 2
+        names = [name]
+    for name in names:
+        result = runners[name]()
+        print(render_comparison(f"{name} — {result.study}", result.rows))
+    return 0
+
+
+def command_demo(_args: argparse.Namespace) -> int:
+    tree = TSBTree(page_size=1024, policy=ThresholdPolicy(0.5))
+    print("insert  alice -> balance=50   @ T=1")
+    tree.insert("alice", b"balance=50", timestamp=1)
+    print("insert  bob   -> balance=200  @ T=2")
+    tree.insert("bob", b"balance=200", timestamp=2)
+    print("update  alice -> balance=120  @ T=5")
+    tree.insert("alice", b"balance=120", timestamp=5)
+    print()
+    print(f"current alice          : {tree.search_current('alice').value.decode()}")
+    print(f"as-of   alice at T=3   : {tree.search_as_of('alice', 3).value.decode()}")
+    snapshot = {key: version.value.decode() for key, version in tree.snapshot(2).items()}
+    print(f"snapshot at T=2        : {snapshot}")
+    history = [(v.timestamp, v.value.decode()) for v in tree.key_history("alice")]
+    print(f"history of alice       : {history}")
+    stats = collect_space_stats(tree)
+    print(
+        f"storage                : {stats.magnetic_bytes_used} B magnetic, "
+        f"{stats.historical_bytes_used} B historical"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Time-Split B-tree reproduction (Lomet & Salzberg, SIGMOD 1989)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    figures = subparsers.add_parser("figures", help="re-run the paper's Figures 1-9")
+    figures.set_defaults(handler=command_figures)
+
+    study = subparsers.add_parser("study", help="run one of the studies S1..S7 (or 'all')")
+    study.add_argument("name", help="study id: S1..S7 or 'all'")
+    study.add_argument(
+        "--ops",
+        type=int,
+        default=3_000,
+        help="workload size in operations (default: 3000)",
+    )
+    study.set_defaults(handler=command_study)
+
+    demo = subparsers.add_parser("demo", help="a one-minute end-to-end demonstration")
+    demo.set_defaults(handler=command_demo)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,427 @@
+"""TSB-tree nodes: data nodes, index entries and index nodes.
+
+Every node is responsible for a rectangle of the key x time plane
+(:class:`~repro.core.records.Rectangle`):
+
+* A **data node** holds record versions.  Its rectangle is the set of
+  ``(key, time)`` query points it must be able to answer; because versions
+  created *before* the rectangle's start time may still be valid inside it
+  (the redundancy introduced by the time-split rule), the node may contain
+  versions whose timestamps precede its time range.
+* An **index node** holds :class:`IndexEntry` values, each describing the
+  rectangle and device address of one child.  Within a parent's rectangle the
+  children's rectangles tile the space: every query point is covered by
+  exactly one child entry.
+
+Unlike the original WOBT — which keeps entries strictly in insertion order
+because a write-once sector can never be rewritten — TSB-tree nodes live on
+an erasable device while current, so we are free to store them in a
+convenient normalised form.  The WOBT baseline in :mod:`repro.wobt` keeps the
+literal insertion-ordered layout.
+
+The module also contains the byte-accurate page codecs used when a node image
+is written to either device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.records import (
+    KeyRange,
+    Rectangle,
+    RecordError,
+    TimeRange,
+    Version,
+    group_by_key,
+    latest_committed,
+    version_as_of,
+)
+from repro.storage.device import Address
+from repro.storage.serialization import (
+    ByteReader,
+    ByteWriter,
+    Key,
+    SerializationError,
+    address_size,
+    key_size,
+    read_address,
+    read_key,
+    read_timestamp,
+    read_value,
+    write_address,
+    write_key,
+    write_timestamp,
+    write_value,
+)
+
+_NODE_TAG_DATA = 0xD1
+_NODE_TAG_INDEX = 0xD2
+
+#: fixed per-node header charge (tag, counts, range bounds bookkeeping)
+_NODE_HEADER_SIZE = 32
+#: fixed per-index-entry overhead besides key/address payload
+_INDEX_ENTRY_OVERHEAD = 20
+
+
+class NodeError(Exception):
+    """Raised on structurally invalid node operations."""
+
+
+# ----------------------------------------------------------------------
+# Bound encoding helpers (None == +/- infinity / "still current")
+# ----------------------------------------------------------------------
+def _write_optional_key(writer: ByteWriter, key: Optional[Key]) -> None:
+    if key is None:
+        writer.put_u8(0)
+    else:
+        writer.put_u8(1)
+        write_key(writer, key)
+
+
+def _read_optional_key(reader: ByteReader) -> Optional[Key]:
+    if reader.get_u8() == 0:
+        return None
+    return read_key(reader)
+
+
+def _write_optional_time(writer: ByteWriter, timestamp: Optional[int]) -> None:
+    if timestamp is None:
+        writer.put_u8(0)
+    else:
+        writer.put_u8(1)
+        writer.put_u64(timestamp)
+
+
+def _read_optional_time(reader: ByteReader) -> Optional[int]:
+    if reader.get_u8() == 0:
+        return None
+    return reader.get_u64()
+
+
+def _write_rectangle(writer: ByteWriter, rect: Rectangle) -> None:
+    _write_optional_key(writer, rect.keys.low)
+    _write_optional_key(writer, rect.keys.high)
+    writer.put_u64(rect.times.start)
+    _write_optional_time(writer, rect.times.end)
+
+
+def _read_rectangle(reader: ByteReader) -> Rectangle:
+    low = _read_optional_key(reader)
+    high = _read_optional_key(reader)
+    start = reader.get_u64()
+    end = _read_optional_time(reader)
+    return Rectangle(KeyRange(low, high), TimeRange(start, end))
+
+
+# ----------------------------------------------------------------------
+# Data nodes
+# ----------------------------------------------------------------------
+@dataclass
+class DataNode:
+    """A leaf node holding record versions for one key x time rectangle."""
+
+    address: Address
+    region: Rectangle
+    versions: List[Version] = field(default_factory=list)
+
+    # -- content queries -------------------------------------------------
+    def versions_for_key(self, key: Key) -> List[Version]:
+        """All versions of ``key`` stored in this node, oldest first."""
+        matching = [version for version in self.versions if version.key == key]
+        matching.sort(key=_stable_version_order)
+        return matching
+
+    def latest_for_key(self, key: Key) -> Optional[Version]:
+        return latest_committed(self.versions_for_key(key))
+
+    def version_as_of(self, key: Key, timestamp: int) -> Optional[Version]:
+        return version_as_of(self.versions_for_key(key), timestamp)
+
+    def provisional_for_key(self, key: Key, txn_id: int) -> Optional[Version]:
+        for version in reversed(self.versions):
+            if version.key == key and version.txn_id == txn_id:
+                return version
+        return None
+
+    def distinct_key_count(self) -> int:
+        return len({version.key for version in self.versions})
+
+    def committed_timestamps(self) -> List[int]:
+        """Sorted distinct commit timestamps present in the node."""
+        return sorted(
+            {v.timestamp for v in self.versions if v.timestamp is not None}
+        )
+
+    def current_version_count(self) -> int:
+        """Number of versions that are the latest for their key (or provisional)."""
+        count = 0
+        for _key, group in group_by_key(self.versions).items():
+            latest = latest_committed(group)
+            for version in group:
+                if version.is_provisional or version is latest:
+                    count += 1
+        return count
+
+    def historical_version_count(self) -> int:
+        """Number of committed versions superseded by a newer committed one."""
+        return len(self.versions) - self.current_version_count()
+
+    # -- mutation ---------------------------------------------------------
+    def add_version(self, version: Version) -> None:
+        if not self.region.keys.contains(version.key):
+            raise NodeError(
+                f"key {version.key!r} outside node key range {self.region.keys}"
+            )
+        self.versions.append(version)
+
+    def remove_version(self, version: Version) -> None:
+        try:
+            self.versions.remove(version)
+        except ValueError as exc:  # pragma: no cover - defensive
+            raise NodeError(f"version {version} not present in node") from exc
+
+    # -- sizing -----------------------------------------------------------
+    def serialized_size(self) -> int:
+        return _NODE_HEADER_SIZE + self.region_size() + sum(
+            version.serialized_size() for version in self.versions
+        )
+
+    def region_size(self) -> int:
+        return (
+            2
+            + (0 if self.region.keys.low is None else key_size(self.region.keys.low))
+            + (0 if self.region.keys.high is None else key_size(self.region.keys.high))
+            + 8
+            + 9
+        )
+
+    def fits(self, page_size: int, extra: Optional[Version] = None) -> bool:
+        size = self.serialized_size()
+        if extra is not None:
+            size += extra.serialized_size()
+        return size <= page_size
+
+    # -- serialization ----------------------------------------------------
+    def encode(self) -> bytes:
+        writer = ByteWriter()
+        writer.put_u8(_NODE_TAG_DATA)
+        _write_rectangle(writer, self.region)
+        writer.put_u32(len(self.versions))
+        for version in self.versions:
+            write_key(writer, version.key)
+            write_timestamp(writer, version.timestamp)
+            flags = 1 if version.is_tombstone else 0
+            if version.txn_id is not None:
+                flags |= 2
+            writer.put_u8(flags)
+            if version.txn_id is not None:
+                writer.put_u64(version.txn_id)
+            write_value(writer, version.value)
+        return writer.getvalue()
+
+    @staticmethod
+    def decode(address: Address, data: bytes) -> "DataNode":
+        reader = ByteReader(data)
+        tag = reader.get_u8()
+        if tag != _NODE_TAG_DATA:
+            raise SerializationError(f"not a data-node image (tag {tag:#x})")
+        region = _read_rectangle(reader)
+        count = reader.get_u32()
+        versions: List[Version] = []
+        for _ in range(count):
+            key = read_key(reader)
+            timestamp = read_timestamp(reader)
+            flags = reader.get_u8()
+            txn_id = reader.get_u64() if flags & 2 else None
+            value = read_value(reader)
+            versions.append(
+                Version(
+                    key=key,
+                    timestamp=timestamp,
+                    value=value,
+                    txn_id=txn_id,
+                    is_tombstone=bool(flags & 1),
+                )
+            )
+        return DataNode(address=address, region=region, versions=versions)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DataNode({self.address}, {self.region}, {len(self.versions)} versions)"
+
+
+# ----------------------------------------------------------------------
+# Index entries and index nodes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class IndexEntry:
+    """One child reference inside an index node.
+
+    The paper stores ``(key, timestamp, pointer)`` triples in insertion order
+    and reconstructs each child's key/time extent from the node's history; we
+    store the extent explicitly as a rectangle, which is the information the
+    search rule derives (see DESIGN.md section 5).  ``child`` carries the
+    device tier, so "does this entry reference the historical database?" is
+    simply :attr:`is_historical`.
+    """
+
+    child: Address
+    region: Rectangle
+
+    @property
+    def is_historical(self) -> bool:
+        return self.child.is_historical
+
+    @property
+    def is_current(self) -> bool:
+        return self.child.is_magnetic
+
+    def serialized_size(self) -> int:
+        key_bytes = 0
+        if self.region.keys.low is not None:
+            key_bytes += key_size(self.region.keys.low)
+        if self.region.keys.high is not None:
+            key_bytes += key_size(self.region.keys.high)
+        return _INDEX_ENTRY_OVERHEAD + key_bytes + address_size(self.child)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"IndexEntry({self.region} -> {self.child})"
+
+
+@dataclass
+class IndexNode:
+    """An internal node mapping key x time rectangles to child addresses."""
+
+    address: Address
+    region: Rectangle
+    entries: List[IndexEntry] = field(default_factory=list)
+    level: int = 1
+
+    # -- search -----------------------------------------------------------
+    def find_child(self, key: Key, timestamp: int) -> IndexEntry:
+        """Return the unique entry whose rectangle contains ``(key, timestamp)``.
+
+        This is the rectangle formulation of the paper's search rule
+        (section 2.2 / 2.5): ignore entries with timestamps after the search
+        time, take the largest key not exceeding the search key, then the
+        latest such entry.
+        """
+        matches = [
+            entry
+            for entry in self.entries
+            if entry.region.contains_point(key, timestamp)
+        ]
+        if not matches:
+            raise NodeError(
+                f"no child covers ({key!r}, {timestamp}) in index node {self.address}"
+            )
+        if len(matches) > 1:
+            raise NodeError(
+                f"{len(matches)} children cover ({key!r}, {timestamp}) in index "
+                f"node {self.address}: regions overlap"
+            )
+        return matches[0]
+
+    def children_overlapping(self, region: Rectangle) -> List[IndexEntry]:
+        """All entries whose rectangle intersects ``region`` (for range scans)."""
+        return [entry for entry in self.entries if entry.region.overlaps(region)]
+
+    def entry_for_child(self, child: Address) -> IndexEntry:
+        for entry in self.entries:
+            if entry.child == child:
+                return entry
+        raise NodeError(f"index node {self.address} has no entry for child {child}")
+
+    # -- mutation ----------------------------------------------------------
+    def replace_entry(self, old: IndexEntry, new_entries: Sequence[IndexEntry]) -> None:
+        """Replace one child entry by the entries produced by its split."""
+        try:
+            position = self.entries.index(old)
+        except ValueError as exc:
+            raise NodeError(f"entry {old} not present in index node") from exc
+        self.entries[position : position + 1] = list(new_entries)
+
+    def add_entry(self, entry: IndexEntry) -> None:
+        self.entries.append(entry)
+
+    # -- classification ----------------------------------------------------
+    def current_entries(self) -> List[IndexEntry]:
+        return [entry for entry in self.entries if entry.is_current]
+
+    def historical_entries(self) -> List[IndexEntry]:
+        return [entry for entry in self.entries if entry.is_historical]
+
+    # -- sizing --------------------------------------------------------------
+    def serialized_size(self) -> int:
+        return _NODE_HEADER_SIZE + sum(
+            entry.serialized_size() for entry in self.entries
+        )
+
+    def fits(self, page_size: int, extra_entries: int = 0) -> bool:
+        """Whether the node (plus ``extra_entries`` typical entries) fits a page."""
+        size = self.serialized_size()
+        if extra_entries and self.entries:
+            size += extra_entries * max(entry.serialized_size() for entry in self.entries)
+        elif extra_entries:
+            size += extra_entries * (_INDEX_ENTRY_OVERHEAD + 32)
+        return size <= page_size
+
+    # -- serialization -------------------------------------------------------
+    def encode(self) -> bytes:
+        writer = ByteWriter()
+        writer.put_u8(_NODE_TAG_INDEX)
+        writer.put_u32(self.level)
+        _write_rectangle(writer, self.region)
+        writer.put_u32(len(self.entries))
+        for entry in self.entries:
+            _write_rectangle(writer, entry.region)
+            write_address(writer, entry.child)
+        return writer.getvalue()
+
+    @staticmethod
+    def decode(address: Address, data: bytes) -> "IndexNode":
+        reader = ByteReader(data)
+        tag = reader.get_u8()
+        if tag != _NODE_TAG_INDEX:
+            raise SerializationError(f"not an index-node image (tag {tag:#x})")
+        level = reader.get_u32()
+        region = _read_rectangle(reader)
+        count = reader.get_u32()
+        entries: List[IndexEntry] = []
+        for _ in range(count):
+            entry_region = _read_rectangle(reader)
+            child = read_address(reader)
+            entries.append(IndexEntry(child=child, region=entry_region))
+        return IndexNode(address=address, region=region, entries=entries, level=level)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"IndexNode({self.address}, {self.region}, level={self.level}, "
+            f"{len(self.entries)} entries)"
+        )
+
+
+# ----------------------------------------------------------------------
+# Node image dispatch
+# ----------------------------------------------------------------------
+def decode_node(address: Address, data: bytes):
+    """Decode a page image into a :class:`DataNode` or :class:`IndexNode`."""
+    if not data:
+        raise SerializationError("empty page image")
+    tag = data[0]
+    if tag == _NODE_TAG_DATA:
+        return DataNode.decode(address, data)
+    if tag == _NODE_TAG_INDEX:
+        return IndexNode.decode(address, data)
+    raise SerializationError(f"unknown node tag {tag:#x}")
+
+
+def is_data_node_image(data: bytes) -> bool:
+    return bool(data) and data[0] == _NODE_TAG_DATA
+
+
+def _stable_version_order(version: Version) -> Tuple[int, int]:
+    if version.timestamp is None:
+        return (1, version.txn_id or 0)
+    return (0, version.timestamp)

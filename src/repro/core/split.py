@@ -1,0 +1,430 @@
+"""Node-splitting mechanics of the Time-Split B-tree (paper section 3).
+
+This module contains the *pure* split computations — given a node's contents
+and a split parameter, compute what goes where.  The tree itself
+(:mod:`repro.core.tsb_tree`) is responsible for allocating pages, appending
+historical regions and updating parents; the policies
+(:mod:`repro.core.policy`) are responsible for *choosing* between the splits
+computed here.
+
+Implemented rules, each quoted from the paper:
+
+* **Time-split rule** (section 3.1) for data nodes::
+
+      1. All entries with time less than T go in the old node.
+      2. All entries with time greater or equal to T go in the new node.
+      3. For each key used in some entry, the entry with the largest time
+         smaller than or equal to T must be in the new node.
+
+  The "old node" becomes the historical node (migrated to the optical disk);
+  the "new node" keeps the current data on the magnetic disk.  Rule 3 is what
+  creates redundancy: a version alive across the split time appears in both.
+  Provisional (uncommitted) versions carry no timestamp and always stay in
+  the current node (section 4).
+
+* **Pure key split** (section 3.1, Figure 5) for data nodes: B+-tree style —
+  versions move by key, nothing is copied, and the new index entry inherits
+  the start time of the old entry.
+
+* **Index Node Keyspace Split Rule** (section 3.5): entries whose key range
+  lies at or below the split value go left, those at or above go right, and
+  entries whose key range *strictly contains* the split value — which are
+  guaranteed to reference historical nodes — are copied into both halves.
+
+* **Index node time split** (section 3.5, Figures 8 and 9): allowed only when
+  a time T exists such that no entry responsible for any time before T
+  references a current node; then entries wholly before T move to the
+  historical index node, entries crossing T (all historical) are copied to
+  both, and entries at or after T stay current.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.nodes import IndexEntry
+from repro.core.records import (
+    Rectangle,
+    RecordError,
+    Version,
+    group_by_key,
+    latest_committed,
+)
+from repro.storage.serialization import Key
+
+
+class SplitError(Exception):
+    """Raised when a requested split cannot be performed."""
+
+
+class SplitKind(enum.Enum):
+    """Which dimension a split divides."""
+
+    KEY = "key"
+    TIME = "time"
+
+
+@dataclass(frozen=True)
+class SplitDecision:
+    """A policy's answer to "this node is full — what do we do?"."""
+
+    kind: SplitKind
+    split_key: Optional[Key] = None
+    split_time: Optional[int] = None
+
+    @staticmethod
+    def key(split_key: Key) -> "SplitDecision":
+        return SplitDecision(kind=SplitKind.KEY, split_key=split_key)
+
+    @staticmethod
+    def time(split_time: int) -> "SplitDecision":
+        return SplitDecision(kind=SplitKind.TIME, split_time=split_time)
+
+
+# ----------------------------------------------------------------------
+# Data-node splits
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DataTimeSplit:
+    """Result of applying the time-split rule to a data node's versions."""
+
+    split_time: int
+    historical: Tuple[Version, ...]
+    current: Tuple[Version, ...]
+
+    @property
+    def redundant(self) -> Tuple[Version, ...]:
+        """Versions stored in both halves (alive across the split time)."""
+        historical_ids = {version.identity() for version in self.historical}
+        return tuple(
+            version for version in self.current if version.identity() in historical_ids
+        )
+
+    @property
+    def redundant_bytes(self) -> int:
+        return sum(version.serialized_size() for version in self.redundant)
+
+    @property
+    def historical_bytes(self) -> int:
+        return sum(version.serialized_size() for version in self.historical)
+
+    @property
+    def current_bytes(self) -> int:
+        return sum(version.serialized_size() for version in self.current)
+
+
+def time_split_versions(versions: Sequence[Version], split_time: int) -> DataTimeSplit:
+    """Apply the section 3.1 time-split rule at ``split_time``.
+
+    Raises :class:`SplitError` if the split would leave the historical node
+    empty (no version precedes the split time), because migrating nothing is
+    pointless and would create an empty historical region.
+    """
+    historical: List[Version] = []
+    current: List[Version] = []
+    for key, group in group_by_key(versions).items():
+        committed = [v for v in group if v.timestamp is not None]
+        provisional = [v for v in group if v.timestamp is None]
+        # Rule 1: strictly-older versions belong to the historical node.
+        before = [v for v in committed if v.timestamp < split_time]
+        # Rule 2: versions at or after the split time stay current.
+        after = [v for v in committed if v.timestamp >= split_time]
+        historical.extend(before)
+        current.extend(after)
+        # Rule 3: the version valid *at* the split time must be in the
+        # current node.  When its timestamp is strictly before the split time
+        # it is therefore stored twice — the redundancy the paper accepts to
+        # keep snapshots clustered.
+        if before and not any(v.timestamp == split_time for v in after):
+            alive_at_split = max(before, key=lambda v: v.timestamp)  # type: ignore[arg-type]
+            current.append(alive_at_split)
+        # Uncommitted versions never migrate (section 4).
+        current.extend(provisional)
+    if not historical:
+        raise SplitError(
+            f"time split at {split_time} would migrate nothing: "
+            "no committed version precedes the split time"
+        )
+    return DataTimeSplit(
+        split_time=split_time,
+        historical=tuple(historical),
+        current=tuple(current),
+    )
+
+
+def key_split_versions(
+    versions: Sequence[Version], split_key: Key
+) -> Tuple[Tuple[Version, ...], Tuple[Version, ...]]:
+    """Pure key split: versions with ``key < split_key`` stay, the rest move.
+
+    Nothing is copied; this is the B+-tree-style split the erasable magnetic
+    disk makes possible (section 3: "the key splits on magnetic disk are more
+    like those in B+-trees since we need not keep the old node intact").
+    """
+    left = tuple(version for version in versions if version.key < split_key)
+    right = tuple(version for version in versions if not version.key < split_key)
+    if not left or not right:
+        raise SplitError(
+            f"key split at {split_key!r} puts every version on one side"
+        )
+    return left, right
+
+
+def choose_key_split_value(versions: Sequence[Version]) -> Key:
+    """Pick a key split value: the median distinct key (by stored bytes).
+
+    The median is weighted by serialized size so that a key with many or
+    large versions does not leave one half nearly full.
+    """
+    grouped = group_by_key(versions)
+    if len(grouped) < 2:
+        raise SplitError("cannot key split a node holding a single distinct key")
+    keys = sorted(grouped)
+    sizes = [sum(v.serialized_size() for v in grouped[key]) for key in keys]
+    total = sum(sizes)
+    running = 0
+    for key, size in zip(keys, sizes):
+        running += size
+        if running * 2 >= total:
+            # Splitting *at* a key sends that key right; never pick the
+            # lowest key (the left half would be empty).
+            if key == keys[0]:
+                return keys[1]
+            return key
+    return keys[-1]  # pragma: no cover - loop always returns
+
+
+def candidate_split_times(versions: Sequence[Version]) -> List[int]:
+    """Distinct committed timestamps that are legal time-split values.
+
+    A legal split time must leave at least one committed version strictly
+    before it, so the earliest committed timestamp is excluded.
+    """
+    stamps = sorted({v.timestamp for v in versions if v.timestamp is not None})
+    return stamps[1:]
+
+
+def last_update_time(versions: Sequence[Version]) -> Optional[int]:
+    """Commit time of the most recent *update* (second or later version of a key).
+
+    Section 3.3 recommends this as a split time when insertions follow the
+    last update: splitting there keeps freshly inserted records out of the
+    historical node while still migrating every superseded version.
+    Returns ``None`` when the node contains no updates at all.
+    """
+    best: Optional[int] = None
+    for _key, group in group_by_key(versions).items():
+        committed = [v for v in group if v.timestamp is not None]
+        if len(committed) < 2:
+            continue
+        update_stamp = committed[-1].timestamp
+        assert update_stamp is not None
+        if best is None or update_stamp > best:
+            best = update_stamp
+    return best
+
+
+def evaluate_time_split(
+    versions: Sequence[Version], split_time: int
+) -> Optional[DataTimeSplit]:
+    """Like :func:`time_split_versions` but returns ``None`` when illegal."""
+    try:
+        return time_split_versions(versions, split_time)
+    except SplitError:
+        return None
+
+
+def min_redundancy_split_time(versions: Sequence[Version]) -> Optional[int]:
+    """Candidate split time minimising redundant bytes.
+
+    Ties are broken toward the *latest* time, which minimises the size of the
+    current node (the quantity stored on the expensive magnetic device).
+    """
+    best_time: Optional[int] = None
+    best_cost: Optional[Tuple[int, int]] = None
+    for candidate in candidate_split_times(versions):
+        split = evaluate_time_split(versions, candidate)
+        if split is None:
+            continue
+        cost = (split.redundant_bytes, split.current_bytes)
+        if best_cost is None or cost < best_cost:
+            best_cost = cost
+            best_time = candidate
+    return best_time
+
+
+# ----------------------------------------------------------------------
+# Index-node splits
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class IndexKeySplit:
+    """Result of the Index Node Keyspace Split Rule."""
+
+    split_key: Key
+    left: Tuple[IndexEntry, ...]
+    right: Tuple[IndexEntry, ...]
+    copied: Tuple[IndexEntry, ...]
+
+
+def index_key_split(entries: Sequence[IndexEntry], split_key: Key) -> IndexKeySplit:
+    """Apply the section 3.5 keyspace split rule to index entries.
+
+    Entries whose key range strictly contains the split value are copied into
+    both halves; the paper proves these always reference historical nodes,
+    which :func:`repro.core.checker.check_tree` asserts.
+    """
+    left: List[IndexEntry] = []
+    right: List[IndexEntry] = []
+    copied: List[IndexEntry] = []
+    for entry in entries:
+        keys = entry.region.keys
+        upper_at_or_below = keys.high is not None and not split_key < keys.high
+        lower_at_or_above = keys.low is not None and not keys.low < split_key
+        if upper_at_or_below:
+            left.append(entry)
+        elif lower_at_or_above:
+            right.append(entry)
+        else:
+            # Key range strictly contains the split value: copy to both.
+            copied.append(entry)
+            left.append(entry)
+            right.append(entry)
+    if not left or not right:
+        raise SplitError(f"index key split at {split_key!r} leaves one half empty")
+    return IndexKeySplit(
+        split_key=split_key,
+        left=tuple(left),
+        right=tuple(right),
+        copied=tuple(copied),
+    )
+
+
+def choose_index_split_key(entries: Sequence[IndexEntry]) -> Key:
+    """Pick a split value for an index keyspace split.
+
+    Section 3.5: "The split value may be any key value actually used in an
+    index entry in the node."  We take the median of the distinct lower
+    bounds, excluding the overall minimum (which would leave the left half
+    empty).
+    """
+    bounds = sorted(
+        {entry.region.keys.low for entry in entries if entry.region.keys.low is not None}
+    )
+    if not bounds:
+        raise SplitError("index node has no finite key bounds to split at")
+    candidates = [
+        bound
+        for bound in bounds
+        if any(
+            entry.region.keys.high is not None
+            and not bound < entry.region.keys.high
+            for entry in entries
+        )
+        and any(
+            entry.region.keys.low is not None and not entry.region.keys.low < bound
+            for entry in entries
+        )
+    ]
+    if not candidates:
+        raise SplitError("no key value splits this index node into two non-empty halves")
+    return candidates[len(candidates) // 2]
+
+
+@dataclass(frozen=True)
+class IndexTimeSplit:
+    """Result of a (local) index-node time split."""
+
+    split_time: int
+    historical: Tuple[IndexEntry, ...]
+    current: Tuple[IndexEntry, ...]
+    copied: Tuple[IndexEntry, ...]
+
+
+def find_local_index_split_time(entries: Sequence[IndexEntry]) -> Optional[int]:
+    """Largest time T at which this index node can be *locally* time split.
+
+    The constraint (section 3.5): no entry referencing a current node may be
+    placed in the historical index node, because current children can still
+    split and their parent entries must remain updatable.  Therefore T must
+    not exceed the start time of any current entry's region, and at least one
+    entry must end at or before T (otherwise nothing would migrate).
+
+    Returns ``None`` when no such T exists — the Figure 9 situation, where an
+    old data node that has never been time split blocks the index split.
+    """
+    if not entries:
+        return None
+    current_starts = [
+        entry.region.times.start for entry in entries if entry.is_current
+    ]
+    limit: Optional[int] = min(current_starts) if current_starts else None
+    candidate: Optional[int] = None
+    for entry in entries:
+        end = entry.region.times.end
+        if end is None:
+            continue
+        if limit is not None and end > limit:
+            continue
+        if candidate is None or end > candidate:
+            candidate = end
+    return candidate
+
+
+def index_time_split(entries: Sequence[IndexEntry], split_time: int) -> IndexTimeSplit:
+    """Split index entries at ``split_time`` (which must be local — see above)."""
+    historical: List[IndexEntry] = []
+    current: List[IndexEntry] = []
+    copied: List[IndexEntry] = []
+    for entry in entries:
+        times = entry.region.times
+        if times.end is not None and times.end <= split_time:
+            historical.append(entry)
+        elif times.start >= split_time:
+            current.append(entry)
+        else:
+            # The entry's time range crosses the split time.
+            if entry.is_current:
+                raise SplitError(
+                    f"index time split at {split_time} is not local: entry "
+                    f"{entry} references a current node and spans the split time"
+                )
+            copied.append(entry)
+            historical.append(entry)
+            current.append(entry)
+    if not historical:
+        raise SplitError(f"index time split at {split_time} would migrate nothing")
+    if not current:
+        raise SplitError(
+            f"index time split at {split_time} would leave no current entries"
+        )
+    return IndexTimeSplit(
+        split_time=split_time,
+        historical=tuple(historical),
+        current=tuple(current),
+        copied=tuple(copied),
+    )
+
+
+# ----------------------------------------------------------------------
+# Region bookkeeping shared by the tree
+# ----------------------------------------------------------------------
+def split_region_by_key(region: Rectangle, split_key: Key) -> Tuple[Rectangle, Rectangle]:
+    """Split a node's rectangle along the key axis."""
+    try:
+        left_keys, right_keys = region.keys.split_at(split_key)
+    except RecordError as exc:
+        raise SplitError(str(exc)) from exc
+    return Rectangle(left_keys, region.times), Rectangle(right_keys, region.times)
+
+
+def split_region_by_time(
+    region: Rectangle, split_time: int
+) -> Tuple[Rectangle, Rectangle]:
+    """Split a node's rectangle along the time axis."""
+    try:
+        earlier, later = region.times.split_at(split_time)
+    except RecordError as exc:
+        raise SplitError(str(exc)) from exc
+    return Rectangle(region.keys, earlier), Rectangle(region.keys, later)

@@ -1,0 +1,827 @@
+"""The Time-Split B-tree (paper section 3).
+
+:class:`TSBTree` is a single integrated index over a versioned, timestamped
+database with a non-deletion policy.  Current nodes live on an erasable
+magnetic disk and are split B+-tree style by key or migrated by time; the
+historical halves of time splits are consolidated and appended to a
+write-once historical device.  One tree answers:
+
+* current lookups (``search_current``),
+* as-of lookups (``search_as_of``) — the record valid at an earlier time,
+* snapshots and range scans at any time (``snapshot``, ``range_search``),
+* full version histories of a key (``key_history``),
+
+and supports the transaction-processing features of section 4: provisional
+(uncommitted) versions that are never migrated and can be erased on abort,
+and commit stamping.
+
+The tree is deliberately explicit about its storage interactions: every node
+it touches is read from and written to the simulated devices as a serialized
+page image, so the space and I/O numbers the experiment harness reports are
+byte-accurate, not estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.core.nodes import DataNode, IndexEntry, IndexNode, NodeError, decode_node
+from repro.core.policy import SplitContext, SplitPolicy, ThresholdPolicy
+from repro.core.records import (
+    KeyRange,
+    Rectangle,
+    TimeRange,
+    Version,
+    version_as_of,
+)
+from repro.core.split import (
+    SplitDecision,
+    SplitError,
+    SplitKind,
+    choose_index_split_key,
+    choose_key_split_value,
+    find_local_index_split_time,
+    index_key_split,
+    index_time_split,
+    key_split_versions,
+    split_region_by_key,
+    split_region_by_time,
+    time_split_versions,
+)
+from repro.storage.device import Address
+from repro.storage.magnetic import MagneticDisk
+from repro.storage.pagecache import PageCache
+from repro.storage.serialization import (
+    ByteReader,
+    ByteWriter,
+    Key,
+    read_address,
+    write_address,
+)
+from repro.storage.worm import WormDisk
+
+#: Devices usable as the historical store: anything with append_region/read.
+HistoricalDevice = Union[WormDisk, "object"]
+
+#: Marker identifying a magnetic page as a TSB-tree superblock.
+_SUPERBLOCK_MAGIC = 0x7513_B001
+
+
+class TSBTreeError(Exception):
+    """Base class for TSB-tree usage errors."""
+
+
+class RecordTooLargeError(TSBTreeError):
+    """A single record version does not fit in an empty data page."""
+
+
+class TimestampOrderError(TSBTreeError):
+    """Commit timestamps must be non-decreasing (rollback database, section 1)."""
+
+
+class ProvisionalVersionError(TSBTreeError):
+    """Raised when commit/abort cannot find the expected provisional version."""
+
+
+@dataclass
+class TreeCounters:
+    """Cumulative structural-event counters maintained by the tree."""
+
+    inserts: int = 0
+    updates: int = 0
+    data_key_splits: int = 0
+    data_time_splits: int = 0
+    index_key_splits: int = 0
+    index_time_splits: int = 0
+    redundant_versions_written: int = 0
+    redundant_index_entries_written: int = 0
+    historical_bytes_written: int = 0
+    historical_nodes_written: int = 0
+    provisional_writes: int = 0
+    commits: int = 0
+    aborts: int = 0
+
+    @property
+    def total_splits(self) -> int:
+        return (
+            self.data_key_splits
+            + self.data_time_splits
+            + self.index_key_splits
+            + self.index_time_splits
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "inserts": self.inserts,
+            "updates": self.updates,
+            "data_key_splits": self.data_key_splits,
+            "data_time_splits": self.data_time_splits,
+            "index_key_splits": self.index_key_splits,
+            "index_time_splits": self.index_time_splits,
+            "redundant_versions_written": self.redundant_versions_written,
+            "redundant_index_entries_written": self.redundant_index_entries_written,
+            "historical_bytes_written": self.historical_bytes_written,
+            "historical_nodes_written": self.historical_nodes_written,
+            "provisional_writes": self.provisional_writes,
+            "commits": self.commits,
+            "aborts": self.aborts,
+        }
+
+
+class TSBTree:
+    """A Time-Split B-tree spanning a magnetic and a historical device.
+
+    Parameters
+    ----------
+    page_size:
+        Size of a current (magnetic) node in bytes.  Nodes split when their
+        serialized image would exceed this.
+    policy:
+        The split-decision policy (see :mod:`repro.core.policy`).  Defaults to
+        ``ThresholdPolicy()``.
+    magnetic:
+        The erasable device holding current nodes; a fresh
+        :class:`~repro.storage.magnetic.MagneticDisk` by default.
+    historical:
+        The append-only device holding migrated nodes; a fresh
+        :class:`~repro.storage.worm.WormDisk` by default.  Anything exposing
+        ``append_region(bytes) -> Address`` and ``read(Address) -> bytes``
+        works, including :class:`~repro.storage.optical_library.OpticalLibrary`.
+    cache_pages:
+        Capacity of the buffer pool over the magnetic device.
+    """
+
+    def __init__(
+        self,
+        page_size: int = 1024,
+        policy: Optional[SplitPolicy] = None,
+        magnetic: Optional[MagneticDisk] = None,
+        historical: Optional[HistoricalDevice] = None,
+        cache_pages: int = 128,
+    ) -> None:
+        if page_size < 128:
+            raise ValueError("page_size must be at least 128 bytes")
+        self.page_size = page_size
+        self.policy = policy or ThresholdPolicy()
+        self.magnetic = magnetic or MagneticDisk(page_size=page_size)
+        if self.magnetic.page_size < page_size:
+            raise ValueError("magnetic page size smaller than tree page size")
+        self.historical = historical or WormDisk(sector_size=min(1024, page_size))
+        self.cache = PageCache(self.magnetic, capacity=cache_pages)
+        self.counters = TreeCounters()
+        self._max_committed_ts = 0
+        self._next_auto_ts = 1
+        # The first magnetic page is the superblock: the durable pointer to
+        # the current root written by :meth:`checkpoint` and read by
+        # :meth:`open` when the database is reopened from its devices.
+        self._superblock_address = self.magnetic.allocate_page()
+        # The tree starts as a single empty data node covering all keys and
+        # all times from zero onward.
+        root_address = self.magnetic.allocate_page()
+        root = DataNode(address=root_address, region=Rectangle.full(), versions=[])
+        self._store_node(root)
+        self._root_address = root_address
+        self._height = 1
+        self.checkpoint()
+
+    # ------------------------------------------------------------------
+    # Public write API
+    # ------------------------------------------------------------------
+    def insert(self, key: Key, value: bytes, timestamp: Optional[int] = None) -> int:
+        """Insert a new committed version of ``key``.
+
+        An insert with a key already present is an update: the old version
+        stays in the database (non-deletion policy) and the new version
+        becomes current.  ``timestamp`` must be non-decreasing across calls;
+        when omitted, the tree assigns the next internal commit time.
+        Returns the commit timestamp used.
+        """
+        timestamp = self._resolve_timestamp(timestamp)
+        version = Version(key=key, timestamp=timestamp, value=bytes(value))
+        existing = self.search_current(key)
+        self._insert_version(version)
+        self.counters.inserts += 1
+        if existing is not None:
+            self.counters.updates += 1
+        self._max_committed_ts = max(self._max_committed_ts, timestamp)
+        self._next_auto_ts = max(self._next_auto_ts, timestamp + 1)
+        return timestamp
+
+    def delete(self, key: Key, timestamp: Optional[int] = None) -> int:
+        """Logically delete ``key`` by writing a tombstone version.
+
+        The non-deletion policy still holds: all previous versions remain
+        queryable at their own times; only current and later-as-of reads stop
+        seeing the key.
+        """
+        timestamp = self._resolve_timestamp(timestamp)
+        version = Version(key=key, timestamp=timestamp, value=b"", is_tombstone=True)
+        self._insert_version(version)
+        self.counters.inserts += 1
+        self._max_committed_ts = max(self._max_committed_ts, timestamp)
+        self._next_auto_ts = max(self._next_auto_ts, timestamp + 1)
+        return timestamp
+
+    def insert_provisional(self, key: Key, value: bytes, txn_id: int) -> None:
+        """Write an uncommitted version on behalf of transaction ``txn_id``.
+
+        Provisional versions carry no timestamp, are invisible to ordinary
+        reads, never migrate to the historical database and can be erased by
+        :meth:`abort_provisional` (paper section 4).  Re-writing a key inside
+        the same transaction replaces the earlier provisional version.
+        """
+        self._remove_existing_provisional(key, txn_id)
+        version = Version(key=key, timestamp=None, value=bytes(value), txn_id=txn_id)
+        self._insert_version(version)
+        self.counters.provisional_writes += 1
+
+    def delete_provisional(self, key: Key, txn_id: int) -> None:
+        """Write an uncommitted tombstone on behalf of ``txn_id``."""
+        self._remove_existing_provisional(key, txn_id)
+        version = Version(
+            key=key, timestamp=None, value=b"", txn_id=txn_id, is_tombstone=True
+        )
+        self._insert_version(version)
+        self.counters.provisional_writes += 1
+
+    def _remove_existing_provisional(self, key: Key, txn_id: int) -> None:
+        node = self._descend_to_current_leaf(key)
+        existing = node.provisional_for_key(key, txn_id)
+        if existing is not None:
+            node.remove_version(existing)
+            self._store_node(node)
+
+    def commit_provisional(self, txn_id: int, keys: Iterable[Key], commit_timestamp: int) -> None:
+        """Stamp transaction ``txn_id``'s provisional versions with its commit time."""
+        if commit_timestamp < self._max_committed_ts:
+            raise TimestampOrderError(
+                f"commit timestamp {commit_timestamp} precedes the latest committed "
+                f"timestamp {self._max_committed_ts}"
+            )
+        for key in keys:
+            node = self._descend_to_current_leaf(key)
+            provisional = node.provisional_for_key(key, txn_id)
+            if provisional is None:
+                raise ProvisionalVersionError(
+                    f"transaction {txn_id} has no provisional version for key {key!r}"
+                )
+            node.remove_version(provisional)
+            node.add_version(provisional.committed(commit_timestamp))
+            self._store_node(node)
+        self._max_committed_ts = max(self._max_committed_ts, commit_timestamp)
+        self._next_auto_ts = max(self._next_auto_ts, commit_timestamp + 1)
+        self.counters.commits += 1
+
+    def abort_provisional(self, txn_id: int, keys: Iterable[Key]) -> None:
+        """Erase transaction ``txn_id``'s provisional versions (abort path)."""
+        for key in keys:
+            node = self._descend_to_current_leaf(key)
+            provisional = node.provisional_for_key(key, txn_id)
+            if provisional is not None:
+                node.remove_version(provisional)
+                self._store_node(node)
+        self.counters.aborts += 1
+
+    # ------------------------------------------------------------------
+    # Public read API
+    # ------------------------------------------------------------------
+    def search_current(self, key: Key, txn_id: Optional[int] = None) -> Optional[Version]:
+        """Return the most recent committed version of ``key`` (or ``None``).
+
+        When ``txn_id`` is given and that transaction has written a
+        provisional version of the key, the provisional version is returned
+        instead (read-your-writes).  Tombstoned keys read as absent.
+        """
+        node = self._descend_to_current_leaf(key)
+        if txn_id is not None:
+            provisional = node.provisional_for_key(key, txn_id)
+            if provisional is not None:
+                return None if provisional.is_tombstone else provisional
+        latest = node.latest_for_key(key)
+        if latest is None or latest.is_tombstone:
+            return None
+        return latest
+
+    def search_as_of(self, key: Key, timestamp: int) -> Optional[Version]:
+        """Return the version of ``key`` valid at ``timestamp`` (or ``None``)."""
+        node = self._descend_to_leaf(key, timestamp)
+        return node.version_as_of(key, timestamp)
+
+    def key_history(self, key: Key) -> List[Version]:
+        """Every committed version of ``key``, oldest first, duplicates removed."""
+        region = Rectangle(self._point_key_range(key), TimeRange(0, None))
+        seen: Set[Tuple] = set()
+        history: List[Version] = []
+        for node in self._iter_data_nodes(region):
+            for version in node.versions_for_key(key):
+                if version.timestamp is None:
+                    continue
+                identity = version.identity()
+                if identity in seen:
+                    continue
+                seen.add(identity)
+                history.append(version)
+        history.sort(key=lambda v: v.timestamp)  # type: ignore[arg-type]
+        return history
+
+    def history_between(self, key: Key, start: int, end: int) -> List[Version]:
+        """Versions of ``key`` that were valid at some point in ``[start, end)``.
+
+        This is the time-slice query of temporal databases: it returns the
+        version valid at ``start`` (if any) followed by every version created
+        inside the interval, oldest first.
+        """
+        if end <= start:
+            return []
+        versions = self.key_history(key)
+        selected: List[Version] = []
+        for position, version in enumerate(versions):
+            assert version.timestamp is not None
+            next_start = (
+                versions[position + 1].timestamp
+                if position + 1 < len(versions)
+                else None
+            )
+            # Valid interval of this version: [timestamp, next_start).
+            if version.timestamp >= end:
+                continue
+            if next_start is not None and next_start <= start:
+                continue
+            selected.append(version)
+        return selected
+
+    def snapshot(self, timestamp: int) -> Dict[Key, Version]:
+        """The state of the database as of ``timestamp`` (paper section 2.5)."""
+        region = Rectangle(KeyRange.full(), TimeRange(timestamp, timestamp + 1))
+        result: Dict[Key, Version] = {}
+        for node in self._iter_data_nodes(region):
+            for key in {v.key for v in node.versions}:
+                if not node.region.contains_point(key, timestamp):
+                    continue
+                valid = node.version_as_of(key, timestamp)
+                if valid is not None:
+                    result[key] = valid
+        return result
+
+    def range_search(
+        self,
+        low: Optional[Key] = None,
+        high: Optional[Key] = None,
+        as_of: Optional[int] = None,
+    ) -> List[Version]:
+        """Versions of keys in ``[low, high)`` valid at ``as_of`` (default: now)."""
+        timestamp = self._max_committed_ts if as_of is None else as_of
+        key_range = KeyRange(low, high)
+        region = Rectangle(key_range, TimeRange(timestamp, timestamp + 1))
+        results: Dict[Key, Version] = {}
+        for node in self._iter_data_nodes(region):
+            for key in {v.key for v in node.versions}:
+                if not key_range.contains(key):
+                    continue
+                if not node.region.contains_point(key, timestamp):
+                    continue
+                valid = node.version_as_of(key, timestamp)
+                if valid is not None:
+                    results[key] = valid
+        return [results[key] for key in sorted(results)]
+
+    def current_keys(self) -> List[Key]:
+        """Sorted keys with a live (non-tombstoned) current version."""
+        return [version.key for version in self.range_search()]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def height(self) -> int:
+        """Number of node levels from root to data nodes (1 = root is a leaf)."""
+        return self._height
+
+    @property
+    def root_address(self) -> Address:
+        return self._root_address
+
+    @property
+    def now(self) -> int:
+        """The largest committed timestamp the tree has seen."""
+        return self._max_committed_ts
+
+    def iter_nodes(self) -> Iterator[Union[DataNode, IndexNode]]:
+        """Yield every reachable node exactly once (current and historical)."""
+        seen: Set[Address] = set()
+        stack: List[Address] = [self._root_address]
+        while stack:
+            address = stack.pop()
+            if address in seen:
+                continue
+            seen.add(address)
+            node = self._load_node(address)
+            yield node
+            if isinstance(node, IndexNode):
+                stack.extend(entry.child for entry in node.entries)
+
+    def data_nodes(self) -> List[DataNode]:
+        return [node for node in self.iter_nodes() if isinstance(node, DataNode)]
+
+    def index_nodes(self) -> List[IndexNode]:
+        return [node for node in self.iter_nodes() if isinstance(node, IndexNode)]
+
+    def flush(self) -> None:
+        """Write every dirty buffered page back to the magnetic device."""
+        self.cache.flush()
+
+    # ------------------------------------------------------------------
+    # Durability: superblock checkpointing and reopening
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> None:
+        """Flush dirty pages and persist the root pointer to the superblock.
+
+        After a checkpoint, :meth:`open` can rebuild an equivalent tree from
+        the two devices alone.  Statistics counters are session-local and are
+        not persisted.
+        """
+        self.flush()
+        writer = ByteWriter()
+        writer.put_u32(_SUPERBLOCK_MAGIC)
+        write_address(writer, self._root_address)
+        writer.put_u32(self._height)
+        writer.put_u64(self._max_committed_ts)
+        writer.put_u64(self._next_auto_ts)
+        writer.put_u32(self.page_size)
+        self.magnetic.write(self._superblock_address, writer.getvalue())
+
+    @classmethod
+    def open(
+        cls,
+        magnetic: MagneticDisk,
+        historical: HistoricalDevice,
+        policy: Optional[SplitPolicy] = None,
+        cache_pages: int = 128,
+        superblock_page: int = 0,
+    ) -> "TSBTree":
+        """Reopen a TSB-tree from its devices using the last checkpoint.
+
+        ``magnetic`` and ``historical`` must be the same device objects (or
+        faithful reloads of their contents) that the original tree wrote to;
+        ``superblock_page`` is the magnetic page the superblock lives in
+        (page 0 unless the devices were shared with something else).
+        """
+        superblock_address = Address.magnetic(superblock_page)
+        reader = ByteReader(magnetic.read(superblock_address))
+        magic = reader.get_u32()
+        if magic != _SUPERBLOCK_MAGIC:
+            raise TSBTreeError(
+                f"magnetic page {superblock_page} does not hold a TSB-tree superblock"
+            )
+        root_address = read_address(reader)
+        height = reader.get_u32()
+        max_committed_ts = reader.get_u64()
+        next_auto_ts = reader.get_u64()
+        page_size = reader.get_u32()
+
+        tree = cls.__new__(cls)
+        tree.page_size = page_size
+        tree.policy = policy or ThresholdPolicy()
+        tree.magnetic = magnetic
+        tree.historical = historical
+        tree.cache = PageCache(magnetic, capacity=cache_pages)
+        tree.counters = TreeCounters()
+        tree._max_committed_ts = max_committed_ts
+        tree._next_auto_ts = next_auto_ts
+        tree._superblock_address = superblock_address
+        tree._root_address = root_address
+        tree._height = height
+        return tree
+
+    # ------------------------------------------------------------------
+    # Internal: timestamps
+    # ------------------------------------------------------------------
+    def _resolve_timestamp(self, timestamp: Optional[int]) -> int:
+        if timestamp is None:
+            return self._next_auto_ts
+        if timestamp < self._max_committed_ts:
+            raise TimestampOrderError(
+                f"timestamp {timestamp} precedes the latest committed timestamp "
+                f"{self._max_committed_ts}; a rollback database stamps records in "
+                "commit order"
+            )
+        return timestamp
+
+    # ------------------------------------------------------------------
+    # Internal: node I/O
+    # ------------------------------------------------------------------
+    def _load_node(self, address: Address) -> Union[DataNode, IndexNode]:
+        if address.is_magnetic:
+            data = self.cache.read(address)
+        else:
+            data = self.historical.read(address)
+        return decode_node(address, data)
+
+    def _store_node(self, node: Union[DataNode, IndexNode]) -> None:
+        image = node.encode()
+        if len(image) > self.page_size and node.address.is_magnetic:
+            raise NodeError(
+                f"node {node.address} serialises to {len(image)} bytes "
+                f"(> page size {self.page_size}); split bookkeeping is broken"
+            )
+        self.cache.write(node.address, image)
+
+    def _append_historical(self, image: bytes) -> Address:
+        address = self.historical.append_region(image)
+        self.counters.historical_bytes_written += len(image)
+        self.counters.historical_nodes_written += 1
+        return address
+
+    # ------------------------------------------------------------------
+    # Internal: descent
+    # ------------------------------------------------------------------
+    def _find_current_child(self, node: IndexNode, key: Key) -> IndexEntry:
+        matches = [
+            entry
+            for entry in node.entries
+            if entry.region.times.is_current and entry.region.keys.contains(key)
+        ]
+        if len(matches) != 1:
+            raise NodeError(
+                f"expected exactly one current child for key {key!r} in "
+                f"{node.address}, found {len(matches)}"
+            )
+        return matches[0]
+
+    def _descend_to_current_leaf(self, key: Key) -> DataNode:
+        node = self._load_node(self._root_address)
+        while isinstance(node, IndexNode):
+            entry = self._find_current_child(node, key)
+            node = self._load_node(entry.child)
+        assert isinstance(node, DataNode)
+        return node
+
+    def _descend_to_leaf(self, key: Key, timestamp: int) -> DataNode:
+        node = self._load_node(self._root_address)
+        while isinstance(node, IndexNode):
+            entry = node.find_child(key, timestamp)
+            node = self._load_node(entry.child)
+        assert isinstance(node, DataNode)
+        return node
+
+    def _iter_data_nodes(self, region: Rectangle) -> Iterator[DataNode]:
+        """Yield each data node whose region overlaps ``region`` exactly once."""
+        seen: Set[Address] = set()
+        stack: List[Address] = [self._root_address]
+        while stack:
+            address = stack.pop()
+            if address in seen:
+                continue
+            seen.add(address)
+            node = self._load_node(address)
+            if isinstance(node, DataNode):
+                if node.region.overlaps(region):
+                    yield node
+                continue
+            for entry in node.children_overlapping(region):
+                stack.append(entry.child)
+
+    # ------------------------------------------------------------------
+    # Internal: insertion and splitting
+    # ------------------------------------------------------------------
+    def _insert_version(self, version: Version) -> None:
+        probe = DataNode(
+            address=Address.magnetic(0), region=Rectangle.full(), versions=[version]
+        )
+        if probe.serialized_size() > self.page_size:
+            raise RecordTooLargeError(
+                f"a single version of key {version.key!r} needs "
+                f"{probe.serialized_size()} bytes but pages hold {self.page_size}"
+            )
+        replacements = self._insert_recursive(self._root_address, version)
+        if replacements is not None:
+            self._grow_root(replacements)
+
+    def _insert_recursive(
+        self, address: Address, version: Version
+    ) -> Optional[List[IndexEntry]]:
+        node = self._load_node(address)
+        if isinstance(node, DataNode):
+            if node.fits(self.page_size, extra=version):
+                node.add_version(version)
+                self._store_node(node)
+                return None
+            return self._split_data_node(node, version)
+
+        entry = self._find_current_child(node, version.key)
+        child_replacements = self._insert_recursive(entry.child, version)
+        if child_replacements is None:
+            return None
+        node.replace_entry(entry, child_replacements)
+        if node.fits(self.page_size):
+            self._store_node(node)
+            return None
+        return self._split_index_node(node)
+
+    def _grow_root(self, entries: Sequence[IndexEntry]) -> None:
+        """Create a new index root above the entries produced by a root split."""
+        new_root_address = self.magnetic.allocate_page()
+        new_root = IndexNode(
+            address=new_root_address,
+            region=Rectangle.full(),
+            entries=list(entries),
+            level=self._height,
+        )
+        self._store_node(new_root)
+        self._root_address = new_root_address
+        self._height += 1
+        # The brand-new root might itself be too full when a lower split
+        # produced many replacement entries; split it immediately if so.
+        if not new_root.fits(self.page_size):
+            replacements = self._split_index_node(new_root)
+            self._grow_root(replacements)
+
+    # -- data nodes ---------------------------------------------------------
+    def _split_data_node(self, node: DataNode, incoming: Version) -> List[IndexEntry]:
+        """Split ``node`` per policy, insert ``incoming``, return parent entries."""
+        context = SplitContext(
+            versions=tuple(node.versions),
+            region=node.region,
+            page_size=self.page_size,
+            now=self._max_committed_ts,
+        )
+        decision = self.policy.decide(context)
+        replacements = self._perform_data_split(node, decision, context)
+        return self._insert_into_replacements(replacements, incoming)
+
+    def _perform_data_split(
+        self, node: DataNode, decision: SplitDecision, context: SplitContext
+    ) -> List[IndexEntry]:
+        """Carry out a split decision, falling back to the other kind on error."""
+        if decision.kind is SplitKind.TIME:
+            assert decision.split_time is not None
+            try:
+                return self._perform_data_time_split(node, decision.split_time)
+            except SplitError:
+                return self._perform_data_key_split(
+                    node, choose_key_split_value(node.versions)
+                )
+        assert decision.split_key is not None
+        try:
+            return self._perform_data_key_split(node, decision.split_key)
+        except SplitError:
+            return self._perform_data_time_split(
+                node, self.policy.pick_split_time(context)
+            )
+
+    def _perform_data_time_split(self, node: DataNode, split_time: int) -> List[IndexEntry]:
+        """Time split: migrate history to the optical disk (section 3.1)."""
+        historical_region, current_region = split_region_by_time(node.region, split_time)
+        split = time_split_versions(node.versions, split_time)
+        historical_node = DataNode(
+            address=Address.magnetic(0),  # placeholder; real address assigned below
+            region=historical_region,
+            versions=list(split.historical),
+        )
+        historical_address = self._append_historical(historical_node.encode())
+        node.versions = list(split.current)
+        node.region = current_region
+        self._store_node(node)
+        self.counters.data_time_splits += 1
+        self.counters.redundant_versions_written += len(split.redundant)
+        return [
+            IndexEntry(child=historical_address, region=historical_region),
+            IndexEntry(child=node.address, region=current_region),
+        ]
+
+    def _perform_data_key_split(self, node: DataNode, split_key: Key) -> List[IndexEntry]:
+        """Pure key split: B+-tree style, nothing copied (section 3.1, Figure 5)."""
+        left_region, right_region = split_region_by_key(node.region, split_key)
+        left_versions, right_versions = key_split_versions(node.versions, split_key)
+        # Allocate the sibling page before touching the existing node so that
+        # a full magnetic disk leaves the original node intact.
+        right_address = self.magnetic.allocate_page()
+        node.versions = list(left_versions)
+        node.region = left_region
+        self._store_node(node)
+        right_node = DataNode(
+            address=right_address, region=right_region, versions=list(right_versions)
+        )
+        self._store_node(right_node)
+        self.counters.data_key_splits += 1
+        return [
+            IndexEntry(child=node.address, region=left_region),
+            IndexEntry(child=right_address, region=right_region),
+        ]
+
+    def _insert_into_replacements(
+        self, replacements: List[IndexEntry], version: Version
+    ) -> List[IndexEntry]:
+        """Insert ``version`` into whichever current child now covers it."""
+        for position, entry in enumerate(replacements):
+            if not entry.is_current:
+                continue
+            if not entry.region.keys.contains(version.key):
+                continue
+            if not entry.region.times.is_current:
+                continue
+            child = self._load_node(entry.child)
+            assert isinstance(child, DataNode)
+            if child.fits(self.page_size, extra=version):
+                child.add_version(version)
+                self._store_node(child)
+                return replacements
+            nested = self._split_data_node(child, version)
+            return replacements[:position] + nested + replacements[position + 1 :]
+        raise NodeError(
+            f"no current replacement entry covers key {version.key!r}"
+        )
+
+    # -- index nodes ----------------------------------------------------------
+    def _split_index_node(self, node: IndexNode) -> List[IndexEntry]:
+        """Split a full index node, preferring a local time split when allowed."""
+        replacements = self._perform_index_split(node)
+        expanded: List[IndexEntry] = []
+        for entry in replacements:
+            if entry.is_current:
+                child = self._load_node(entry.child)
+                if isinstance(child, IndexNode) and not child.fits(self.page_size):
+                    expanded.extend(self._split_index_node(child))
+                    continue
+            expanded.append(entry)
+        return expanded
+
+    def _perform_index_split(self, node: IndexNode) -> List[IndexEntry]:
+        if self.policy.prefers_index_time_splits:
+            split_time = find_local_index_split_time(node.entries)
+            if split_time is not None and split_time > node.region.times.start:
+                try:
+                    return self._perform_index_time_split(node, split_time)
+                except SplitError:
+                    pass
+        try:
+            split_key = choose_index_split_key(node.entries)
+            return self._perform_index_key_split(node, split_key)
+        except SplitError:
+            # No usable key split (e.g. every entry spans the full key range);
+            # fall back to a time split if one is possible at all.
+            split_time = find_local_index_split_time(node.entries)
+            if split_time is None or split_time <= node.region.times.start:
+                raise
+            return self._perform_index_time_split(node, split_time)
+
+    def _perform_index_time_split(self, node: IndexNode, split_time: int) -> List[IndexEntry]:
+        """Local index time split (section 3.5, Figure 8)."""
+        historical_region, current_region = split_region_by_time(node.region, split_time)
+        split = index_time_split(node.entries, split_time)
+        historical_node = IndexNode(
+            address=Address.magnetic(0),
+            region=historical_region,
+            entries=list(split.historical),
+            level=node.level,
+        )
+        historical_address = self._append_historical(historical_node.encode())
+        node.entries = list(split.current)
+        node.region = current_region
+        self._store_node(node)
+        self.counters.index_time_splits += 1
+        self.counters.redundant_index_entries_written += len(split.copied)
+        return [
+            IndexEntry(child=historical_address, region=historical_region),
+            IndexEntry(child=node.address, region=current_region),
+        ]
+
+    def _perform_index_key_split(self, node: IndexNode, split_key: Key) -> List[IndexEntry]:
+        """Index keyspace split (section 3.5 rule), duplicating straddling entries."""
+        left_region, right_region = split_region_by_key(node.region, split_key)
+        split = index_key_split(node.entries, split_key)
+        # Allocate before mutating, as in the data-node key split.
+        right_address = self.magnetic.allocate_page()
+        node.entries = list(split.left)
+        node.region = left_region
+        self._store_node(node)
+        right_node = IndexNode(
+            address=right_address,
+            region=right_region,
+            entries=list(split.right),
+            level=node.level,
+        )
+        self._store_node(right_node)
+        self.counters.index_key_splits += 1
+        self.counters.redundant_index_entries_written += len(split.copied)
+        return [
+            IndexEntry(child=node.address, region=left_region),
+            IndexEntry(child=right_address, region=right_region),
+        ]
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _point_key_range(key: Key) -> KeyRange:
+        """A key range containing exactly ``key`` (used for history scans)."""
+        if isinstance(key, int):
+            return KeyRange(key, key + 1)
+        return KeyRange(key, key + "\x00")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TSBTree(height={self._height}, now={self._max_committed_ts}, "
+            f"policy={self.policy.name})"
+        )

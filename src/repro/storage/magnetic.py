@@ -1,0 +1,162 @@
+"""Erasable magnetic-disk simulator hosting the *current* database.
+
+The paper requires the current database, and every part of the index that
+refers to it, to live on an erasable random-access medium for two reasons
+(section 1): references must be changeable when data migrates to the
+historical database, and temporary data written by uncommitted transactions
+must be erasable.
+
+:class:`MagneticDisk` models exactly those capabilities:
+
+* fixed-size pages that may be **rewritten in place** (unlike WORM sectors),
+* a free-list page **allocator** so pages vacated by time splits or aborted
+  transactions can be reused,
+* byte-accurate occupancy accounting (``bytes_used`` counts whole pages,
+  ``bytes_stored`` counts the payload actually written), which feeds the
+  ``SpaceM`` term of the paper's cost function.
+
+The simulator stores page images in memory; the point is byte- and
+operation-level fidelity, not persistence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.storage.device import (
+    Address,
+    Device,
+    InvalidAddressError,
+    OutOfSpaceError,
+    PageOverflowError,
+    Tier,
+)
+from repro.storage.iostats import IOStats
+
+
+class MagneticDisk(Device):
+    """In-memory simulation of an erasable, page-oriented magnetic disk.
+
+    Parameters
+    ----------
+    page_size:
+        Size of one erasable page in bytes.  Current TSB-tree nodes must
+        serialise to at most this many bytes.
+    capacity_pages:
+        Optional maximum number of simultaneously allocated pages.  ``None``
+        means unbounded (the common case for experiments; bounded capacity is
+        used by fault-injection tests).
+    name:
+        Device name used in I/O reports.
+    """
+
+    def __init__(
+        self,
+        page_size: int = 4096,
+        capacity_pages: Optional[int] = None,
+        name: str = "magnetic",
+    ) -> None:
+        if page_size <= 0:
+            raise ValueError("page_size must be positive")
+        if capacity_pages is not None and capacity_pages <= 0:
+            raise ValueError("capacity_pages must be positive when given")
+        self.page_size = page_size
+        self.capacity_pages = capacity_pages
+        self.name = name
+        self.stats = IOStats()
+        self._pages: Dict[int, bytes] = {}
+        self._free_pages: list[int] = []
+        self._next_page_id = 0
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def allocate_page(self) -> Address:
+        """Allocate an empty page and return its address.
+
+        Freed pages are reused before new page numbers are minted, mirroring
+        a conventional free-list allocator.
+        """
+        if (
+            self.capacity_pages is not None
+            and self.allocated_pages >= self.capacity_pages
+        ):
+            raise OutOfSpaceError(
+                f"magnetic disk full: {self.capacity_pages} pages allocated"
+            )
+        if self._free_pages:
+            page_id = self._free_pages.pop()
+        else:
+            page_id = self._next_page_id
+            self._next_page_id += 1
+        self._pages[page_id] = b""
+        return Address.magnetic(page_id)
+
+    def free_page(self, address: Address) -> None:
+        """Return a page to the free list (its contents are erased)."""
+        self._check_address(address)
+        del self._pages[address.page_id]
+        self._free_pages.append(address.page_id)
+        self.stats.record_erase()
+
+    # ------------------------------------------------------------------
+    # I/O
+    # ------------------------------------------------------------------
+    def write(self, address: Address, data: bytes) -> None:
+        """Overwrite the page at ``address`` with ``data`` (erasable write)."""
+        self._check_address(address)
+        if len(data) > self.page_size:
+            raise PageOverflowError(
+                f"page image of {len(data)} bytes exceeds page size {self.page_size}"
+            )
+        self._pages[address.page_id] = bytes(data)
+        self.stats.record_write(len(data))
+
+    def read(self, address: Address) -> bytes:
+        """Return the current contents of the page at ``address``."""
+        self._check_address(address)
+        data = self._pages[address.page_id]
+        self.stats.record_read(len(data))
+        return data
+
+    # ------------------------------------------------------------------
+    # Occupancy accounting
+    # ------------------------------------------------------------------
+    @property
+    def allocated_pages(self) -> int:
+        """Number of pages currently allocated (live)."""
+        return len(self._pages)
+
+    @property
+    def bytes_used(self) -> int:
+        """Capacity consumed: every allocated page costs a full page."""
+        return self.allocated_pages * self.page_size
+
+    @property
+    def bytes_stored(self) -> int:
+        """Payload bytes actually written into allocated pages."""
+        return sum(len(image) for image in self._pages.values())
+
+    @property
+    def pages_ever_allocated(self) -> int:
+        """High-water mark of distinct page numbers ever minted."""
+        return self._next_page_id
+
+    def is_allocated(self, address: Address) -> bool:
+        """Return whether ``address`` refers to a live page on this disk."""
+        return address.tier is Tier.MAGNETIC and address.page_id in self._pages
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _check_address(self, address: Address) -> None:
+        if address.tier is not Tier.MAGNETIC:
+            raise InvalidAddressError(f"{address} is not a magnetic address")
+        if address.page_id not in self._pages:
+            raise InvalidAddressError(f"magnetic page {address.page_id} is not allocated")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MagneticDisk(name={self.name!r}, pages={self.allocated_pages}, "
+            f"page_size={self.page_size})"
+        )

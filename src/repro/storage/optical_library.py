@@ -1,0 +1,170 @@
+"""Robot-served optical jukebox: a library of removable WORM platters.
+
+Section 1 of the paper notes that write-once platters "can be removed from
+the disk drive, enabling very inexpensive libraries to be created", served by
+a robot that needs roughly twenty seconds to mount an off-line platter.  The
+TSB-tree tolerates this because only historical data — accessed rarely —
+lives there.
+
+:class:`OpticalLibrary` composes several :class:`~repro.storage.worm.WormDisk`
+platters behind the same append/read interface the tree uses for a single
+WORM disk.  Appends always go to the most recent platter (the historical
+database is a sequentially growing log); when a platter fills, a fresh one is
+"loaded" and appends continue there.  A small number of drive bays keeps
+recently used platters mounted; touching an unmounted platter evicts the
+least-recently-used platter and records a mount, which the cost model prices
+at ``mount_ms``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List
+
+from repro.storage.device import Address, Device, InvalidAddressError
+from repro.storage.iostats import IOStats
+from repro.storage.worm import WormDisk
+
+
+class OpticalLibrary(Device):
+    """A growable collection of WORM platters behind one append interface.
+
+    Parameters
+    ----------
+    sector_size:
+        Sector size shared by every platter.
+    platter_capacity_sectors:
+        Sectors per platter; when the current platter cannot hold an append,
+        a new platter is added to the library.
+    drive_bays:
+        Number of platters that can be on-line simultaneously.  Reads or
+        appends touching an off-line platter incur a robot mount.
+    name:
+        Device name used in reports.
+    """
+
+    def __init__(
+        self,
+        sector_size: int = 1024,
+        platter_capacity_sectors: int = 4096,
+        drive_bays: int = 2,
+        name: str = "jukebox",
+    ) -> None:
+        if platter_capacity_sectors <= 0:
+            raise ValueError("platter_capacity_sectors must be positive")
+        if drive_bays <= 0:
+            raise ValueError("drive_bays must be positive")
+        self.sector_size = sector_size
+        self.platter_capacity_sectors = platter_capacity_sectors
+        self.drive_bays = drive_bays
+        self.name = name
+        self.stats = IOStats()
+        self._platters: List[WormDisk] = []
+        #: LRU of mounted platter indexes (most recently used last)
+        self._mounted: "OrderedDict[int, None]" = OrderedDict()
+        self._add_platter()
+
+    # ------------------------------------------------------------------
+    # Platter management
+    # ------------------------------------------------------------------
+    def _add_platter(self) -> WormDisk:
+        index = len(self._platters)
+        platter = WormDisk(
+            sector_size=self.sector_size,
+            capacity_sectors=self.platter_capacity_sectors,
+            name=f"{self.name}.platter{index}",
+            platter=index,
+        )
+        self._platters.append(platter)
+        self._touch(index)
+        return platter
+
+    def _touch(self, platter_index: int) -> None:
+        """Mark a platter as used, mounting it (and evicting LRU) if needed."""
+        if platter_index in self._mounted:
+            self._mounted.move_to_end(platter_index)
+            return
+        if len(self._mounted) >= self.drive_bays:
+            self._mounted.popitem(last=False)
+        self._mounted[platter_index] = None
+        self._mounted.move_to_end(platter_index)
+        self.stats.record_mount()
+
+    def is_mounted(self, platter_index: int) -> bool:
+        """Return whether the platter is currently in a drive bay."""
+        return platter_index in self._mounted
+
+    @property
+    def platter_count(self) -> int:
+        return len(self._platters)
+
+    # ------------------------------------------------------------------
+    # Device interface
+    # ------------------------------------------------------------------
+    def append_region(self, data: bytes) -> Address:
+        """Append a consolidated historical node to the current platter.
+
+        Rolls over to a brand-new platter when the current one cannot hold
+        the node.  Appends never split a node across platters: the node's
+        address must stay a single (platter, start, length) triple.
+        """
+        if not data:
+            raise ValueError("cannot append an empty historical region")
+        current = self._platters[-1]
+        sectors_needed = current.sectors_for(len(data))
+        if sectors_needed > self.platter_capacity_sectors:
+            raise ValueError(
+                f"historical node of {len(data)} bytes exceeds a whole platter"
+            )
+        if current.sectors_reserved + sectors_needed > self.platter_capacity_sectors:
+            current = self._add_platter()
+        self._touch(current.platter)
+        address = current.append_region(data)
+        self.stats.record_write(len(data), sectors=sectors_needed)
+        return address
+
+    def read(self, address: Address) -> bytes:
+        """Read a historical node, mounting its platter if necessary."""
+        platter_index = address.platter if address.platter is not None else 0
+        if not address.is_historical or platter_index >= len(self._platters):
+            raise InvalidAddressError(f"{address} is not stored in this library")
+        self._touch(platter_index)
+        data = self._platters[platter_index].read(address)
+        self.stats.record_read(len(data))
+        return data
+
+    # ------------------------------------------------------------------
+    # Occupancy accounting
+    # ------------------------------------------------------------------
+    @property
+    def bytes_used(self) -> int:
+        return sum(platter.bytes_used for platter in self._platters)
+
+    @property
+    def bytes_stored(self) -> int:
+        return sum(platter.bytes_stored for platter in self._platters)
+
+    @property
+    def sectors_burned(self) -> int:
+        return sum(platter.sectors_burned for platter in self._platters)
+
+    @property
+    def sectors_reserved(self) -> int:
+        return sum(platter.sectors_reserved for platter in self._platters)
+
+    @property
+    def burned_utilization(self) -> float:
+        burned = self.sectors_burned * self.sector_size
+        if burned == 0:
+            return 1.0
+        return self.bytes_stored / burned
+
+    def platter_stats(self) -> Dict[int, IOStats]:
+        """Per-platter I/O counters (for detailed reports)."""
+        return {platter.platter: platter.stats for platter in self._platters}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"OpticalLibrary(platters={self.platter_count}, "
+            f"mounted={list(self._mounted)}, bays={self.drive_bays})"
+        )

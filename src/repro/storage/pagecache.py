@@ -1,0 +1,186 @@
+"""A small LRU buffer pool over the magnetic disk.
+
+The paper does not prescribe a buffer manager, but any disk-resident B-tree
+implementation has one, and measuring "node accesses" versus "device
+accesses" separately (Study S5) requires distinguishing hits from misses.
+:class:`PageCache` sits between the TSB-tree and the
+:class:`~repro.storage.magnetic.MagneticDisk`:
+
+* reads hit the cache when possible and fault the page in otherwise;
+* writes go to the cache and are flushed either on eviction (write-back,
+  the default) or immediately (write-through);
+* frames can be pinned while a node object built from them is being mutated.
+
+Historical (WORM) reads are deliberately *not* cached here: the tree caches
+nothing for the historical database, matching the paper's assumption that
+historical accesses are rare and may pay full optical latency.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.storage.device import Address, StorageError
+from repro.storage.magnetic import MagneticDisk
+
+
+class CachePinnedError(StorageError):
+    """Raised when every frame is pinned and an eviction is required."""
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/flush counters for one :class:`PageCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    flushes: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        if self.accesses == 0:
+            return 1.0
+        return self.hits / self.accesses
+
+
+@dataclass
+class _Frame:
+    data: bytes
+    dirty: bool = False
+    pins: int = 0
+
+
+class PageCache:
+    """LRU write-back cache over an erasable magnetic disk.
+
+    Parameters
+    ----------
+    disk:
+        The magnetic device being cached.
+    capacity:
+        Maximum number of resident frames.
+    write_through:
+        If true, every :meth:`write` is immediately propagated to the disk
+        (the frame is still kept resident, but never dirty).
+    """
+
+    def __init__(
+        self,
+        disk: MagneticDisk,
+        capacity: int = 64,
+        write_through: bool = False,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.disk = disk
+        self.capacity = capacity
+        self.write_through = write_through
+        self.stats = CacheStats()
+        self._frames: "OrderedDict[int, _Frame]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Read / write
+    # ------------------------------------------------------------------
+    def read(self, address: Address) -> bytes:
+        """Return the page image at ``address`` (faulting it in on a miss)."""
+        frame = self._frames.get(address.page_id)
+        if frame is not None:
+            self.stats.hits += 1
+            self._frames.move_to_end(address.page_id)
+            return frame.data
+        self.stats.misses += 1
+        data = self.disk.read(address)
+        self._install(address.page_id, _Frame(data=data, dirty=False))
+        return data
+
+    def write(self, address: Address, data: bytes) -> None:
+        """Store a new page image for ``address`` in the cache."""
+        if len(data) > self.disk.page_size:
+            # Let the disk raise the canonical overflow error immediately
+            # rather than deferring it to an eviction-time flush.
+            self.disk.write(address, data)
+            return
+        frame = self._frames.get(address.page_id)
+        if frame is None:
+            frame = _Frame(data=b"", dirty=False)
+            self._install(address.page_id, frame)
+        else:
+            self._frames.move_to_end(address.page_id)
+        frame.data = bytes(data)
+        if self.write_through:
+            self.disk.write(address, data)
+            frame.dirty = False
+        else:
+            frame.dirty = True
+
+    # ------------------------------------------------------------------
+    # Pinning
+    # ------------------------------------------------------------------
+    def pin(self, address: Address) -> None:
+        """Prevent the frame for ``address`` from being evicted."""
+        self.read(address)
+        self._frames[address.page_id].pins += 1
+
+    def unpin(self, address: Address) -> None:
+        frame = self._frames.get(address.page_id)
+        if frame is None or frame.pins == 0:
+            raise StorageError(f"page {address.page_id} is not pinned")
+        frame.pins -= 1
+
+    # ------------------------------------------------------------------
+    # Flushing / invalidation
+    # ------------------------------------------------------------------
+    def flush(self, address: Optional[Address] = None) -> None:
+        """Write dirty frames back to disk (all of them when no address given)."""
+        if address is not None:
+            frame = self._frames.get(address.page_id)
+            if frame is not None and frame.dirty:
+                self.disk.write(address, frame.data)
+                frame.dirty = False
+                self.stats.flushes += 1
+            return
+        for page_id, frame in self._frames.items():
+            if frame.dirty:
+                self.disk.write(Address.magnetic(page_id), frame.data)
+                frame.dirty = False
+                self.stats.flushes += 1
+
+    def invalidate(self, address: Address) -> None:
+        """Drop the frame for ``address`` without writing it back.
+
+        Used when a magnetic page is freed (e.g. its node migrated entirely
+        to the historical database, or an aborted transaction's page is
+        discarded).
+        """
+        self._frames.pop(address.page_id, None)
+
+    def resident_pages(self) -> Dict[int, bool]:
+        """Map of resident page id -> dirty flag (for tests and debugging)."""
+        return {page_id: frame.dirty for page_id, frame in self._frames.items()}
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _install(self, page_id: int, frame: _Frame) -> None:
+        while len(self._frames) >= self.capacity:
+            self._evict_one()
+        self._frames[page_id] = frame
+        self._frames.move_to_end(page_id)
+
+    def _evict_one(self) -> None:
+        for victim_id, victim in self._frames.items():
+            if victim.pins == 0:
+                if victim.dirty:
+                    self.disk.write(Address.magnetic(victim_id), victim.data)
+                    self.stats.flushes += 1
+                del self._frames[victim_id]
+                self.stats.evictions += 1
+                return
+        raise CachePinnedError("all cache frames are pinned; cannot evict")

@@ -1,0 +1,282 @@
+"""Write-once (WORM) optical-disk simulator hosting the *historical* database.
+
+The device reproduces the two properties of 1980s write-once optical disks
+that the paper builds its argument around (section 1):
+
+* **Smallest writable unit is a sector.**  When a sector is written the drive
+  burns an error-correcting code into it, so the remainder of the sector can
+  never be used again.  Writing a single small record therefore wastes most
+  of a sector — the WOBT's weakness that the TSB-tree avoids by consolidating
+  nodes before migration.
+* **Data can never be rewritten or erased.**  Any attempt to overwrite a
+  burned sector raises :class:`WriteOnceViolationError`.
+
+Two write interfaces are provided:
+
+``append_region(data)``
+    The TSB-tree path (section 3.4): a consolidated historical node of any
+    length is appended to the end of the device, occupying
+    ``ceil(len(data)/sector_size)`` consecutive sectors.  Only the final
+    sector can carry waste, so utilisation approaches 100%.
+
+``write_sector(data)`` / ``allocate_node(sectors)``
+    The WOBT path (section 2): a node is a pre-allocated extent of
+    consecutive sectors, and each incremental insertion burns one whole
+    sector regardless of how small the record is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.storage.device import (
+    Address,
+    Device,
+    InvalidAddressError,
+    OutOfSpaceError,
+    WriteOnceViolationError,
+)
+from repro.storage.iostats import IOStats
+
+
+@dataclass(frozen=True)
+class SectorExtent:
+    """A pre-allocated run of consecutive sectors (a WOBT node's home)."""
+
+    start_sector: int
+    sector_count: int
+
+    @property
+    def end_sector(self) -> int:
+        """One past the last sector of the extent."""
+        return self.start_sector + self.sector_count
+
+
+class WormDisk(Device):
+    """In-memory simulation of a write-once, sector-addressed optical disk.
+
+    Parameters
+    ----------
+    sector_size:
+        Bytes per sector; the paper cites "typically about one kilobyte".
+    capacity_sectors:
+        Optional sector budget; ``None`` means unbounded.
+    name:
+        Device name used in I/O reports.
+    platter:
+        Platter index assigned to addresses minted by this disk (used by the
+        jukebox wrapper).
+    """
+
+    def __init__(
+        self,
+        sector_size: int = 1024,
+        capacity_sectors: Optional[int] = None,
+        name: str = "optical",
+        platter: int = 0,
+    ) -> None:
+        if sector_size <= 0:
+            raise ValueError("sector_size must be positive")
+        if capacity_sectors is not None and capacity_sectors <= 0:
+            raise ValueError("capacity_sectors must be positive when given")
+        self.sector_size = sector_size
+        self.capacity_sectors = capacity_sectors
+        self.name = name
+        self.platter = platter
+        self.stats = IOStats()
+        #: sector number -> payload bytes burned into that sector
+        self._sectors: Dict[int, bytes] = {}
+        #: region id -> (start sector, payload length in bytes)
+        self._regions: Dict[int, SectorExtent] = {}
+        self._region_lengths: Dict[int, int] = {}
+        self._next_sector = 0
+        self._next_region_id = 0
+
+    # ------------------------------------------------------------------
+    # TSB-tree path: consolidated appended regions (paper section 3.4)
+    # ------------------------------------------------------------------
+    def append_region(self, data: bytes) -> Address:
+        """Append a consolidated historical node to the end of the disk.
+
+        The node occupies the minimum whole number of sectors; the returned
+        address records the start sector and the exact byte length, which is
+        all an index entry needs to retrieve the node later.
+        """
+        if not data:
+            raise ValueError("cannot append an empty historical region")
+        sectors_needed = self.sectors_for(len(data))
+        self._ensure_capacity(sectors_needed)
+        start = self._next_sector
+        for offset in range(sectors_needed):
+            chunk = data[offset * self.sector_size : (offset + 1) * self.sector_size]
+            self._burn(start + offset, chunk)
+        self._next_sector += sectors_needed
+        region_id = self._next_region_id
+        self._next_region_id += 1
+        self._regions[region_id] = SectorExtent(start, sectors_needed)
+        self._region_lengths[region_id] = len(data)
+        self.stats.record_write(len(data), sectors=sectors_needed)
+        return Address.historical(
+            region_id, sector_start=start, length=len(data), platter=self.platter
+        )
+
+    def read(self, address: Address) -> bytes:
+        """Read back a previously appended region (or WOBT extent prefix)."""
+        if not address.is_historical:
+            raise InvalidAddressError(f"{address} is not a historical address")
+        if address.page_id not in self._regions:
+            raise InvalidAddressError(f"historical region {address.page_id} does not exist")
+        extent = self._regions[address.page_id]
+        payload_length = self._region_lengths[address.page_id]
+        raw = b"".join(
+            self._sectors.get(sector, b"")
+            for sector in range(extent.start_sector, extent.end_sector)
+        )
+        data = raw[:payload_length]
+        self.stats.record_read(len(data))
+        return data
+
+    # ------------------------------------------------------------------
+    # WOBT path: pre-allocated extents, one burn per insertion (section 2)
+    # ------------------------------------------------------------------
+    def allocate_node(self, sector_count: int) -> Address:
+        """Reserve an extent of ``sector_count`` consecutive sectors.
+
+        The extent is the physical home of one WOBT node.  Sectors within it
+        are burned one at a time by :meth:`write_sector_in_node`; reservation
+        itself burns nothing but consumes address space permanently (there is
+        no way to reclaim an extent on a write-once device).
+        """
+        if sector_count <= 0:
+            raise ValueError("sector_count must be positive")
+        self._ensure_capacity(sector_count)
+        start = self._next_sector
+        self._next_sector += sector_count
+        region_id = self._next_region_id
+        self._next_region_id += 1
+        self._regions[region_id] = SectorExtent(start, sector_count)
+        self._region_lengths[region_id] = 0
+        return Address.historical(
+            region_id,
+            sector_start=start,
+            length=sector_count * self.sector_size,
+            platter=self.platter,
+        )
+
+    def write_sector_in_node(self, node_address: Address, data: bytes) -> int:
+        """Burn ``data`` into the next free sector of a pre-allocated extent.
+
+        Returns the index of the sector *within the extent* that was written.
+        This models the WOBT behaviour where each incremental insertion
+        occupies an entire sector: even a tiny record makes the rest of the
+        sector unusable.
+        """
+        if len(data) > self.sector_size:
+            raise WriteOnceViolationError(
+                f"{len(data)} bytes do not fit in one {self.sector_size}-byte sector"
+            )
+        if node_address.page_id not in self._regions:
+            raise InvalidAddressError(f"unknown WORM extent {node_address}")
+        extent = self._regions[node_address.page_id]
+        for index in range(extent.sector_count):
+            sector = extent.start_sector + index
+            if sector not in self._sectors:
+                self._burn(sector, data)
+                self._region_lengths[node_address.page_id] += len(data)
+                self.stats.record_write(len(data), sectors=1)
+                return index
+        raise OutOfSpaceError(f"WORM extent {node_address} has no unburned sectors left")
+
+    def sectors_used_in_node(self, node_address: Address) -> int:
+        """Number of sectors already burned inside a pre-allocated extent."""
+        extent = self._extent(node_address)
+        return sum(
+            1
+            for sector in range(extent.start_sector, extent.end_sector)
+            if sector in self._sectors
+        )
+
+    def node_capacity_sectors(self, node_address: Address) -> int:
+        """Total sectors reserved for the extent at ``node_address``."""
+        return self._extent(node_address).sector_count
+
+    def read_node_sectors(self, node_address: Address) -> List[bytes]:
+        """Return the burned sectors of an extent, in burn order."""
+        extent = self._extent(node_address)
+        sectors = [
+            self._sectors[sector]
+            for sector in range(extent.start_sector, extent.end_sector)
+            if sector in self._sectors
+        ]
+        self.stats.record_read(sum(len(chunk) for chunk in sectors))
+        return sectors
+
+    # ------------------------------------------------------------------
+    # Occupancy accounting
+    # ------------------------------------------------------------------
+    def sectors_for(self, nbytes: int) -> int:
+        """Whole sectors needed to hold ``nbytes`` of payload."""
+        return max(1, -(-nbytes // self.sector_size))
+
+    @property
+    def sectors_burned(self) -> int:
+        """Number of sectors that have been written (and are now immutable)."""
+        return len(self._sectors)
+
+    @property
+    def sectors_reserved(self) -> int:
+        """Number of sectors consumed by appends *and* extent reservations."""
+        return self._next_sector
+
+    @property
+    def bytes_used(self) -> int:
+        """Capacity consumed: every reserved sector costs a full sector.
+
+        Reserved-but-unburned WOBT extent sectors are counted too, because on
+        a write-once device address space handed to a node can never be
+        reclaimed for anything else.
+        """
+        return self.sectors_reserved * self.sector_size
+
+    @property
+    def bytes_stored(self) -> int:
+        """Payload bytes actually burned into sectors."""
+        return sum(len(chunk) for chunk in self._sectors.values())
+
+    @property
+    def burned_utilization(self) -> float:
+        """Payload fraction of *burned* sectors (ignores reserved-only)."""
+        burned = self.sectors_burned * self.sector_size
+        if burned == 0:
+            return 1.0
+        return self.bytes_stored / burned
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _burn(self, sector: int, data: bytes) -> None:
+        if sector in self._sectors:
+            raise WriteOnceViolationError(f"sector {sector} has already been burned")
+        self._sectors[sector] = bytes(data)
+
+    def _extent(self, address: Address) -> SectorExtent:
+        if not address.is_historical or address.page_id not in self._regions:
+            raise InvalidAddressError(f"{address} is not a region on this WORM disk")
+        return self._regions[address.page_id]
+
+    def _ensure_capacity(self, sectors_needed: int) -> None:
+        if (
+            self.capacity_sectors is not None
+            and self._next_sector + sectors_needed > self.capacity_sectors
+        ):
+            raise OutOfSpaceError(
+                f"WORM disk full: {self.capacity_sectors} sectors, "
+                f"{self._next_sector} reserved, {sectors_needed} requested"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WormDisk(name={self.name!r}, sectors_reserved={self.sectors_reserved}, "
+            f"sector_size={self.sector_size})"
+        )

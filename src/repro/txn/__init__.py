@@ -1,0 +1,22 @@
+"""Transaction-processing support for the TSB-tree (paper section 4)."""
+
+from repro.txn.clock import TimestampOracle
+from repro.txn.locks import LockConflictError, LockManager
+from repro.txn.manager import (
+    Transaction,
+    TransactionError,
+    TransactionManager,
+    TransactionState,
+)
+from repro.txn.readonly import ReadOnlyTransaction
+
+__all__ = [
+    "LockConflictError",
+    "LockManager",
+    "ReadOnlyTransaction",
+    "TimestampOracle",
+    "Transaction",
+    "TransactionError",
+    "TransactionManager",
+    "TransactionState",
+]

@@ -1,0 +1,53 @@
+"""Commit-timestamp oracle.
+
+The paper assumes a *rollback database* (section 1): "records are stamped
+with the transaction commit time rather than with the effective time for the
+information."  The oracle issues those commit times — a strictly increasing
+integer sequence — and also hands out *read timestamps* for read-only
+transactions, which are stamped when they **start** rather than when they
+commit (section 4.1).
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class TimestampOracle:
+    """Monotonically increasing logical clock for commit and read timestamps."""
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise ValueError("the clock cannot start before time zero")
+        self._latest = start
+        self._lock = threading.Lock()
+
+    @property
+    def latest(self) -> int:
+        """The most recent timestamp issued (or the starting value)."""
+        return self._latest
+
+    def next_commit_timestamp(self) -> int:
+        """Issue the commit time for a transaction that is committing now."""
+        with self._lock:
+            self._latest += 1
+            return self._latest
+
+    def read_timestamp(self) -> int:
+        """Issue a read timestamp for a read-only transaction starting now.
+
+        The read timestamp equals the latest issued commit time: the reader
+        sees every transaction committed so far and, because no updater can
+        ever commit with an earlier timestamp ("no updater can post a
+        timestamp earlier than the read-only timestamp since that point in
+        time has come and gone"), it never needs to wait or lock.
+        """
+        with self._lock:
+            return self._latest
+
+    def advance_to(self, timestamp: int) -> None:
+        """Fast-forward the clock (used when replaying externally stamped data)."""
+        if timestamp < 0:
+            raise ValueError("timestamps are non-negative")
+        with self._lock:
+            self._latest = max(self._latest, timestamp)

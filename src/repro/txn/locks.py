@@ -1,0 +1,66 @@
+"""Record locks for updating transactions.
+
+The paper's section 4 only requires locks for *updaters*; read-only
+transactions run entirely without them (section 4.1).  This module provides
+the minimal exclusive record-lock manager the transaction manager needs: an
+updater takes an exclusive lock on every key it writes and holds it until
+commit or abort (strict two-phase locking on write sets).
+
+The simulation is single-threaded, so "blocking" is modelled as an immediate
+:class:`LockConflictError`; tests use it to demonstrate that concurrent
+updaters conflict on the same key while read-only transactions never touch
+the lock table at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+from repro.storage.serialization import Key
+
+
+class LockConflictError(Exception):
+    """Another transaction already holds an exclusive lock on the key."""
+
+    def __init__(self, key: Key, holder: int, requester: int) -> None:
+        super().__init__(
+            f"transaction {requester} cannot lock key {key!r}: "
+            f"held exclusively by transaction {holder}"
+        )
+        self.key = key
+        self.holder = holder
+        self.requester = requester
+
+
+@dataclass
+class LockManager:
+    """Exclusive per-key locks keyed by transaction id."""
+
+    _holders: Dict[Key, int] = field(default_factory=dict)
+    _held_by_txn: Dict[int, Set[Key]] = field(default_factory=dict)
+
+    def acquire_exclusive(self, txn_id: int, key: Key) -> None:
+        """Take (or re-take) the exclusive lock on ``key`` for ``txn_id``."""
+        holder = self._holders.get(key)
+        if holder is not None and holder != txn_id:
+            raise LockConflictError(key=key, holder=holder, requester=txn_id)
+        self._holders[key] = txn_id
+        self._held_by_txn.setdefault(txn_id, set()).add(key)
+
+    def release_all(self, txn_id: int) -> None:
+        """Drop every lock held by ``txn_id`` (commit or abort)."""
+        for key in self._held_by_txn.pop(txn_id, set()):
+            if self._holders.get(key) == txn_id:
+                del self._holders[key]
+
+    def holder_of(self, key: Key) -> int | None:
+        """The transaction currently holding ``key``, if any."""
+        return self._holders.get(key)
+
+    def locks_held(self, txn_id: int) -> Set[Key]:
+        return set(self._held_by_txn.get(txn_id, set()))
+
+    @property
+    def locked_key_count(self) -> int:
+        return len(self._holders)

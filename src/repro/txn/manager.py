@@ -1,0 +1,165 @@
+"""Transaction manager over a TSB-tree (paper section 4).
+
+The manager implements the versioning-based concurrency scheme the paper
+describes:
+
+* **Updaters** write *provisional* versions — no timestamp yet — into the
+  current database under exclusive record locks.  Provisional versions are
+  never migrated to the historical database during a time split, so they can
+  always be erased if the transaction aborts.
+* **Commit** obtains a commit timestamp from the
+  :class:`~repro.txn.clock.TimestampOracle` and stamps every provisional
+  version with it, making the versions visible to readers.
+* **Abort** erases the provisional versions and releases the locks; nothing
+  of the transaction remains in either database.
+* **Read-only transactions** (:mod:`repro.txn.readonly`) are stamped when
+  they start and read the tree without any locks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.tsb_tree import TSBTree
+from repro.storage.serialization import Key
+from repro.txn.clock import TimestampOracle
+from repro.txn.locks import LockManager
+from repro.txn.readonly import ReadOnlyTransaction
+
+
+class TransactionError(Exception):
+    """Raised on invalid transaction usage (wrong state, unknown id, ...)."""
+
+
+class TransactionState(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class Transaction:
+    """Handle for one updating transaction."""
+
+    txn_id: int
+    manager: "TransactionManager"
+    state: TransactionState = TransactionState.ACTIVE
+    write_set: Set[Key] = field(default_factory=set)
+    commit_timestamp: Optional[int] = None
+
+    # -- convenience pass-throughs ----------------------------------------
+    def write(self, key: Key, value: bytes) -> None:
+        self.manager.write(self.txn_id, key, value)
+
+    def delete(self, key: Key) -> None:
+        self.manager.delete(self.txn_id, key)
+
+    def read(self, key: Key) -> Optional[bytes]:
+        return self.manager.read(self.txn_id, key)
+
+    def commit(self) -> int:
+        return self.manager.commit(self.txn_id)
+
+    def abort(self) -> None:
+        self.manager.abort(self.txn_id)
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.state is TransactionState.ACTIVE:
+            if exc_type is None:
+                self.commit()
+            else:
+                self.abort()
+
+
+class TransactionManager:
+    """Coordinates updaters, read-only readers and the commit clock."""
+
+    def __init__(self, tree: TSBTree, clock: Optional[TimestampOracle] = None) -> None:
+        self.tree = tree
+        self.clock = clock or TimestampOracle(start=tree.now)
+        self.locks = LockManager()
+        self._next_txn_id = 1
+        self._transactions: Dict[int, Transaction] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def begin(self) -> Transaction:
+        """Start an updating transaction."""
+        txn = Transaction(txn_id=self._next_txn_id, manager=self)
+        self._next_txn_id += 1
+        self._transactions[txn.txn_id] = txn
+        return txn
+
+    def begin_readonly(self) -> ReadOnlyTransaction:
+        """Start a lock-free read-only transaction stamped at its start time."""
+        return ReadOnlyTransaction(tree=self.tree, timestamp=self.clock.read_timestamp())
+
+    def commit(self, txn_id: int) -> int:
+        """Stamp the transaction's versions with a fresh commit timestamp."""
+        txn = self._active(txn_id)
+        commit_timestamp = self.clock.next_commit_timestamp()
+        if txn.write_set:
+            self.tree.commit_provisional(txn_id, sorted(txn.write_set), commit_timestamp)
+        txn.state = TransactionState.COMMITTED
+        txn.commit_timestamp = commit_timestamp
+        self.locks.release_all(txn_id)
+        return commit_timestamp
+
+    def abort(self, txn_id: int) -> None:
+        """Erase every provisional version the transaction wrote."""
+        txn = self._active(txn_id)
+        if txn.write_set:
+            self.tree.abort_provisional(txn_id, sorted(txn.write_set))
+        txn.state = TransactionState.ABORTED
+        self.locks.release_all(txn_id)
+
+    # ------------------------------------------------------------------
+    # Operations inside a transaction
+    # ------------------------------------------------------------------
+    def write(self, txn_id: int, key: Key, value: bytes) -> None:
+        txn = self._active(txn_id)
+        self.locks.acquire_exclusive(txn_id, key)
+        self.tree.insert_provisional(key, value, txn_id)
+        txn.write_set.add(key)
+
+    def delete(self, txn_id: int, key: Key) -> None:
+        txn = self._active(txn_id)
+        self.locks.acquire_exclusive(txn_id, key)
+        self.tree.delete_provisional(key, txn_id)
+        txn.write_set.add(key)
+
+    def read(self, txn_id: int, key: Key) -> Optional[bytes]:
+        """Read inside an updating transaction (sees its own provisional writes)."""
+        self._active(txn_id)
+        version = self.tree.search_current(key, txn_id=txn_id)
+        return None if version is None else version.value
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def transaction(self, txn_id: int) -> Transaction:
+        try:
+            return self._transactions[txn_id]
+        except KeyError as exc:
+            raise TransactionError(f"unknown transaction {txn_id}") from exc
+
+    def active_transactions(self) -> List[Transaction]:
+        return [
+            txn
+            for txn in self._transactions.values()
+            if txn.state is TransactionState.ACTIVE
+        ]
+
+    def _active(self, txn_id: int) -> Transaction:
+        txn = self.transaction(txn_id)
+        if txn.state is not TransactionState.ACTIVE:
+            raise TransactionError(
+                f"transaction {txn_id} is {txn.state.value}, not active"
+            )
+        return txn

@@ -1,0 +1,32 @@
+"""Easton's Write-Once B-tree — the baseline structure of paper section 2."""
+
+from repro.wobt.nodes import (
+    MIN_KEY,
+    MinKeyType,
+    NodeHeader,
+    WOBTEntry,
+    WOBTIndexEntry,
+    WOBTNodeView,
+    WOBTRecord,
+    decode_sector,
+    encode_sector,
+    pack_entries_into_sectors,
+)
+from repro.wobt.wobt_tree import WOBT, WOBTCounters, WOBTError, WOBTSpaceStats
+
+__all__ = [
+    "MIN_KEY",
+    "MinKeyType",
+    "NodeHeader",
+    "WOBT",
+    "WOBTCounters",
+    "WOBTEntry",
+    "WOBTError",
+    "WOBTIndexEntry",
+    "WOBTNodeView",
+    "WOBTRecord",
+    "WOBTSpaceStats",
+    "decode_sector",
+    "encode_sector",
+    "pack_entries_into_sectors",
+]

@@ -1,0 +1,322 @@
+"""Write-Once B-tree node layout (paper section 2).
+
+A WOBT node is an extent of consecutive sectors on the write-once device.
+Its contents are kept strictly in **insertion order** — the same key may
+occur several times, and the *last* occurrence is the most recent — because
+burned sectors can never be rewritten or reordered.  Two physical write
+patterns follow (section 2.1):
+
+* when a node is created by a split, the entries copied into it are
+  **consolidated**, several per sector, together with a small node header
+  (leaf flag and the backward pointer of section 2.5);
+* every later insertion burns **one whole sector for a single entry**, since
+  the sector is the smallest writable unit and the previous sectors are
+  already burned.
+
+The same layout is used for data nodes (entries are record versions) and
+index nodes (entries are ``(key, timestamp, child)`` triples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.storage.device import Address
+from repro.storage.serialization import (
+    ByteReader,
+    ByteWriter,
+    Key,
+    SerializationError,
+    key_size,
+    read_key,
+    read_timestamp,
+    read_value,
+    write_key,
+    write_timestamp,
+    write_value,
+)
+
+_ENTRY_TAG_RECORD = 1
+_ENTRY_TAG_INDEX = 2
+_ENTRY_TAG_INDEX_MIN = 3
+
+#: serialized size of a node header (flags byte + backward pointer).
+NODE_HEADER_SIZE = 10
+
+
+class MinKeyType:
+    """Singleton sentinel ordering below every real key.
+
+    Section 2.4: the current root "will have one pointer stored with the
+    lowest key value (minus infinity)".  The sentinel is what makes the
+    leftmost reference chain route every key, including keys smaller than any
+    key yet inserted.
+    """
+
+    _instance: Optional["MinKeyType"] = None
+
+    def __new__(cls) -> "MinKeyType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __lt__(self, other: object) -> bool:
+        return not isinstance(other, MinKeyType)
+
+    def __le__(self, other: object) -> bool:
+        return True
+
+    def __gt__(self, other: object) -> bool:
+        return False
+
+    def __ge__(self, other: object) -> bool:
+        return isinstance(other, MinKeyType)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, MinKeyType)
+
+    def __hash__(self) -> int:
+        return hash("__wobt_min_key__")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "MIN_KEY"
+
+
+#: The "minus infinity" routing key used by the leftmost reference chain.
+MIN_KEY = MinKeyType()
+
+#: Keys as they appear in WOBT index entries (records never use the sentinel).
+RoutingKey = Union[Key, MinKeyType]
+
+
+@dataclass(frozen=True)
+class WOBTRecord:
+    """A record version stored in a WOBT data node."""
+
+    key: Key
+    timestamp: int
+    value: bytes = b""
+
+    def serialized_size(self) -> int:
+        return 1 + key_size(self.key) + 9 + 4 + len(self.value)
+
+
+@dataclass(frozen=True)
+class WOBTIndexEntry:
+    """A ``(key, timestamp, pointer)`` triple stored in a WOBT index node.
+
+    ``key`` is the routing key of the child (its "old key value", possibly
+    the :data:`MIN_KEY` sentinel for the leftmost chain) and ``timestamp``
+    the time of posting; the WOBT search rule (largest key not exceeding the
+    search key, then the last such entry not newer than the search time)
+    recovers the right child from these triples.
+    """
+
+    key: RoutingKey
+    timestamp: int
+    child: Address
+
+    def serialized_size(self) -> int:
+        key_bytes = 0 if isinstance(self.key, MinKeyType) else key_size(self.key)
+        return 1 + key_bytes + 9 + 8
+
+
+WOBTEntry = Union[WOBTRecord, WOBTIndexEntry]
+
+
+@dataclass(frozen=True)
+class NodeHeader:
+    """Metadata burned into a node's first sector when the node is created."""
+
+    is_leaf: bool
+    split_from: Optional[int] = None  # region id of the node this was split from
+
+
+# ----------------------------------------------------------------------
+# Sector codec
+# ----------------------------------------------------------------------
+def encode_sector(
+    entries: Sequence[WOBTEntry], header: Optional[NodeHeader] = None
+) -> bytes:
+    """Serialize one sector: an optional node header plus a run of entries."""
+    writer = ByteWriter()
+    if header is None:
+        writer.put_u8(0)
+    else:
+        flags = 1 | (2 if header.is_leaf else 0) | (4 if header.split_from is not None else 0)
+        writer.put_u8(flags)
+        writer.put_u64(header.split_from if header.split_from is not None else 0)
+    writer.put_u32(len(entries))
+    for entry in entries:
+        if isinstance(entry, WOBTRecord):
+            writer.put_u8(_ENTRY_TAG_RECORD)
+            write_key(writer, entry.key)
+            write_timestamp(writer, entry.timestamp)
+            write_value(writer, entry.value)
+        elif isinstance(entry.key, MinKeyType):
+            writer.put_u8(_ENTRY_TAG_INDEX_MIN)
+            write_timestamp(writer, entry.timestamp)
+            writer.put_u64(entry.child.page_id)
+        else:
+            writer.put_u8(_ENTRY_TAG_INDEX)
+            write_key(writer, entry.key)
+            write_timestamp(writer, entry.timestamp)
+            writer.put_u64(entry.child.page_id)
+    return writer.getvalue()
+
+
+def decode_sector(data: bytes) -> Tuple[Optional[NodeHeader], List[WOBTEntry]]:
+    """Decode one sector produced by :func:`encode_sector`."""
+    reader = ByteReader(data)
+    flags = reader.get_u8()
+    header: Optional[NodeHeader] = None
+    if flags & 1:
+        split_from = reader.get_u64()
+        header = NodeHeader(
+            is_leaf=bool(flags & 2),
+            split_from=split_from if flags & 4 else None,
+        )
+    count = reader.get_u32()
+    entries: List[WOBTEntry] = []
+    for _ in range(count):
+        tag = reader.get_u8()
+        key: RoutingKey
+        if tag == _ENTRY_TAG_INDEX_MIN:
+            key = MIN_KEY
+        else:
+            key = read_key(reader)
+        timestamp = read_timestamp(reader)
+        if timestamp is None:
+            raise SerializationError("WOBT entries always carry a timestamp")
+        if tag == _ENTRY_TAG_RECORD:
+            value = read_value(reader)
+            entries.append(WOBTRecord(key=key, timestamp=timestamp, value=value))
+        elif tag in (_ENTRY_TAG_INDEX, _ENTRY_TAG_INDEX_MIN):
+            child_id = reader.get_u64()
+            entries.append(
+                WOBTIndexEntry(
+                    key=key,
+                    timestamp=timestamp,
+                    child=Address.historical(child_id, 0, 0),
+                )
+            )
+        else:
+            raise SerializationError(f"unknown WOBT entry tag {tag}")
+    return header, entries
+
+
+def sector_payload_size(entries: Sequence[WOBTEntry], with_header: bool) -> int:
+    """Serialized size of a sector holding ``entries`` (used when packing)."""
+    size = 1 + 4 + sum(entry.serialized_size() for entry in entries)
+    if with_header:
+        size += NODE_HEADER_SIZE - 1
+    return size
+
+
+def pack_entries_into_sectors(
+    entries: Sequence[WOBTEntry], sector_size: int, header: Optional[NodeHeader]
+) -> List[bytes]:
+    """Greedily pack consolidated entries into as few sectors as possible.
+
+    Used when a node is created by a split: the copied entries are condensed
+    so that "the older index entries ... are packed together filling the
+    sector space" (section 2.1).  The node header travels in the first
+    sector.
+    """
+    sectors: List[bytes] = []
+    pending: List[WOBTEntry] = []
+    current_header = header
+    for entry in entries:
+        candidate = pending + [entry]
+        if sector_payload_size(candidate, current_header is not None) > sector_size and pending:
+            sectors.append(encode_sector(pending, current_header))
+            current_header = None
+            pending = [entry]
+        else:
+            pending = candidate
+    sectors.append(encode_sector(pending, current_header))
+    return sectors
+
+
+# ----------------------------------------------------------------------
+# Node view
+# ----------------------------------------------------------------------
+@dataclass
+class WOBTNodeView:
+    """An in-memory, insertion-ordered view of one WOBT node's entries.
+
+    The view is reconstructed from the node's burned sectors; it never
+    reorders or rewrites anything (the device would refuse anyway).
+    """
+
+    address: Address
+    is_leaf: bool
+    entries: List[WOBTEntry]
+    #: backward pointer to the node this one was split from (section 2.5),
+    #: used to walk a record's full version history.
+    split_from: Optional[int] = None
+
+    # -- search helpers (paper sections 2.2 and 2.5) -----------------------
+    def last_entry_for_key(self, key: Key, as_of: Optional[int] = None) -> Optional[WOBTEntry]:
+        """Last entry with exactly this key, ignoring entries newer than ``as_of``."""
+        result: Optional[WOBTEntry] = None
+        for entry in self.entries:
+            if as_of is not None and entry.timestamp > as_of:
+                continue
+            if entry.key == key:
+                result = entry
+        return result
+
+    def route(self, key: Key, as_of: Optional[int] = None) -> Optional[WOBTIndexEntry]:
+        """Apply the WOBT index search rule.
+
+        "Find the key-and-pointer pair such that the key is the largest one
+        which does not exceed the search key, and the pair is the last one
+        listed in that node with that key" — after ignoring entries newer
+        than the search time (section 2.5).
+        """
+        best_key: Optional[Key] = None
+        for entry in self.entries:
+            if not isinstance(entry, WOBTIndexEntry):
+                continue
+            if as_of is not None and entry.timestamp > as_of:
+                continue
+            if entry.key <= key and (best_key is None or entry.key > best_key):
+                best_key = entry.key
+        if best_key is None:
+            return None
+        chosen: Optional[WOBTIndexEntry] = None
+        for entry in self.entries:
+            if not isinstance(entry, WOBTIndexEntry):
+                continue
+            if as_of is not None and entry.timestamp > as_of:
+                continue
+            if entry.key == best_key:
+                chosen = entry
+        return chosen
+
+    def record_entries(self) -> List[WOBTRecord]:
+        return [entry for entry in self.entries if isinstance(entry, WOBTRecord)]
+
+    def index_entries(self) -> List[WOBTIndexEntry]:
+        return [entry for entry in self.entries if isinstance(entry, WOBTIndexEntry)]
+
+    def current_records(self) -> List[WOBTRecord]:
+        """The most recent version of each key present in a data node."""
+        latest: dict = {}
+        for entry in self.entries:
+            if isinstance(entry, WOBTRecord):
+                latest[entry.key] = entry
+        return [latest[key] for key in sorted(latest)]
+
+    def current_index_entries(self) -> List[WOBTIndexEntry]:
+        """The most recent index entry for each key present in an index node."""
+        latest: dict = {}
+        for entry in self.entries:
+            if isinstance(entry, WOBTIndexEntry):
+                latest[entry.key] = entry
+        return [latest[key] for key in sorted(latest)]
+
+    def distinct_keys(self) -> List[Key]:
+        return sorted({entry.key for entry in self.entries})

@@ -1,0 +1,549 @@
+"""Easton's Write-Once B-tree (WOBT), the baseline of paper section 2.
+
+The WOBT keeps *everything* — data, index, every superseded version — on a
+single write-once device.  Updates are insertions of new versions; node
+splits are by key value *and* current time (two new nodes) or by current time
+only (one new node), and the old node always remains in place because burned
+sectors cannot be reclaimed.  The structure is a DAG: both the old and the
+new index nodes may reference the same children.
+
+The implementation is deliberately literal about the two costs the TSB-tree
+was designed to remove:
+
+* every individual insertion burns a whole sector for a single entry
+  (section 2.1), so sector utilisation degrades as nodes fill;
+* every split copies the current versions into brand-new nodes, so
+  long-lived records accumulate many copies (section 2.6).
+
+The public API mirrors the read side of :class:`~repro.core.tsb_tree.TSBTree`
+(current lookup, as-of lookup, snapshot, key history) so the two structures
+can be driven by the same workloads in the S3 comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.storage.device import Address, OutOfSpaceError
+from repro.storage.serialization import Key
+from repro.storage.worm import WormDisk
+from repro.wobt.nodes import (
+    MIN_KEY,
+    MinKeyType,
+    NodeHeader,
+    RoutingKey,
+    WOBTEntry,
+    WOBTIndexEntry,
+    WOBTNodeView,
+    WOBTRecord,
+    decode_sector,
+    encode_sector,
+    pack_entries_into_sectors,
+    sector_payload_size,
+)
+
+
+class WOBTError(Exception):
+    """Raised on invalid WOBT operations."""
+
+
+@dataclass
+class WOBTCounters:
+    """Cumulative structural-event counters for one WOBT."""
+
+    inserts: int = 0
+    data_key_time_splits: int = 0
+    data_time_splits: int = 0
+    index_key_time_splits: int = 0
+    index_time_splits: int = 0
+    root_splits: int = 0
+    record_copies_written: int = 0
+    index_copies_written: int = 0
+    node_accesses: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "inserts": self.inserts,
+            "data_key_time_splits": self.data_key_time_splits,
+            "data_time_splits": self.data_time_splits,
+            "index_key_time_splits": self.index_key_time_splits,
+            "index_time_splits": self.index_time_splits,
+            "root_splits": self.root_splits,
+            "record_copies_written": self.record_copies_written,
+            "index_copies_written": self.index_copies_written,
+            "node_accesses": self.node_accesses,
+        }
+
+
+@dataclass
+class WOBTSpaceStats:
+    """Space and redundancy measurements for the S3 comparison."""
+
+    sectors_reserved: int = 0
+    sectors_burned: int = 0
+    bytes_used: int = 0
+    bytes_stored: int = 0
+    burned_utilization: float = 1.0
+    reserved_utilization: float = 1.0
+    nodes: int = 0
+    data_nodes: int = 0
+    index_nodes: int = 0
+    record_copies: int = 0
+    unique_versions: int = 0
+    redundant_copies: int = 0
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def redundancy_ratio(self) -> float:
+        if self.unique_versions == 0:
+            return 1.0
+        return self.record_copies / self.unique_versions
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "sectors_reserved": self.sectors_reserved,
+            "sectors_burned": self.sectors_burned,
+            "bytes_used": self.bytes_used,
+            "bytes_stored": self.bytes_stored,
+            "burned_utilization": round(self.burned_utilization, 4),
+            "reserved_utilization": round(self.reserved_utilization, 4),
+            "nodes": self.nodes,
+            "data_nodes": self.data_nodes,
+            "index_nodes": self.index_nodes,
+            "record_copies": self.record_copies,
+            "unique_versions": self.unique_versions,
+            "redundant_copies": self.redundant_copies,
+            "redundancy_ratio": round(self.redundancy_ratio, 4),
+        }
+
+
+class WOBT:
+    """A Write-Once B-tree living entirely on a WORM device.
+
+    Parameters
+    ----------
+    worm:
+        The write-once device; a fresh :class:`~repro.storage.worm.WormDisk`
+        with 1 KiB sectors by default.
+    node_sectors:
+        Sectors reserved per node extent.  A node is full when all of its
+        sectors have been burned.
+    """
+
+    def __init__(
+        self,
+        worm: Optional[WormDisk] = None,
+        node_sectors: int = 8,
+    ) -> None:
+        if node_sectors < 2:
+            raise ValueError("WOBT nodes need at least two sectors")
+        self.worm = worm or WormDisk(sector_size=1024)
+        self.node_sectors = node_sectors
+        self.counters = WOBTCounters()
+        #: region id -> (address, view); views are caches over immutable sectors.
+        self._nodes: Dict[int, Tuple[Address, WOBTNodeView]] = {}
+        #: successive root addresses, oldest first (paper section 2.4).
+        self._root_history: List[Address] = []
+        self._max_timestamp = 0
+        root = self._create_node(is_leaf=True, entries=[], split_from=None)
+        self._root_history.append(root.address)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def root_address(self) -> Address:
+        return self._root_history[-1]
+
+    @property
+    def root_history(self) -> List[Address]:
+        """Addresses of every root the tree has had, oldest first."""
+        return list(self._root_history)
+
+    @property
+    def now(self) -> int:
+        return self._max_timestamp
+
+    def insert(self, key: Key, value: bytes, timestamp: Optional[int] = None) -> int:
+        """Insert a (new version of a) record.
+
+        As in the TSB-tree, an insert under an existing key is an update: the
+        older versions remain in the database forever.
+        """
+        if timestamp is None:
+            timestamp = self._max_timestamp + 1
+        if timestamp < self._max_timestamp:
+            raise WOBTError(
+                f"timestamp {timestamp} precedes latest committed {self._max_timestamp}"
+            )
+        record = WOBTRecord(key=key, timestamp=timestamp, value=bytes(value))
+        path = self._descend_path(key, as_of=None)
+        leaf = path[-1]
+        if self._has_free_sector(leaf) and self._entry_fits_sector(record):
+            self._burn_entries(leaf, [record])
+        else:
+            self._split_leaf(path, record)
+        self._max_timestamp = max(self._max_timestamp, timestamp)
+        self.counters.inserts += 1
+        return timestamp
+
+    def search_current(self, key: Key) -> Optional[WOBTRecord]:
+        """Most recent version of ``key`` (section 2.2)."""
+        return self._search(key, as_of=None)
+
+    def search_as_of(self, key: Key, timestamp: int) -> Optional[WOBTRecord]:
+        """Version of ``key`` valid at ``timestamp`` (section 2.5)."""
+        return self._search(key, as_of=timestamp)
+
+    def snapshot(self, timestamp: int) -> Dict[Key, WOBTRecord]:
+        """State of the database as of ``timestamp`` (section 2.5)."""
+        result: Dict[Key, WOBTRecord] = {}
+        for view in self._reachable_views(as_of=timestamp):
+            if not view.is_leaf:
+                continue
+            for key in {e.key for e in view.record_entries()}:
+                entry = view.last_entry_for_key(key, as_of=timestamp)
+                if isinstance(entry, WOBTRecord):
+                    current = result.get(key)
+                    if current is None or entry.timestamp >= current.timestamp:
+                        result[key] = entry
+        return result
+
+    def key_history(self, key: Key) -> List[WOBTRecord]:
+        """All versions of ``key``, following backward pointers (section 2.5)."""
+        leaf = self._descend_path(key, as_of=None)[-1]
+        versions: Dict[int, WOBTRecord] = {}
+        view: Optional[WOBTNodeView] = leaf
+        while view is not None:
+            found_here = False
+            for entry in view.record_entries():
+                if entry.key == key:
+                    versions[entry.timestamp] = entry
+                    found_here = True
+            if not found_here and versions:
+                # Paper: follow backward pointers until a node containing no
+                # earlier version of the record is found.
+                break
+            if view.split_from is None:
+                break
+            view = self._load_view(Address.historical(view.split_from, 0, 0))
+        return [versions[stamp] for stamp in sorted(versions)]
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def space_stats(self) -> WOBTSpaceStats:
+        """Space use, sector utilisation and redundancy of the whole WOBT."""
+        stats = WOBTSpaceStats()
+        stats.sectors_reserved = self.worm.sectors_reserved
+        stats.sectors_burned = self.worm.sectors_burned
+        stats.bytes_used = self.worm.bytes_used
+        stats.bytes_stored = self.worm.bytes_stored
+        stats.burned_utilization = self.worm.burned_utilization
+        if stats.bytes_used:
+            stats.reserved_utilization = stats.bytes_stored / stats.bytes_used
+        unique: Set[Tuple] = set()
+        for _region, (_address, view) in self._nodes.items():
+            stats.nodes += 1
+            if view.is_leaf:
+                stats.data_nodes += 1
+            else:
+                stats.index_nodes += 1
+            for entry in view.entries:
+                if isinstance(entry, WOBTRecord):
+                    stats.record_copies += 1
+                    unique.add((entry.key, entry.timestamp))
+        stats.unique_versions = len(unique)
+        stats.redundant_copies = stats.record_copies - stats.unique_versions
+        stats.counters = self.counters.as_dict()
+        return stats
+
+    # ------------------------------------------------------------------
+    # Node management
+    # ------------------------------------------------------------------
+    def _create_node(
+        self,
+        is_leaf: bool,
+        entries: Sequence[WOBTEntry],
+        split_from: Optional[int],
+    ) -> WOBTNodeView:
+        """Allocate a node extent and burn the consolidated ``entries`` into it."""
+        address = self.worm.allocate_node(self.node_sectors)
+        header = NodeHeader(is_leaf=is_leaf, split_from=split_from)
+        sectors = pack_entries_into_sectors(entries, self.worm.sector_size, header)
+        if len(sectors) > self.node_sectors:
+            raise OutOfSpaceError(
+                f"{len(entries)} consolidated entries need {len(sectors)} sectors but "
+                f"WOBT nodes hold {self.node_sectors}"
+            )
+        for sector in sectors:
+            self.worm.write_sector_in_node(address, sector)
+        view = WOBTNodeView(
+            address=address,
+            is_leaf=is_leaf,
+            entries=list(entries),
+            split_from=split_from,
+        )
+        self._nodes[address.page_id] = (address, view)
+        if is_leaf:
+            self.counters.record_copies_written += len(entries)
+        else:
+            self.counters.index_copies_written += len(entries)
+        return view
+
+    def _load_view(self, address: Address) -> WOBTNodeView:
+        self.counters.node_accesses += 1
+        cached = self._nodes.get(address.page_id)
+        if cached is not None:
+            return cached[1]
+        # Reconstruct the view from the burned sectors (e.g. after reopening).
+        header: Optional[NodeHeader] = None
+        entries: List[WOBTEntry] = []
+        for sector in self.worm.read_node_sectors(address):
+            sector_header, sector_entries = decode_sector(sector)
+            if sector_header is not None:
+                header = sector_header
+            entries.extend(sector_entries)
+        if header is None:
+            raise WOBTError(f"node {address} has no header sector")
+        view = WOBTNodeView(
+            address=address,
+            is_leaf=header.is_leaf,
+            entries=entries,
+            split_from=header.split_from,
+        )
+        self._nodes[address.page_id] = (address, view)
+        return view
+
+    def _has_free_sector(self, view: WOBTNodeView) -> bool:
+        return (
+            self.worm.sectors_used_in_node(view.address) < self.node_sectors
+        )
+
+    def _free_sectors(self, view: WOBTNodeView) -> int:
+        return self.node_sectors - self.worm.sectors_used_in_node(view.address)
+
+    def _entry_fits_sector(self, entry: WOBTEntry) -> bool:
+        return sector_payload_size([entry], False) <= self.worm.sector_size
+
+    def _burn_entries(self, view: WOBTNodeView, entries: Sequence[WOBTEntry]) -> None:
+        """Burn ``entries`` into the next free sector(s) of an existing node."""
+        image = encode_sector(entries, None)
+        if len(image) <= self.worm.sector_size:
+            self.worm.write_sector_in_node(view.address, image)
+        else:
+            for entry in entries:
+                self.worm.write_sector_in_node(view.address, encode_sector([entry], None))
+        view.entries.extend(entries)
+        if view.is_leaf:
+            self.counters.record_copies_written += len(entries)
+        else:
+            self.counters.index_copies_written += len(entries)
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def _descend_path(self, key: Key, as_of: Optional[int]) -> List[WOBTNodeView]:
+        """Root-to-leaf path for ``key`` at ``as_of`` (None = current)."""
+        path: List[WOBTNodeView] = []
+        view = self._load_view(self.root_address)
+        while True:
+            path.append(view)
+            if view.is_leaf:
+                return path
+            routed = view.route(key, as_of=as_of)
+            if routed is None:
+                # The search key precedes every key the tree has seen; the
+                # leftmost (oldest-keyed) child is the only possible home.
+                candidates = [
+                    e for e in view.index_entries()
+                    if as_of is None or e.timestamp <= as_of
+                ]
+                if not candidates:
+                    return path
+                lowest = min(candidates, key=lambda e: (e.key, e.timestamp))
+                latest = [e for e in candidates if e.key == lowest.key][-1]
+                routed = latest
+            view = self._load_view(routed.child)
+
+    def _search(self, key: Key, as_of: Optional[int]) -> Optional[WOBTRecord]:
+        path = self._descend_path(key, as_of=as_of)
+        leaf = path[-1]
+        if not leaf.is_leaf:
+            return None
+        entry = leaf.last_entry_for_key(key, as_of=as_of)
+        if isinstance(entry, WOBTRecord):
+            return entry
+        return None
+
+    def _reachable_views(self, as_of: Optional[int]) -> List[WOBTNodeView]:
+        """Every node reachable from the current root, deduplicated."""
+        seen: Set[int] = set()
+        stack = [self.root_address]
+        views: List[WOBTNodeView] = []
+        while stack:
+            address = stack.pop()
+            if address.page_id in seen:
+                continue
+            seen.add(address.page_id)
+            view = self._load_view(address)
+            views.append(view)
+            if not view.is_leaf:
+                for entry in view.index_entries():
+                    if as_of is not None and entry.timestamp > as_of:
+                        continue
+                    stack.append(entry.child)
+        return views
+
+    # ------------------------------------------------------------------
+    # Splits (paper sections 2.3 and 2.4)
+    # ------------------------------------------------------------------
+    def _split_leaf(self, path: List[WOBTNodeView], incoming: WOBTRecord) -> None:
+        """Split a full leaf and place ``incoming`` in the appropriate new node."""
+        leaf = path[-1]
+        current = leaf.current_records()
+        merged: Dict[Key, WOBTRecord] = {record.key: record for record in current}
+        merged[incoming.key] = incoming
+        consolidated = [merged[key] for key in sorted(merged)]
+        reference_key = self._reference_key(path, leaf, consolidated)
+        new_entries = self._split_entries(
+            node=leaf,
+            consolidated=consolidated,
+            is_leaf=True,
+            split_time=incoming.timestamp,
+            reference_key=reference_key,
+        )
+        self._post_to_parent(path[:-1], new_entries, split_time=incoming.timestamp)
+
+    def _reference_key(
+        self,
+        path: List[WOBTNodeView],
+        node: WOBTNodeView,
+        consolidated: Sequence[WOBTEntry],
+    ) -> RoutingKey:
+        """The "old key value" under which ``node`` is referenced by its parent.
+
+        The paper (section 2.3) posts the *old key value* together with the
+        new split value, so the new node inherits the same routing key as the
+        node it was split from; this keeps searches for keys below the node's
+        smallest stored key routed to the newest copy.  A root has no parent:
+        its conceptual routing key is "minus infinity" (section 2.4), the
+        :data:`~repro.wobt.nodes.MIN_KEY` sentinel.
+        """
+        del consolidated  # the reference key never depends on the contents
+        if len(path) >= 2:
+            parent = path[-2]
+            reference: Optional[RoutingKey] = None
+            for entry in parent.index_entries():
+                if entry.child.page_id == node.address.page_id:
+                    reference = entry.key
+            if reference is not None:
+                return reference
+        return MIN_KEY
+
+    def _split_entries(
+        self,
+        node: WOBTNodeView,
+        consolidated: Sequence[WOBTEntry],
+        is_leaf: bool,
+        split_time: int,
+        reference_key: RoutingKey,
+    ) -> List[WOBTIndexEntry]:
+        """Create the new node(s) for a split and return the parent postings.
+
+        Chooses between a key-and-current-time split (two new nodes, Figure 3)
+        and a pure current-time split (one new node, Figure 4) depending on
+        whether the consolidated current entries are enough to make two
+        worthwhile nodes.  The left/only new node is posted under the old
+        reference key; the right node under the split value.
+        """
+        payload = sum(entry.serialized_size() for entry in consolidated)
+        half_capacity = (self.node_sectors * self.worm.sector_size) // 2
+        distinct = sorted({entry.key for entry in consolidated})
+        do_key_split = (
+            len(distinct) >= 2
+            and payload > half_capacity
+            and not isinstance(distinct[len(distinct) // 2], MinKeyType)
+        )
+
+        if do_key_split:
+            split_key = distinct[len(distinct) // 2]
+            left = [entry for entry in consolidated if entry.key < split_key]
+            right = [entry for entry in consolidated if not entry.key < split_key]
+            left_node = self._create_node(is_leaf, left, split_from=node.address.page_id)
+            right_node = self._create_node(is_leaf, right, split_from=node.address.page_id)
+            if is_leaf:
+                self.counters.data_key_time_splits += 1
+            else:
+                self.counters.index_key_time_splits += 1
+            return [
+                WOBTIndexEntry(key=reference_key, timestamp=split_time, child=left_node.address),
+                WOBTIndexEntry(key=split_key, timestamp=split_time, child=right_node.address),
+            ]
+
+        new_node = self._create_node(
+            is_leaf, list(consolidated), split_from=node.address.page_id
+        )
+        if is_leaf:
+            self.counters.data_time_splits += 1
+        else:
+            self.counters.index_time_splits += 1
+        return [
+            WOBTIndexEntry(
+                key=reference_key,
+                timestamp=split_time,
+                child=new_node.address,
+            )
+        ]
+
+    def _post_to_parent(
+        self,
+        ancestor_path: List[WOBTNodeView],
+        new_entries: List[WOBTIndexEntry],
+        split_time: int,
+    ) -> None:
+        """Post new index entries, splitting ancestors (and the root) as needed."""
+        if not ancestor_path:
+            self._grow_root(new_entries, split_time)
+            return
+        parent = ancestor_path[-1]
+        needed = 1 if sector_payload_size(new_entries, False) <= self.worm.sector_size else len(new_entries)
+        if self._free_sectors(parent) >= needed:
+            self._burn_entries(parent, new_entries)
+            return
+        # Parent is full: consolidate its current entries plus the new ones
+        # into new index node(s) and recurse upward.
+        merged: Dict[Key, WOBTIndexEntry] = {
+            entry.key: entry for entry in parent.current_index_entries()
+        }
+        for entry in new_entries:
+            merged[entry.key] = entry
+        consolidated = [merged[key] for key in sorted(merged)]
+        reference_key = self._reference_key(ancestor_path, parent, consolidated)
+        replacement_entries = self._split_entries(
+            node=parent,
+            consolidated=consolidated,
+            is_leaf=False,
+            split_time=split_time,
+            reference_key=reference_key,
+        )
+        self._post_to_parent(ancestor_path[:-1], replacement_entries, split_time)
+
+    def _grow_root(self, new_entries: List[WOBTIndexEntry], split_time: int) -> None:
+        """Create a new root referencing the old root and the new node(s).
+
+        Section 2.4: after a time-only split the new root has two entries
+        (lowest key -> old root, lowest key -> new node); after a key-and-
+        time split it has three (lowest key -> old root, lowest key -> left,
+        split key -> right).  A list of successive root addresses is kept.
+        """
+        old_root = self._load_view(self.root_address)
+        lowest_key = new_entries[0].key
+        root_entries: List[WOBTIndexEntry] = [
+            WOBTIndexEntry(key=lowest_key, timestamp=0, child=old_root.address)
+        ]
+        root_entries.extend(new_entries)
+        new_root = self._create_node(is_leaf=False, entries=root_entries, split_from=None)
+        self._root_history.append(new_root.address)
+        self.counters.root_splits += 1

@@ -1,0 +1,45 @@
+"""Workload generators: stepwise-constant update/insert streams and domain scenarios."""
+
+from repro.workload.distributions import (
+    KeyDistribution,
+    LatestDistribution,
+    UniformDistribution,
+    ZipfianDistribution,
+    make_distribution,
+    sequential_keys,
+)
+from repro.workload.generator import (
+    Operation,
+    OperationKind,
+    WorkloadSpec,
+    apply_to,
+    generate,
+    iter_operations,
+)
+from repro.workload.scenarios import (
+    Scenario,
+    ScenarioEvent,
+    bank_accounts,
+    engineering_designs,
+    personnel_records,
+)
+
+__all__ = [
+    "KeyDistribution",
+    "LatestDistribution",
+    "Operation",
+    "OperationKind",
+    "Scenario",
+    "ScenarioEvent",
+    "UniformDistribution",
+    "WorkloadSpec",
+    "ZipfianDistribution",
+    "apply_to",
+    "bank_accounts",
+    "engineering_designs",
+    "generate",
+    "iter_operations",
+    "make_distribution",
+    "personnel_records",
+    "sequential_keys",
+]

@@ -1,0 +1,107 @@
+"""Key-choice distributions for workload generation.
+
+The paper's planned measurements (section 5) vary the *rate of update versus
+insertion*; how the updated key is chosen also matters in practice, so the
+generator supports the three classic access patterns: uniform, Zipfian
+(skewed, "hot accounts") and sequential (append-mostly, e.g. new account
+numbers issued in order).
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+class KeyDistribution(abc.ABC):
+    """Strategy for choosing which existing key an update touches."""
+
+    name: str = "distribution"
+
+    @abc.abstractmethod
+    def choose(self, keys: Sequence[int], rng: random.Random) -> int:
+        """Pick one key from the non-empty ordered sequence ``keys``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class UniformDistribution(KeyDistribution):
+    """Every existing key is equally likely to be updated."""
+
+    name = "uniform"
+
+    def choose(self, keys: Sequence[int], rng: random.Random) -> int:
+        return keys[rng.randrange(len(keys))]
+
+
+class ZipfianDistribution(KeyDistribution):
+    """Skewed access: a few hot keys receive most updates.
+
+    Rank ``r`` (1-based over the key sequence) is chosen with probability
+    proportional to ``1 / r**theta``.  ``theta`` around 1.0 gives the classic
+    80/20-style skew.
+    """
+
+    name = "zipfian"
+
+    def __init__(self, theta: float = 1.0, max_rank: int = 100_000) -> None:
+        if theta <= 0:
+            raise ValueError("theta must be positive")
+        self.theta = theta
+        self._weights_cache: Optional[np.ndarray] = None
+        self._cache_size = 0
+        self.max_rank = max_rank
+
+    def _weights(self, n: int) -> np.ndarray:
+        if self._weights_cache is None or self._cache_size != n:
+            ranks = np.arange(1, n + 1, dtype=float)
+            weights = 1.0 / np.power(ranks, self.theta)
+            self._weights_cache = np.cumsum(weights / weights.sum())
+            self._cache_size = n
+        return self._weights_cache
+
+    def choose(self, keys: Sequence[int], rng: random.Random) -> int:
+        n = min(len(keys), self.max_rank)
+        cumulative = self._weights(n)
+        position = int(np.searchsorted(cumulative, rng.random()))
+        return keys[min(position, len(keys) - 1)]
+
+
+class LatestDistribution(KeyDistribution):
+    """Recency-skewed access: recently inserted keys are updated most.
+
+    This models engineering-design and document workloads where the newest
+    objects are the ones still being revised.
+    """
+
+    name = "latest"
+
+    def __init__(self, window: int = 32) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+
+    def choose(self, keys: Sequence[int], rng: random.Random) -> int:
+        window = min(self.window, len(keys))
+        return keys[len(keys) - 1 - rng.randrange(window)]
+
+
+def make_distribution(name: str, **kwargs) -> KeyDistribution:
+    """Factory used by the experiment harness configuration."""
+    name = name.lower()
+    if name == "uniform":
+        return UniformDistribution()
+    if name in {"zipf", "zipfian"}:
+        return ZipfianDistribution(**kwargs)
+    if name == "latest":
+        return LatestDistribution(**kwargs)
+    raise ValueError(f"unknown key distribution {name!r}")
+
+
+def sequential_keys(count: int, start: int = 0, stride: int = 1) -> List[int]:
+    """Helper producing the ordered key universe for sequential-insert workloads."""
+    return list(range(start, start + count * stride, stride))

@@ -1,0 +1,133 @@
+"""Stepwise-constant workload generation (paper sections 1 and 5).
+
+A workload is a timestamped sequence of operations against a versioned
+database.  Following the paper's measurement plan, the central knob is the
+**update fraction**: the probability that an operation updates an existing
+key (creating a new version) rather than inserting a brand-new key.  The
+generator produces the same operation stream for every structure under test
+(TSB-tree, WOBT, baselines), so comparisons are apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+from repro.workload.distributions import KeyDistribution, UniformDistribution
+
+
+class OperationKind(enum.Enum):
+    """What one workload step does to the database."""
+
+    INSERT = "insert"   # brand-new key
+    UPDATE = "update"   # new version of an existing key
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One step of a workload: write ``value`` under ``key`` at ``timestamp``."""
+
+    kind: OperationKind
+    key: int
+    value: bytes
+    timestamp: int
+
+    @property
+    def is_update(self) -> bool:
+        return self.kind is OperationKind.UPDATE
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Declarative description of a workload.
+
+    Parameters
+    ----------
+    operations:
+        Total number of write operations to generate.
+    update_fraction:
+        Probability that an operation updates an existing key instead of
+        inserting a new one (the section 5 "rate of update versus insertion").
+    value_size:
+        Payload size in bytes for every version.
+    key_space:
+        Upper bound on how many distinct keys may ever exist; ``None`` lets
+        the key population grow without limit.
+    distribution:
+        How updated keys are chosen (uniform by default).
+    seed:
+        RNG seed; the same spec always generates the same operation stream.
+    start_timestamp:
+        Timestamp of the first operation; each operation advances time by 1.
+    """
+
+    operations: int = 10_000
+    update_fraction: float = 0.5
+    value_size: int = 24
+    key_space: Optional[int] = None
+    distribution: KeyDistribution = field(default_factory=UniformDistribution)
+    seed: int = 1989
+    start_timestamp: int = 1
+
+    def __post_init__(self) -> None:
+        if self.operations <= 0:
+            raise ValueError("operations must be positive")
+        if not 0.0 <= self.update_fraction <= 1.0:
+            raise ValueError("update_fraction must lie in [0, 1]")
+        if self.value_size < 0:
+            raise ValueError("value_size must be non-negative")
+        if self.key_space is not None and self.key_space <= 0:
+            raise ValueError("key_space must be positive when given")
+
+    def describe(self) -> str:
+        return (
+            f"{self.operations} ops, update fraction {self.update_fraction:.2f}, "
+            f"{self.value_size}-byte values, {self.distribution.name} updates"
+        )
+
+
+def generate(spec: WorkloadSpec) -> List[Operation]:
+    """Materialise the operation stream described by ``spec``."""
+    return list(iter_operations(spec))
+
+
+def iter_operations(spec: WorkloadSpec) -> Iterator[Operation]:
+    """Lazily generate the operation stream described by ``spec``."""
+    rng = random.Random(spec.seed)
+    existing: List[int] = []
+    next_key = 0
+    timestamp = spec.start_timestamp
+    for _ in range(spec.operations):
+        exhausted_key_space = (
+            spec.key_space is not None and next_key >= spec.key_space
+        )
+        do_update = existing and (
+            rng.random() < spec.update_fraction or exhausted_key_space
+        )
+        if do_update:
+            key = spec.distribution.choose(existing, rng)
+            kind = OperationKind.UPDATE
+        else:
+            key = next_key
+            next_key += 1
+            existing.append(key)
+            kind = OperationKind.INSERT
+        value = _make_value(key, timestamp, spec.value_size)
+        yield Operation(kind=kind, key=key, value=value, timestamp=timestamp)
+        timestamp += 1
+
+
+def apply_to(tree, operations: Sequence[Operation]) -> None:
+    """Replay an operation stream against any structure with ``insert(key, value, timestamp)``."""
+    for operation in operations:
+        tree.insert(operation.key, operation.value, timestamp=operation.timestamp)
+
+
+def _make_value(key: int, timestamp: int, size: int) -> bytes:
+    seed = f"k{key}t{timestamp}|".encode()
+    if len(seed) >= size:
+        return seed[:size]
+    filler = bytes((key * 31 + timestamp + offset) % 251 for offset in range(size - len(seed)))
+    return seed + filler

@@ -1,0 +1,189 @@
+"""Domain scenarios from the paper's introduction.
+
+Section 1 lists the application areas that motivate a non-deletion policy:
+financial transactions, transcript archives, engineering-design version
+histories, legal and medical records.  This module provides concrete,
+reproducible event streams for three of them; the examples and several
+integration tests are built on these scenarios rather than on abstract
+key/value noise.
+
+Every scenario produces a list of :class:`ScenarioEvent` items that can be
+replayed against a TSB-tree (or any structure with the same ``insert``
+signature) and an *oracle* — a plain-Python history dict — that tests can
+check query results against.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ScenarioEvent:
+    """One domain event: ``entity`` took on ``payload`` at ``timestamp``."""
+
+    timestamp: int
+    entity: str
+    payload: bytes
+    attribute: Optional[str] = None  # secondary-attribute value, when meaningful
+
+
+@dataclass
+class Scenario:
+    """A named event stream plus its per-entity history oracle."""
+
+    name: str
+    events: List[ScenarioEvent]
+    history: Dict[str, List[Tuple[int, bytes]]]
+
+    @property
+    def final_timestamp(self) -> int:
+        return self.events[-1].timestamp if self.events else 0
+
+    def state_at(self, timestamp: int) -> Dict[str, bytes]:
+        """Oracle: the value of every entity as of ``timestamp``."""
+        state: Dict[str, bytes] = {}
+        for entity, versions in self.history.items():
+            current: Optional[bytes] = None
+            for stamp, payload in versions:
+                if stamp <= timestamp:
+                    current = payload
+            if current is not None:
+                state[entity] = current
+        return state
+
+
+def bank_accounts(
+    accounts: int = 50,
+    transactions: int = 2_000,
+    seed: int = 7,
+    initial_balance: int = 1_000,
+) -> Scenario:
+    """Account balances: the stepwise-constant example of Figure 1.
+
+    Each transaction credits or debits one account; the balance stays
+    constant between transactions, and every past balance remains queryable.
+    """
+    rng = random.Random(seed)
+    balances = {f"acct-{index:04d}": initial_balance for index in range(accounts)}
+    events: List[ScenarioEvent] = []
+    history: Dict[str, List[Tuple[int, bytes]]] = {}
+    timestamp = 0
+    for account, balance in balances.items():
+        timestamp += 1
+        payload = _balance_payload(balance)
+        events.append(ScenarioEvent(timestamp=timestamp, entity=account, payload=payload))
+        history.setdefault(account, []).append((timestamp, payload))
+    for _ in range(transactions):
+        timestamp += 1
+        account = rng.choice(sorted(balances))
+        delta = rng.randint(-200, 250)
+        balances[account] += delta
+        payload = _balance_payload(balances[account])
+        events.append(ScenarioEvent(timestamp=timestamp, entity=account, payload=payload))
+        history.setdefault(account, []).append((timestamp, payload))
+    return Scenario(name="bank-accounts", events=events, history=history)
+
+
+def personnel_records(
+    employees: int = 40,
+    changes: int = 1_200,
+    seed: int = 11,
+) -> Scenario:
+    """Employee salary/department records with a secondary attribute.
+
+    Salaries exhibit the paper's stepwise-constant behaviour; the department
+    is the secondary attribute used by the section 3.6 secondary-index
+    experiments ("how many records had a given secondary key at a given
+    time").
+    """
+    rng = random.Random(seed)
+    departments = ["engineering", "sales", "finance", "legal", "research"]
+    salary = {f"emp-{index:04d}": 40_000 + 500 * (index % 20) for index in range(employees)}
+    department = {name: rng.choice(departments) for name in salary}
+    events: List[ScenarioEvent] = []
+    history: Dict[str, List[Tuple[int, bytes]]] = {}
+    timestamp = 0
+    for name in sorted(salary):
+        timestamp += 1
+        payload = _personnel_payload(salary[name], department[name])
+        events.append(
+            ScenarioEvent(
+                timestamp=timestamp,
+                entity=name,
+                payload=payload,
+                attribute=department[name],
+            )
+        )
+        history.setdefault(name, []).append((timestamp, payload))
+    for _ in range(changes):
+        timestamp += 1
+        name = rng.choice(sorted(salary))
+        if rng.random() < 0.3:
+            department[name] = rng.choice(departments)
+        else:
+            salary[name] = int(salary[name] * (1.0 + rng.uniform(0.0, 0.08)))
+        payload = _personnel_payload(salary[name], department[name])
+        events.append(
+            ScenarioEvent(
+                timestamp=timestamp,
+                entity=name,
+                payload=payload,
+                attribute=department[name],
+            )
+        )
+        history.setdefault(name, []).append((timestamp, payload))
+    return Scenario(name="personnel-records", events=events, history=history)
+
+
+def engineering_designs(
+    designs: int = 25,
+    revisions: int = 900,
+    seed: int = 13,
+) -> Scenario:
+    """Engineering-design version histories (multiple revisions per artifact).
+
+    New designs appear over time and recent designs are revised most often —
+    the recency-skewed pattern typical of design databases.
+    """
+    rng = random.Random(seed)
+    events: List[ScenarioEvent] = []
+    history: Dict[str, List[Tuple[int, bytes]]] = {}
+    revision_counter: Dict[str, int] = {}
+    timestamp = 0
+    created: List[str] = []
+    total_events = designs + revisions
+    for step in range(total_events):
+        timestamp += 1
+        create_new = len(created) < designs and (
+            not created or step % max(1, total_events // designs) == 0
+        )
+        if create_new:
+            name = f"design-{len(created):03d}"
+            created.append(name)
+            revision_counter[name] = 1
+        else:
+            window = created[-min(8, len(created)) :]
+            name = rng.choice(window)
+            revision_counter[name] += 1
+        payload = _design_payload(name, revision_counter[name])
+        events.append(ScenarioEvent(timestamp=timestamp, entity=name, payload=payload))
+        history.setdefault(name, []).append((timestamp, payload))
+    return Scenario(name="engineering-designs", events=events, history=history)
+
+
+# ----------------------------------------------------------------------
+# Payload helpers
+# ----------------------------------------------------------------------
+def _balance_payload(balance: int) -> bytes:
+    return f"balance={balance}".encode()
+
+
+def _personnel_payload(salary: int, department: str) -> bytes:
+    return f"salary={salary};dept={department}".encode()
+
+
+def _design_payload(name: str, revision: int) -> bytes:
+    return f"{name};rev={revision};status={'draft' if revision % 3 else 'released'}".encode()

@@ -1,0 +1,108 @@
+"""Tests for experiment metrics and the ASCII report renderer."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    ExperimentRow,
+    QueryCost,
+    query_cost_from_deltas,
+    space_row,
+    summarize_rows,
+)
+from repro.analysis.report import format_value, render_comparison, render_table, rows_to_dicts
+from repro.core import ThresholdPolicy, TSBTree, collect_space_stats
+from repro.storage.costmodel import CostModel
+from repro.storage.iostats import IOStats
+
+
+class TestQueryCost:
+    def test_from_deltas(self):
+        magnetic = IOStats(reads=3, bytes_read=3000, seeks=3)
+        optical = IOStats(reads=2, bytes_read=2000, seeks=2, mounts=1)
+        cost = query_cost_from_deltas(magnetic, optical, CostModel())
+        assert cost.magnetic_reads == 3
+        assert cost.historical_reads == 2
+        assert cost.mounts == 1
+        assert cost.total_reads == 5
+        assert cost.bytes_read == 5000
+        assert cost.estimated_ms > 20_000  # the mount dominates
+
+    def test_as_dict(self):
+        cost = QueryCost(magnetic_reads=1, historical_reads=2, mounts=0, bytes_read=10, estimated_ms=1.5)
+        assert cost.as_dict()["historical_reads"] == 2
+
+
+class TestRows:
+    def test_space_row_extracts_section5_columns(self):
+        tree = TSBTree(page_size=512, policy=ThresholdPolicy(0.5))
+        for step in range(150):
+            tree.insert(step % 10, b"payload", timestamp=step + 1)
+        stats = collect_space_stats(tree, CostModel())
+        row = space_row("demo", stats, {"extra_metric": 7})
+        for column in (
+            "magnetic_bytes",
+            "historical_bytes",
+            "total_bytes",
+            "redundancy_ratio",
+            "current_db_fraction",
+            "storage_cost",
+            "extra_metric",
+        ):
+            assert column in row.metrics
+        assert row.label == "demo"
+
+    def test_merged_with_does_not_mutate(self):
+        row = ExperimentRow("x", {"a": 1})
+        merged = row.merged_with({"b": 2})
+        assert merged.metrics == {"a": 1, "b": 2}
+        assert row.metrics == {"a": 1}
+
+    def test_summarize_rows(self):
+        rows = [ExperimentRow("p1", {"m": 1}), ExperimentRow("p2", {"m": 5})]
+        assert summarize_rows(rows, "m") == {"p1": 1, "p2": 5}
+        assert summarize_rows(rows, "absent") == {}
+
+
+class TestReportRendering:
+    def test_format_value(self):
+        assert format_value(1234567) == "1,234,567"
+        assert format_value(3.14159) == "3.142"
+        assert format_value(2.0) == "2"
+        assert format_value("text") == "text"
+        assert format_value(True) == "True"
+
+    def test_render_table_alignment_and_content(self):
+        rows = [
+            ExperimentRow("always-key", {"bytes": 1000, "ratio": 1.0}),
+            ExperimentRow("always-time", {"bytes": 2500, "ratio": 2.345}),
+        ]
+        table = render_table(rows)
+        lines = table.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        assert "always-key" in lines[2]
+        assert "2,500" in table
+        assert "2.345" in table
+        # All lines align to the same width.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_render_table_with_explicit_columns(self):
+        rows = [ExperimentRow("a", {"x": 1, "y": 2})]
+        table = render_table(rows, columns=["y"])
+        assert "y" in table and "x" not in table
+
+    def test_render_table_empty(self):
+        assert render_table([]) == "(no results)"
+
+    def test_render_table_fills_missing_cells(self):
+        rows = [ExperimentRow("a", {"x": 1}), ExperimentRow("b", {"y": 2})]
+        table = render_table(rows)
+        assert "x" in table and "y" in table
+
+    def test_render_comparison_has_title(self):
+        rows = [ExperimentRow("a", {"x": 1})]
+        block = render_comparison("S1: demo", rows)
+        assert block.startswith("S1: demo\n========")
+
+    def test_rows_to_dicts(self):
+        rows = [ExperimentRow("a", {"x": 1})]
+        assert rows_to_dicts(rows) == [{"label": "a", "x": 1}]

@@ -1,0 +1,142 @@
+"""Unit, model-based and property tests for the single-version B+-tree baseline."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bplus_tree import BPlusTree, BPlusTreeError
+from repro.storage.magnetic import MagneticDisk
+
+
+class TestBasicOperations:
+    def test_empty_tree(self):
+        tree = BPlusTree(page_size=256)
+        assert tree.search(1) is None
+        assert len(tree) == 0
+        assert list(tree.items()) == []
+        assert tree.range_search() == []
+
+    def test_insert_and_search(self):
+        tree = BPlusTree(page_size=256)
+        tree.insert(5, b"five")
+        tree.insert(1, b"one")
+        assert tree.search(5) == b"five"
+        assert tree.search(1) == b"one"
+        assert tree.search(99) is None
+        assert 5 in tree and 99 not in tree
+        assert len(tree) == 2
+
+    def test_update_overwrites_in_place(self):
+        tree = BPlusTree(page_size=256)
+        tree.insert("k", b"old")
+        tree.insert("k", b"new")
+        assert tree.search("k") == b"new"
+        assert len(tree) == 1
+
+    def test_items_in_key_order(self):
+        tree = BPlusTree(page_size=256)
+        for key in (9, 2, 7, 1, 5):
+            tree.insert(key, str(key).encode())
+        assert [key for key, _value in tree.items()] == [1, 2, 5, 7, 9]
+
+    def test_range_search_half_open(self):
+        tree = BPlusTree(page_size=256)
+        for key in range(20):
+            tree.insert(key, b"v")
+        assert [key for key, _ in tree.range_search(5, 10)] == [5, 6, 7, 8, 9]
+        assert [key for key, _ in tree.range_search(None, 3)] == [0, 1, 2]
+        assert [key for key, _ in tree.range_search(17, None)] == [17, 18, 19]
+
+    def test_oversized_record_rejected(self):
+        tree = BPlusTree(page_size=256)
+        with pytest.raises(BPlusTreeError):
+            tree.insert(1, b"x" * 500)
+
+    def test_tiny_page_size_rejected(self):
+        with pytest.raises(ValueError):
+            BPlusTree(page_size=16)
+
+
+class TestSplitting:
+    def test_tree_grows_in_height(self):
+        tree = BPlusTree(page_size=256)
+        for key in range(400):
+            tree.insert(key, b"abcdefgh")
+        assert tree.height >= 3
+        for probe in (0, 111, 399):
+            assert tree.search(probe) == b"abcdefgh"
+
+    def test_reverse_and_shuffled_insert_orders(self):
+        for ordering in ("reverse", "shuffled"):
+            keys = list(range(300))
+            if ordering == "reverse":
+                keys.reverse()
+            else:
+                random.Random(4).shuffle(keys)
+            tree = BPlusTree(page_size=256)
+            for key in keys:
+                tree.insert(key, f"{key}".encode())
+            assert [key for key, _ in tree.items()] == sorted(keys)
+
+    def test_space_stats(self):
+        tree = BPlusTree(page_size=512)
+        for key in range(200):
+            tree.insert(key, b"payload")
+        stats = tree.space_stats()
+        assert stats.keys == 200
+        assert stats.pages == stats.leaf_nodes + stats.branch_nodes
+        assert stats.bytes_used == stats.pages * 512
+        assert stats.bytes_stored <= stats.bytes_used
+        assert stats.height == tree.height
+
+    def test_custom_magnetic_device(self):
+        disk = MagneticDisk(page_size=512)
+        tree = BPlusTree(page_size=512, magnetic=disk)
+        for key in range(100):
+            tree.insert(key, b"row")
+        tree.flush()
+        assert disk.allocated_pages == tree.space_stats().pages
+
+
+class TestAgainstDict:
+    @pytest.mark.parametrize("page_size", [192, 512, 2048])
+    def test_random_workload_matches_dict(self, page_size):
+        rng = random.Random(page_size)
+        tree = BPlusTree(page_size=page_size)
+        model = {}
+        for _ in range(800):
+            key = rng.randrange(300)
+            value = f"{key}:{rng.random():.6f}".encode()
+            tree.insert(key, value)
+            model[key] = value
+        assert len(tree) == len(model)
+        for key, value in model.items():
+            assert tree.search(key) == value
+        assert dict(tree.items()) == model
+
+    @given(
+        pairs=st.lists(
+            st.tuples(st.integers(0, 200), st.binary(min_size=0, max_size=20)),
+            max_size=150,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_hypothesis_matches_dict(self, pairs):
+        tree = BPlusTree(page_size=256)
+        model = {}
+        for key, value in pairs:
+            tree.insert(key, value)
+            model[key] = value
+        assert dict(tree.items()) == model
+        assert len(tree) == len(model)
+
+    def test_string_keys(self):
+        tree = BPlusTree(page_size=256)
+        words = [f"word-{i:04d}" for i in range(150)]
+        random.Random(1).shuffle(words)
+        for word in words:
+            tree.insert(word, word.upper().encode())
+        assert [key for key, _ in tree.items()] == sorted(words)
+        assert tree.search("word-0099") == b"WORD-0099"

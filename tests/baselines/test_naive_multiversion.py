@@ -1,0 +1,86 @@
+"""Tests for the naive all-versions-on-magnetic baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines.naive_multiversion import NaiveMultiversionIndex
+from tests.conftest import VersionedOracle, run_mixed_workload
+
+
+class TestBasicOperations:
+    def test_insert_and_current(self):
+        index = NaiveMultiversionIndex()
+        index.insert("k", b"v1", timestamp=1)
+        index.insert("k", b"v2", timestamp=5)
+        assert index.search_current("k") == b"v2"
+        assert index.search_current("missing") is None
+
+    def test_as_of_and_history(self):
+        index = NaiveMultiversionIndex()
+        index.insert("k", b"v1", timestamp=1)
+        index.insert("k", b"v2", timestamp=5)
+        assert index.search_as_of("k", 3) == b"v1"
+        assert index.search_as_of("k", 0) is None
+        assert index.key_history("k") == [(1, b"v1"), (5, b"v2")]
+
+    def test_snapshot(self):
+        index = NaiveMultiversionIndex()
+        index.insert("a", b"a1", timestamp=1)
+        index.insert("b", b"b1", timestamp=4)
+        index.insert("a", b"a2", timestamp=6)
+        assert index.snapshot(2) == {"a": b"a1"}
+        assert index.snapshot(9) == {"a": b"a2", "b": b"b1"}
+
+    def test_auto_timestamps_and_order_enforcement(self):
+        index = NaiveMultiversionIndex()
+        first = index.insert("x", b"1")
+        second = index.insert("x", b"2")
+        assert second == first + 1
+        with pytest.raises(ValueError):
+            index.insert("x", b"3", timestamp=first - 1)
+
+    def test_everything_is_magnetic(self):
+        index = NaiveMultiversionIndex(page_size=512)
+        for step in range(300):
+            index.insert(step % 20, f"v{step}".encode(), timestamp=step + 1)
+        stats = index.space_stats()
+        assert stats.versions == 300
+        assert stats.keys == 20
+        assert stats.magnetic_bytes_used > 0
+        assert stats.magnetic_pages > 1
+        flattened = stats.as_dict()
+        assert flattened["versions"] == 300
+
+
+class TestAgainstOracle:
+    def test_mixed_workload_matches_oracle(self):
+        index = NaiveMultiversionIndex(page_size=512)
+        oracle = VersionedOracle()
+        run_mixed_workload(
+            index, oracle, operations=400, update_fraction=0.6, key_space=40, seed=17
+        )
+        rng = random.Random(17)
+        for key in oracle.keys():
+            assert index.search_current(key) == oracle.current(key)
+        for _ in range(100):
+            key = rng.choice(oracle.keys())
+            timestamp = rng.randint(0, oracle.max_timestamp + 1)
+            assert index.search_as_of(key, timestamp) == oracle.as_of(key, timestamp)
+        for key in oracle.keys()[:10]:
+            assert index.key_history(key) == oracle.key_history(key)
+        checkpoint = oracle.max_timestamp // 2
+        assert index.snapshot(checkpoint) == oracle.snapshot(checkpoint)
+
+    def test_magnetic_footprint_grows_with_history(self):
+        """The motivation for the TSB-tree: the current database bloats."""
+        small = NaiveMultiversionIndex(page_size=512)
+        large = NaiveMultiversionIndex(page_size=512)
+        for step in range(100):
+            small.insert(step % 10, b"payload", timestamp=step + 1)
+        for step in range(600):
+            large.insert(step % 10, b"payload", timestamp=step + 1)
+        assert (
+            large.space_stats().magnetic_bytes_used
+            > small.space_stats().magnetic_bytes_used
+        )

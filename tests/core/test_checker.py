@@ -1,0 +1,170 @@
+"""Tests for the structural invariant checker.
+
+A checker that always says "fine" is worthless, so most tests here corrupt a
+healthy tree in a specific way and assert the checker names the violated
+invariant.
+"""
+
+import pytest
+
+from repro.core import ThresholdPolicy, TSBTree, check_tree
+from repro.core.checker import assert_tree_valid
+from repro.core.nodes import IndexEntry, IndexNode
+from repro.core.records import KeyRange, Rectangle, TimeRange, Version
+
+
+def build_tree(operations=300, page_size=512):
+    tree = TSBTree(page_size=page_size, policy=ThresholdPolicy(0.5))
+    for step in range(operations):
+        key = step % 30
+        tree.insert(key, f"value-{key}-{step}".encode(), timestamp=step + 1)
+    return tree
+
+
+def violated_invariants(tree):
+    return {violation.invariant for violation in check_tree(tree)}
+
+
+class TestHealthyTrees:
+    def test_empty_tree_is_valid(self):
+        assert check_tree(TSBTree(page_size=512)) == []
+
+    def test_populated_tree_is_valid(self):
+        tree = build_tree()
+        assert check_tree(tree) == []
+        assert_tree_valid(tree)  # must not raise
+
+    def test_tree_with_provisional_data_is_valid(self):
+        tree = build_tree(operations=100)
+        tree.insert_provisional(999, b"uncommitted", txn_id=5)
+        assert check_tree(tree) == []
+
+
+def find_current_index_node(tree):
+    for node in tree.index_nodes():
+        if node.address.is_magnetic and node.entries:
+            return node
+    pytest.skip("tree has no current index node")
+
+
+def find_current_data_node(tree):
+    for node in tree.data_nodes():
+        if node.address.is_magnetic and node.versions:
+            return node
+    pytest.skip("tree has no populated current data node")
+
+
+class TestCorruptionDetection:
+    def test_detects_coverage_gap(self):
+        tree = build_tree()
+        node = find_current_index_node(tree)
+        node.entries = node.entries[:-1] if len(node.entries) > 1 else node.entries
+        tree._store_node(node)
+        assert "tiling" in violated_invariants(tree)
+
+    def test_detects_double_coverage(self):
+        tree = build_tree()
+        node = find_current_index_node(tree)
+        node.entries = list(node.entries) + [node.entries[-1]]
+        tree._store_node(node)
+        assert "tiling" in violated_invariants(tree)
+
+    def test_detects_wrong_tier_reference(self):
+        tree = build_tree()
+        node = find_current_index_node(tree)
+        current_entries = [entry for entry in node.entries if entry.is_current]
+        if not current_entries:
+            pytest.skip("no current entry to corrupt")
+        victim = current_entries[0]
+        # Claim the (still current) child actually lives on the optical disk.
+        forged = IndexEntry(
+            child=type(victim.child).historical(9999, 0, 64),
+            region=victim.region,
+        )
+        node.replace_entry(victim, [forged])
+        tree._store_node(node)
+        problems = violated_invariants(tree)
+        assert "tier" in problems or "reachability" in problems
+
+    def test_detects_key_outside_node_range(self):
+        tree = build_tree()
+        node = find_current_data_node(tree)
+        bounded = None
+        for candidate in tree.data_nodes():
+            if candidate.address.is_magnetic and candidate.region.keys.high is not None:
+                bounded = candidate
+                break
+        if bounded is None:
+            pytest.skip("no bounded data node")
+        bounded.versions.append(
+            Version(key=bounded.region.keys.high, timestamp=tree.now, value=b"stray")
+        )
+        tree._store_node(bounded)
+        assert "containment" in violated_invariants(tree)
+
+    def test_detects_oversized_current_node(self):
+        tree = build_tree()
+        node = find_current_data_node(tree)
+        # Stuff the node far beyond the page size, bypassing the normal
+        # insert path (store straight to the backing device).
+        for index in range(200):
+            key = node.region.keys.low if node.region.keys.low is not None else 0
+            node.versions.append(
+                Version(key=key, timestamp=tree.now, value=bytes(32))
+            )
+        tree.magnetic.write(node.address, node.encode()) if len(node.encode()) <= tree.magnetic.page_size else None
+        # Write through the cache only if it fits the device page; otherwise
+        # fake it by enlarging the device page size first.
+        if len(node.encode()) > tree.magnetic.page_size:
+            tree.magnetic.page_size = len(node.encode())
+            tree.cache.write(node.address, node.encode())
+        assert "size" in violated_invariants(tree)
+
+    def test_detects_unknown_child_address(self):
+        tree = build_tree()
+        node = find_current_index_node(tree)
+        victim = node.entries[0]
+        forged = IndexEntry(child=type(victim.child).magnetic(987654), region=victim.region)
+        node.replace_entry(victim, [forged])
+        tree._store_node(node)
+        assert "reachability" in violated_invariants(tree)
+
+    def test_detects_shared_current_node(self):
+        tree = build_tree()
+        node = find_current_index_node(tree)
+        current_entries = [entry for entry in node.entries if entry.is_current]
+        if len(node.entries) < 1 or not current_entries:
+            pytest.skip("nothing to duplicate")
+        # Manufacture a second parent referencing an existing current child.
+        extra_parent = IndexNode(
+            address=tree.magnetic.allocate_page(),
+            region=Rectangle(KeyRange(None, None), TimeRange(0, None)),
+            entries=[current_entries[0]],
+            level=node.level,
+        )
+        tree._store_node(extra_parent)
+        # Graft the extra parent into the root so it is reachable.
+        root = tree._load_node(tree.root_address)
+        if not isinstance(root, IndexNode):
+            pytest.skip("root is a data node")
+        root.entries = list(root.entries) + [
+            IndexEntry(child=extra_parent.address, region=extra_parent.region)
+        ]
+        tree._store_node(root)
+        problems = violated_invariants(tree)
+        assert "dag" in problems
+
+    def test_detects_provisional_version_in_history(self):
+        tree = build_tree()
+        historical_nodes = [n for n in tree.data_nodes() if n.address.is_historical]
+        if not historical_nodes:
+            pytest.skip("no historical nodes produced")
+        # Historical regions are write-once, so fabricate the violation by
+        # checking the checker logic on a decoded copy grafted as magnetic.
+        victim = historical_nodes[0]
+        victim.versions.append(Version(key=victim.versions[0].key, timestamp=None, value=b"p", txn_id=1))
+        from repro.core.checker import _check_data_node  # noqa: PLC0415
+
+        violations = []
+        _check_data_node(tree, victim, violations)
+        assert any(v.invariant == "transactions" for v in violations)

@@ -1,0 +1,73 @@
+"""The paper's TSB-tree figures (1, 5-9) as asserted scenarios.
+
+The WOBT figures (2-4) live in ``tests/wobt/test_wobt_figures.py``.
+"""
+
+from repro.analysis.figures import (
+    figure_1,
+    figure_5,
+    figure_6,
+    figure_7,
+    figure_8,
+    figure_9,
+)
+
+
+def assert_figure(result):
+    failing = [name for name, passed in result.checks.items() if not passed]
+    assert not failing, f"{result.figure}: failed checks {failing} ({result.details})"
+
+
+class TestFigure1:
+    def test_stepwise_constant_balance(self):
+        result = figure_1()
+        assert_figure(result)
+
+    def test_every_probe_time_matches_expected(self):
+        result = figure_1()
+        assert result.details["observed"] == result.details["expected"]
+
+
+class TestFigure5:
+    def test_pure_key_split(self):
+        result = figure_5()
+        assert_figure(result)
+
+    def test_no_historical_bytes_written(self):
+        assert figure_5().details["historical_bytes"] == 0
+
+    def test_sibling_entries_share_start_time(self):
+        assert figure_5().details["root_entry_start_times"] == [0]
+
+
+class TestFigure6:
+    def test_split_time_choice_controls_redundancy(self):
+        result = figure_6()
+        assert_figure(result)
+
+    def test_details_show_both_outcomes(self):
+        details = figure_6().details
+        assert details["T=4 historical"] == [b"Joe", b"Pete"]
+        assert b"Mary" in details["T=5 historical"]
+        assert b"Mary" in details["T=5 current"]
+
+
+class TestFigure7:
+    def test_straddling_entry_duplicated(self):
+        result = figure_7()
+        assert_figure(result)
+        assert result.details["copied_entries"] == 1
+
+
+class TestFigure8:
+    def test_local_index_time_split(self):
+        result = figure_8()
+        assert_figure(result)
+        assert result.details["split_time"] == 4
+
+
+class TestFigure9:
+    def test_blocked_index_time_split(self):
+        result = figure_9()
+        assert_figure(result)
+        assert result.details["split_time"] is None

@@ -1,0 +1,290 @@
+"""Unit and property tests for TSB-tree data and index nodes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.nodes import (
+    DataNode,
+    IndexEntry,
+    IndexNode,
+    NodeError,
+    decode_node,
+    is_data_node_image,
+)
+from repro.core.records import KeyRange, Rectangle, TimeRange, Version
+from repro.storage.device import Address
+from repro.storage.serialization import SerializationError
+
+
+def make_data_node(versions=None, region=None, address=None):
+    return DataNode(
+        address=address or Address.magnetic(1),
+        region=region or Rectangle.full(),
+        versions=list(versions or []),
+    )
+
+
+version_strategy = st.builds(
+    Version,
+    key=st.integers(0, 1000),
+    timestamp=st.integers(0, 10_000),
+    value=st.binary(min_size=0, max_size=40),
+    is_tombstone=st.booleans(),
+)
+
+
+class TestDataNodeQueries:
+    def test_versions_for_key_sorted_by_time(self):
+        node = make_data_node(
+            [
+                Version(key=1, timestamp=7, value=b"late"),
+                Version(key=2, timestamp=1, value=b"other"),
+                Version(key=1, timestamp=3, value=b"early"),
+            ]
+        )
+        assert [v.value for v in node.versions_for_key(1)] == [b"early", b"late"]
+
+    def test_latest_for_key(self):
+        node = make_data_node(
+            [
+                Version(key=1, timestamp=3, value=b"old"),
+                Version(key=1, timestamp=9, value=b"new"),
+                Version(key=1, timestamp=None, value=b"prov", txn_id=5),
+            ]
+        )
+        assert node.latest_for_key(1).value == b"new"
+        assert node.latest_for_key(42) is None
+
+    def test_version_as_of(self):
+        node = make_data_node(
+            [
+                Version(key=1, timestamp=3, value=b"v3"),
+                Version(key=1, timestamp=9, value=b"v9"),
+            ]
+        )
+        assert node.version_as_of(1, 5).value == b"v3"
+        assert node.version_as_of(1, 2) is None
+
+    def test_provisional_for_key(self):
+        node = make_data_node(
+            [
+                Version(key=1, timestamp=None, value=b"t7", txn_id=7),
+                Version(key=1, timestamp=None, value=b"t8", txn_id=8),
+            ]
+        )
+        assert node.provisional_for_key(1, 7).value == b"t7"
+        assert node.provisional_for_key(1, 9) is None
+
+    def test_current_and_historical_counts(self):
+        node = make_data_node(
+            [
+                Version(key=1, timestamp=1, value=b"a"),
+                Version(key=1, timestamp=5, value=b"b"),
+                Version(key=2, timestamp=3, value=b"c"),
+                Version(key=3, timestamp=None, value=b"d", txn_id=1),
+            ]
+        )
+        assert node.current_version_count() == 3   # latest of 1, latest of 2, provisional
+        assert node.historical_version_count() == 1
+        assert node.distinct_key_count() == 3
+        assert node.committed_timestamps() == [1, 3, 5]
+
+
+class TestDataNodeMutation:
+    def test_add_version_respects_key_range(self):
+        node = make_data_node(region=Rectangle(KeyRange(0, 10), TimeRange(0, None)))
+        node.add_version(Version(key=5, timestamp=1, value=b"ok"))
+        with pytest.raises(NodeError):
+            node.add_version(Version(key=50, timestamp=2, value=b"out of range"))
+
+    def test_remove_version(self):
+        version = Version(key=1, timestamp=1, value=b"gone")
+        node = make_data_node([version])
+        node.remove_version(version)
+        assert node.versions == []
+
+    def test_remove_missing_version_raises(self):
+        node = make_data_node()
+        with pytest.raises(NodeError):
+            node.remove_version(Version(key=1, timestamp=1, value=b"absent"))
+
+    def test_fits_accounts_for_extra_version(self):
+        node = make_data_node([Version(key=1, timestamp=1, value=b"x" * 50)])
+        extra = Version(key=2, timestamp=2, value=b"y" * 50)
+        exact = node.serialized_size() + extra.serialized_size()
+        assert node.fits(exact, extra=extra)
+        assert not node.fits(exact - 1, extra=extra)
+
+
+class TestDataNodeSerialization:
+    @given(versions=st.lists(version_strategy, max_size=25))
+    @settings(max_examples=100)
+    def test_roundtrip(self, versions):
+        node = make_data_node(versions, region=Rectangle(KeyRange(0, 2000), TimeRange(0, None)))
+        # Keys generated above always lie inside the region.
+        image = node.encode()
+        decoded = DataNode.decode(Address.magnetic(1), image)
+        assert decoded.region == node.region
+        assert decoded.versions == node.versions
+
+    def test_roundtrip_with_provisional_and_tombstone(self):
+        versions = [
+            Version(key="k", timestamp=None, value=b"prov", txn_id=12),
+            Version(key="k", timestamp=9, value=b"", is_tombstone=True),
+        ]
+        node = make_data_node(versions)
+        decoded = DataNode.decode(node.address, node.encode())
+        assert decoded.versions == versions
+
+    def test_serialized_size_upper_bounds_encoding(self):
+        versions = [Version(key=i, timestamp=i, value=b"v" * i) for i in range(1, 20)]
+        node = make_data_node(versions)
+        assert len(node.encode()) <= node.serialized_size()
+
+    def test_decode_wrong_tag_rejected(self):
+        with pytest.raises(SerializationError):
+            DataNode.decode(Address.magnetic(0), b"\x00junk")
+
+    def test_historical_region_roundtrip(self):
+        node = make_data_node(
+            [Version(key=1, timestamp=1, value=b"old")],
+            region=Rectangle(KeyRange(0, 10), TimeRange(0, 5)),
+        )
+        decoded = DataNode.decode(node.address, node.encode())
+        assert decoded.region.times.end == 5
+
+
+class TestIndexEntry:
+    def test_historical_flag_follows_address(self):
+        historical = IndexEntry(
+            child=Address.historical(0, 0, 100),
+            region=Rectangle(KeyRange(0, 10), TimeRange(0, 5)),
+        )
+        current = IndexEntry(
+            child=Address.magnetic(3),
+            region=Rectangle(KeyRange(0, 10), TimeRange(5, None)),
+        )
+        assert historical.is_historical and not historical.is_current
+        assert current.is_current and not current.is_historical
+
+    def test_serialized_size_counts_key_bounds(self):
+        bounded = IndexEntry(
+            child=Address.magnetic(1),
+            region=Rectangle(KeyRange(0, 10), TimeRange(0, None)),
+        )
+        unbounded = IndexEntry(
+            child=Address.magnetic(1),
+            region=Rectangle(KeyRange(None, None), TimeRange(0, None)),
+        )
+        assert bounded.serialized_size() > unbounded.serialized_size()
+
+
+def make_index_node(entries, region=None, level=1):
+    return IndexNode(
+        address=Address.magnetic(100),
+        region=region or Rectangle.full(),
+        entries=list(entries),
+        level=level,
+    )
+
+
+def tiling_entries():
+    """Four entries tiling the full plane: key split at 50, time split at 10."""
+    return [
+        IndexEntry(Address.historical(0, 0, 64), Rectangle(KeyRange(None, 50), TimeRange(0, 10))),
+        IndexEntry(Address.historical(1, 1, 64), Rectangle(KeyRange(50, None), TimeRange(0, 10))),
+        IndexEntry(Address.magnetic(5), Rectangle(KeyRange(None, 50), TimeRange(10, None))),
+        IndexEntry(Address.magnetic(6), Rectangle(KeyRange(50, None), TimeRange(10, None))),
+    ]
+
+
+class TestIndexNode:
+    def test_find_child_unique_containment(self):
+        node = make_index_node(tiling_entries())
+        assert node.find_child(10, 5).child == Address.historical(0, 0, 64)
+        assert node.find_child(10, 10).child == Address.magnetic(5)
+        assert node.find_child(60, 3).child == Address.historical(1, 1, 64)
+        assert node.find_child(60, 99).child == Address.magnetic(6)
+
+    def test_find_child_no_cover_raises(self):
+        node = make_index_node(tiling_entries()[:2])  # only historical halves
+        with pytest.raises(NodeError):
+            node.find_child(10, 50)
+
+    def test_find_child_overlap_raises(self):
+        entries = tiling_entries()
+        entries.append(entries[-1])  # duplicate current entry -> double coverage
+        node = make_index_node(entries)
+        with pytest.raises(NodeError):
+            node.find_child(60, 99)
+
+    def test_children_overlapping(self):
+        node = make_index_node(tiling_entries())
+        region = Rectangle(KeyRange(0, 60), TimeRange(10, 11))
+        overlapping = node.children_overlapping(region)
+        assert {entry.child.page_id for entry in overlapping} == {5, 6}
+
+    def test_entry_for_child(self):
+        node = make_index_node(tiling_entries())
+        assert node.entry_for_child(Address.magnetic(5)).region.keys == KeyRange(None, 50)
+        with pytest.raises(NodeError):
+            node.entry_for_child(Address.magnetic(999))
+
+    def test_replace_entry(self):
+        entries = tiling_entries()
+        node = make_index_node(entries)
+        replacement = [
+            IndexEntry(Address.magnetic(7), Rectangle(KeyRange(None, 20), TimeRange(10, None))),
+            IndexEntry(Address.magnetic(8), Rectangle(KeyRange(20, 50), TimeRange(10, None))),
+        ]
+        node.replace_entry(entries[2], replacement)
+        assert len(node.entries) == 5
+        assert node.find_child(5, 50).child == Address.magnetic(7)
+        assert node.find_child(30, 50).child == Address.magnetic(8)
+
+    def test_replace_missing_entry_raises(self):
+        node = make_index_node(tiling_entries())
+        stranger = IndexEntry(Address.magnetic(99), Rectangle.full())
+        with pytest.raises(NodeError):
+            node.replace_entry(stranger, [stranger])
+
+    def test_current_and_historical_entry_partitions(self):
+        node = make_index_node(tiling_entries())
+        assert len(node.current_entries()) == 2
+        assert len(node.historical_entries()) == 2
+
+    def test_roundtrip(self):
+        node = make_index_node(tiling_entries(), level=3)
+        decoded = IndexNode.decode(node.address, node.encode())
+        assert decoded.level == 3
+        assert decoded.region == node.region
+        assert decoded.entries == node.entries
+
+    def test_fits_with_extra_entries(self):
+        node = make_index_node(tiling_entries())
+        size = node.serialized_size()
+        assert node.fits(size)
+        assert not node.fits(size - 1)
+        assert not node.fits(size, extra_entries=1)
+
+
+class TestDecodeDispatch:
+    def test_decode_node_dispatches_by_tag(self):
+        data_node = make_data_node([Version(key=1, timestamp=1, value=b"v")])
+        index_node = make_index_node(tiling_entries())
+        assert isinstance(decode_node(data_node.address, data_node.encode()), DataNode)
+        assert isinstance(decode_node(index_node.address, index_node.encode()), IndexNode)
+
+    def test_is_data_node_image(self):
+        data_node = make_data_node()
+        index_node = make_index_node(tiling_entries())
+        assert is_data_node_image(data_node.encode())
+        assert not is_data_node_image(index_node.encode())
+        assert not is_data_node_image(b"")
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(SerializationError):
+            decode_node(Address.magnetic(0), b"\xffgarbage")
+        with pytest.raises(SerializationError):
+            decode_node(Address.magnetic(0), b"")

@@ -1,0 +1,265 @@
+"""Unit and property tests for record versions, key ranges and time ranges."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.records import (
+    KeyRange,
+    Rectangle,
+    RecordError,
+    TimeRange,
+    Version,
+    distinct_keys,
+    group_by_key,
+    latest_committed,
+    version_as_of,
+)
+
+
+class TestVersion:
+    def test_committed_version(self):
+        version = Version(key=1, timestamp=5, value=b"abc")
+        assert version.is_committed
+        assert not version.is_provisional
+
+    def test_provisional_version_requires_txn_id(self):
+        with pytest.raises(RecordError):
+            Version(key=1, timestamp=None, value=b"x")
+        provisional = Version(key=1, timestamp=None, value=b"x", txn_id=9)
+        assert provisional.is_provisional
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(RecordError):
+            Version(key=1, timestamp=-1)
+
+    def test_value_must_be_bytes(self):
+        with pytest.raises(RecordError):
+            Version(key=1, timestamp=1, value="not bytes")
+
+    def test_committing_a_provisional_version(self):
+        provisional = Version(key="k", timestamp=None, value=b"v", txn_id=3)
+        committed = provisional.committed(17)
+        assert committed.timestamp == 17
+        assert committed.txn_id is None
+        assert committed.key == "k"
+        assert committed.value == b"v"
+
+    def test_committing_twice_rejected(self):
+        version = Version(key="k", timestamp=4, value=b"v")
+        with pytest.raises(RecordError):
+            version.committed(9)
+
+    def test_serialized_size_grows_with_value(self):
+        small = Version(key=1, timestamp=1, value=b"a")
+        large = Version(key=1, timestamp=1, value=b"a" * 100)
+        assert large.serialized_size() - small.serialized_size() == 99
+
+    def test_identity_distinguishes_timestamps_not_values(self):
+        first = Version(key=1, timestamp=2, value=b"x")
+        copy = Version(key=1, timestamp=2, value=b"x")
+        other_time = Version(key=1, timestamp=3, value=b"x")
+        assert first.identity() == copy.identity()
+        assert first.identity() != other_time.identity()
+
+
+class TestKeyRange:
+    def test_full_range_contains_everything(self):
+        full = KeyRange.full()
+        assert full.contains(-(10**9))
+        assert full.contains(10**9)
+
+    def test_half_open_semantics(self):
+        key_range = KeyRange(10, 20)
+        assert key_range.contains(10)
+        assert key_range.contains(19)
+        assert not key_range.contains(20)
+        assert not key_range.contains(9)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(RecordError):
+            KeyRange(5, 5)
+        with pytest.raises(RecordError):
+            KeyRange(6, 5)
+
+    def test_contains_range(self):
+        assert KeyRange(0, 100).contains_range(KeyRange(10, 20))
+        assert not KeyRange(0, 100).contains_range(KeyRange(10, 200))
+        assert KeyRange.full().contains_range(KeyRange(10, 20))
+        assert not KeyRange(10, 20).contains_range(KeyRange.full())
+
+    def test_strictly_contains_key(self):
+        key_range = KeyRange(10, 20)
+        assert key_range.strictly_contains_key(15)
+        assert not key_range.strictly_contains_key(10)
+        assert not key_range.strictly_contains_key(20)
+        assert KeyRange(None, 20).strictly_contains_key(-100)
+
+    def test_overlaps_and_intersect(self):
+        assert KeyRange(0, 10).overlaps(KeyRange(5, 15))
+        assert not KeyRange(0, 10).overlaps(KeyRange(10, 15))
+        assert KeyRange(0, 10).intersect(KeyRange(5, 15)) == KeyRange(5, 10)
+        assert KeyRange(0, 10).intersect(KeyRange(20, 30)) is None
+        assert KeyRange.full().intersect(KeyRange(3, 4)) == KeyRange(3, 4)
+
+    def test_split_at(self):
+        left, right = KeyRange(0, 100).split_at(40)
+        assert left == KeyRange(0, 40)
+        assert right == KeyRange(40, 100)
+
+    def test_split_at_bounds_rejected(self):
+        with pytest.raises(RecordError):
+            KeyRange(0, 100).split_at(0)
+        with pytest.raises(RecordError):
+            KeyRange(0, 100).split_at(100)
+
+    def test_string_keys_supported(self):
+        key_range = KeyRange("alice", "carol")
+        assert key_range.contains("bob")
+        assert not key_range.contains("dave")
+
+    @given(
+        low=st.integers(-100, 100),
+        width=st.integers(1, 100),
+        probe=st.integers(-300, 300),
+    )
+    @settings(max_examples=200)
+    def test_split_preserves_membership(self, low, width, probe):
+        """Every key is in exactly one half after a split (tiling property)."""
+        key_range = KeyRange(low, low + width + 1)
+        split_key = low + 1 + (width // 2)
+        left, right = key_range.split_at(split_key)
+        in_parent = key_range.contains(probe)
+        in_halves = left.contains(probe) + right.contains(probe)
+        assert in_halves == (1 if in_parent else 0)
+
+
+class TestTimeRange:
+    def test_current_range_is_open_ended(self):
+        current = TimeRange.current(5)
+        assert current.is_current
+        assert current.contains(5)
+        assert current.contains(10**9)
+        assert not current.contains(4)
+
+    def test_closed_range(self):
+        closed = TimeRange(2, 8)
+        assert not closed.is_current
+        assert closed.contains(2)
+        assert closed.contains(7)
+        assert not closed.contains(8)
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(RecordError):
+            TimeRange(-1, None)
+        with pytest.raises(RecordError):
+            TimeRange(5, 5)
+        with pytest.raises(RecordError):
+            TimeRange(6, 2)
+
+    def test_contains_range(self):
+        assert TimeRange(0, None).contains_range(TimeRange(5, 10))
+        assert TimeRange(0, 10).contains_range(TimeRange(5, 10))
+        assert not TimeRange(0, 10).contains_range(TimeRange(5, None))
+        assert not TimeRange(5, 10).contains_range(TimeRange(0, 10))
+
+    def test_overlaps_and_intersect(self):
+        assert TimeRange(0, 10).overlaps(TimeRange(9, None))
+        assert not TimeRange(0, 10).overlaps(TimeRange(10, 20))
+        assert TimeRange(0, 10).intersect(TimeRange(5, None)) == TimeRange(5, 10)
+        assert TimeRange(0, 5).intersect(TimeRange(7, 9)) is None
+
+    def test_split_at(self):
+        earlier, later = TimeRange(2, None).split_at(7)
+        assert earlier == TimeRange(2, 7)
+        assert later == TimeRange(7, None)
+
+    def test_split_at_invalid_times_rejected(self):
+        with pytest.raises(RecordError):
+            TimeRange(5, None).split_at(5)
+        with pytest.raises(RecordError):
+            TimeRange(5, 10).split_at(10)
+
+    @given(
+        start=st.integers(0, 50),
+        width=st.integers(2, 50),
+        probe=st.integers(0, 200),
+    )
+    @settings(max_examples=200)
+    def test_split_preserves_membership(self, start, width, probe):
+        time_range = TimeRange(start, start + width)
+        split = start + 1 + (width - 2) // 2
+        earlier, later = time_range.split_at(split)
+        assert (earlier.contains(probe) + later.contains(probe)) == (
+            1 if time_range.contains(probe) else 0
+        )
+
+
+class TestRectangle:
+    def test_full_rectangle(self):
+        rect = Rectangle.full()
+        assert rect.contains_point(12345, 999)
+        assert rect.contains_point("zzz", 0)
+
+    def test_containment_and_overlap(self):
+        rect = Rectangle(KeyRange(0, 10), TimeRange(0, 5))
+        assert rect.contains_point(3, 4)
+        assert not rect.contains_point(3, 5)
+        assert not rect.contains_point(10, 4)
+        other = Rectangle(KeyRange(5, 20), TimeRange(4, None))
+        assert rect.overlaps(other)
+        assert rect.intersect(other) == Rectangle(KeyRange(5, 10), TimeRange(4, 5))
+
+    def test_disjoint_rectangles(self):
+        rect = Rectangle(KeyRange(0, 10), TimeRange(0, 5))
+        assert rect.intersect(Rectangle(KeyRange(0, 10), TimeRange(5, None))) is None
+        assert not rect.overlaps(Rectangle(KeyRange(10, 20), TimeRange(0, 5)))
+
+    def test_contains_rectangle(self):
+        outer = Rectangle(KeyRange(0, 100), TimeRange(0, None))
+        inner = Rectangle(KeyRange(10, 20), TimeRange(5, 9))
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+
+class TestVersionHelpers:
+    def make_versions(self):
+        return [
+            Version(key="a", timestamp=1, value=b"a1"),
+            Version(key="a", timestamp=5, value=b"a5"),
+            Version(key="b", timestamp=3, value=b"b3"),
+            Version(key="a", timestamp=None, value=b"ap", txn_id=7),
+        ]
+
+    def test_latest_committed_ignores_provisional(self):
+        latest = latest_committed(self.make_versions())
+        assert latest.value == b"a5"
+
+    def test_latest_committed_of_nothing(self):
+        assert latest_committed([]) is None
+        only_provisional = [Version(key=1, timestamp=None, value=b"", txn_id=1)]
+        assert latest_committed(only_provisional) is None
+
+    def test_version_as_of_stepwise_rule(self):
+        versions = [v for v in self.make_versions() if v.key == "a"]
+        assert version_as_of(versions, 0) is None
+        assert version_as_of(versions, 1).value == b"a1"
+        assert version_as_of(versions, 4).value == b"a1"
+        assert version_as_of(versions, 5).value == b"a5"
+        assert version_as_of(versions, 100).value == b"a5"
+
+    def test_version_as_of_hides_tombstones(self):
+        versions = [
+            Version(key="a", timestamp=1, value=b"live"),
+            Version(key="a", timestamp=5, value=b"", is_tombstone=True),
+        ]
+        assert version_as_of(versions, 3).value == b"live"
+        assert version_as_of(versions, 6) is None
+
+    def test_distinct_keys_sorted(self):
+        assert distinct_keys(self.make_versions()) == ["a", "b"]
+
+    def test_group_by_key_orders_versions(self):
+        grouped = group_by_key(self.make_versions())
+        assert [v.timestamp for v in grouped["a"]] == [1, 5, None]
+        assert [v.timestamp for v in grouped["b"]] == [3]

@@ -1,0 +1,156 @@
+"""Tests for versioned secondary indexes (paper section 3.6)."""
+
+import pytest
+
+from repro.core import ThresholdPolicy, TSBTree, assert_tree_valid
+from repro.core.secondary import (
+    SecondaryIndex,
+    composite_key,
+    decode_component,
+    encode_component,
+    split_composite_key,
+)
+from repro.workload import personnel_records
+
+
+class TestCompositeKeys:
+    def test_roundtrip_int_and_str(self):
+        assert split_composite_key(composite_key("engineering", "emp-1")) == (
+            "engineering",
+            "emp-1",
+        )
+        assert split_composite_key(composite_key(42, 7)) == (42, 7)
+        assert split_composite_key(composite_key("dept", 7)) == ("dept", 7)
+
+    def test_integer_components_sort_numerically(self):
+        assert encode_component(2) < encode_component(10)
+        assert composite_key(2, 1) < composite_key(10, 1)
+
+    def test_same_secondary_groups_contiguously(self):
+        keys = sorted(
+            [
+                composite_key("sales", "bob"),
+                composite_key("engineering", "amy"),
+                composite_key("sales", "alice"),
+                composite_key("engineering", "zed"),
+            ]
+        )
+        secondaries = [split_composite_key(key)[0] for key in keys]
+        assert secondaries == ["engineering", "engineering", "sales", "sales"]
+
+    def test_invalid_components_rejected(self):
+        with pytest.raises(TypeError):
+            encode_component(1.5)
+        with pytest.raises(ValueError):
+            encode_component(-3)
+        with pytest.raises(ValueError):
+            encode_component("bad\x00component")
+        with pytest.raises(ValueError):
+            decode_component("")
+        with pytest.raises(ValueError):
+            decode_component("x123")
+
+
+class TestSecondaryIndexMaintenance:
+    def test_single_record_attribute_changes(self):
+        index = SecondaryIndex("department")
+        index.record_change("emp-1", "sales", timestamp=1)
+        index.record_change("emp-1", "engineering", timestamp=5)
+
+        assert index.primary_keys_with_value("sales", as_of=3) == ["emp-1"]
+        assert index.primary_keys_with_value("engineering", as_of=3) == []
+        assert index.primary_keys_with_value("sales", as_of=6) == []
+        assert index.primary_keys_with_value("engineering", as_of=6) == ["emp-1"]
+        assert index.count_with_value("engineering") == 1
+
+    def test_unchanged_value_writes_nothing(self):
+        index = SecondaryIndex("department")
+        index.record_change("emp-1", "sales", timestamp=1)
+        before = index.tree.counters.inserts
+        index.record_change("emp-1", "sales", timestamp=4)
+        assert index.tree.counters.inserts == before
+
+    def test_attribute_removal(self):
+        index = SecondaryIndex("department")
+        index.record_change("emp-1", "sales", timestamp=1)
+        index.record_change("emp-1", None, timestamp=6)
+        assert index.count_with_value("sales", as_of=3) == 1
+        assert index.count_with_value("sales", as_of=7) == 0
+
+    def test_value_history(self):
+        index = SecondaryIndex("department")
+        index.record_change("emp-1", "sales", timestamp=1)
+        index.record_change("emp-1", "legal", timestamp=4)
+        index.record_change("emp-1", None, timestamp=9)
+        history = index.value_history("emp-1")
+        assert ("sales" in dict((v, t) for t, v in history)) or history[0][1] == "sales"
+        values = [value for _stamp, value in history]
+        assert values[0] == "sales"
+        assert "legal" in values
+        assert values[-1] is None
+
+    def test_multiple_primaries_per_secondary_value(self):
+        index = SecondaryIndex("department")
+        for number in range(6):
+            index.record_change(f"emp-{number}", "sales", timestamp=number + 1)
+        index.record_change("emp-0", "legal", timestamp=10)
+        assert sorted(index.primary_keys_with_value("sales")) == [
+            f"emp-{n}" for n in range(1, 6)
+        ]
+        assert index.count_with_value("sales", as_of=7) == 6
+
+
+class TestSecondaryAgainstScenarioOracle:
+    def test_counts_match_oracle_at_every_checkpoint(self):
+        scenario = personnel_records(employees=25, changes=300)
+        index = SecondaryIndex("department")
+        for event in scenario.events:
+            index.record_change(event.entity, event.attribute, timestamp=event.timestamp)
+
+        for checkpoint in (
+            scenario.final_timestamp // 5,
+            scenario.final_timestamp // 2,
+            scenario.final_timestamp,
+        ):
+            oracle_state = scenario.state_at(checkpoint)
+            oracle_counts = {}
+            for payload in oracle_state.values():
+                department = payload.decode().split("dept=")[1]
+                oracle_counts[department] = oracle_counts.get(department, 0) + 1
+            for department in ("engineering", "sales", "finance", "legal", "research"):
+                assert index.count_with_value(department, as_of=checkpoint) == oracle_counts.get(
+                    department, 0
+                ), (department, checkpoint)
+        assert_tree_valid(index.tree)
+
+    def test_two_step_lookup_resolves_primary_versions(self):
+        scenario = personnel_records(employees=15, changes=150)
+        primary = TSBTree(page_size=1024, policy=ThresholdPolicy(0.5))
+        index = SecondaryIndex("department")
+        for event in scenario.events:
+            primary.insert(event.entity, event.payload, timestamp=event.timestamp)
+            index.record_change(event.entity, event.attribute, timestamp=event.timestamp)
+
+        checkpoint = scenario.final_timestamp // 2
+        oracle_state = scenario.state_at(checkpoint)
+        results = index.lookup(primary, "sales", as_of=checkpoint)
+        expected = {
+            entity: payload
+            for entity, payload in oracle_state.items()
+            if payload.decode().endswith("dept=sales")
+        }
+        assert {version.key: version.value for version in results} == expected
+
+    def test_primary_splits_do_not_touch_the_secondary_tree(self):
+        """Section 3.6: 'When splits occur to the primary data, secondary
+        indexes do not change.'"""
+        primary = TSBTree(page_size=512, policy=ThresholdPolicy(0.5))
+        index = SecondaryIndex("parity")
+        for key in range(50):
+            index.record_change(f"rec-{key:03d}", "even" if key % 2 == 0 else "odd", timestamp=key + 1)
+        writes_before = index.tree.counters.inserts
+        # Force lots of primary splits.
+        for step in range(400):
+            primary.insert(step % 50, b"primary churn payload", timestamp=100 + step)
+        assert primary.counters.total_splits > 0
+        assert index.tree.counters.inserts == writes_before

@@ -1,0 +1,75 @@
+"""Unit tests for the cost model (storage cost function and access latencies)."""
+
+import pytest
+
+from repro.storage.costmodel import CostModel
+from repro.storage.iostats import IOStats
+
+
+class TestStorageCost:
+    def test_cs_formula(self):
+        """CS = SpaceM * CM + SpaceO * CO (paper section 3.2)."""
+        model = CostModel(magnetic_cost_per_byte=2.0, optical_cost_per_byte=0.5)
+        assert model.storage_cost(100, 200) == pytest.approx(2.0 * 100 + 0.5 * 200)
+
+    def test_zero_space_costs_nothing(self):
+        assert CostModel().storage_cost(0, 0) == 0.0
+
+    def test_cost_ratio(self):
+        model = CostModel(magnetic_cost_per_byte=1.0, optical_cost_per_byte=0.2)
+        assert model.cost_ratio == pytest.approx(5.0)
+
+    def test_cost_ratio_with_free_optical_is_infinite(self):
+        model = CostModel(magnetic_cost_per_byte=1.0, optical_cost_per_byte=0.0)
+        assert model.cost_ratio == float("inf")
+
+    def test_with_cost_ratio_constructor(self):
+        model = CostModel.with_cost_ratio(10.0)
+        assert model.cost_ratio == pytest.approx(10.0)
+
+    def test_with_cost_ratio_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            CostModel.with_cost_ratio(0)
+
+    def test_uniform_model_prices_tiers_equally(self):
+        model = CostModel.uniform()
+        assert model.cost_ratio == pytest.approx(1.0)
+        assert model.mount_ms == 0.0
+
+
+class TestAccessLatency:
+    def test_default_optical_seek_is_three_times_magnetic(self):
+        """The paper: optical seeks are longer 'by about a factor of three'."""
+        model = CostModel()
+        assert model.optical_seek_ms == pytest.approx(3 * model.magnetic_seek_ms)
+
+    def test_default_mount_is_twenty_seconds(self):
+        assert CostModel().mount_ms == pytest.approx(20_000.0)
+
+    def test_magnetic_access_includes_transfer(self):
+        model = CostModel(magnetic_seek_ms=10.0, transfer_ms_per_kb=2.0)
+        assert model.magnetic_access_ms(2048) == pytest.approx(10.0 + 4.0)
+
+    def test_unmounted_optical_access_charges_the_robot(self):
+        model = CostModel()
+        mounted = model.optical_access_ms(1024, mounted=True)
+        unmounted = model.optical_access_ms(1024, mounted=False)
+        assert unmounted - mounted == pytest.approx(model.mount_ms)
+
+    def test_io_time_combines_devices(self):
+        model = CostModel(
+            magnetic_seek_ms=10.0,
+            optical_seek_ms=30.0,
+            mount_ms=1000.0,
+            transfer_ms_per_kb=1.0,
+        )
+        magnetic = IOStats(seeks=2, bytes_read=1024, bytes_written=1024)
+        optical = IOStats(seeks=1, bytes_read=2048, mounts=1)
+        expected = (2 * 10.0 + 2.0) + (30.0 + 2.0 + 1000.0)
+        assert model.io_time_ms(magnetic, optical) == pytest.approx(expected)
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(magnetic_seek_ms=-1)
+        with pytest.raises(ValueError):
+            CostModel(magnetic_cost_per_byte=-0.1)

@@ -1,0 +1,54 @@
+"""Unit tests for addresses and the device vocabulary."""
+
+import pytest
+
+from repro.storage.device import Address, Tier
+
+
+class TestAddress:
+    def test_magnetic_constructor(self):
+        address = Address.magnetic(7)
+        assert address.tier is Tier.MAGNETIC
+        assert address.page_id == 7
+        assert address.is_magnetic
+        assert not address.is_historical
+        assert address.sector_start is None
+        assert address.length is None
+
+    def test_historical_constructor(self):
+        address = Address.historical(3, sector_start=128, length=2048, platter=2)
+        assert address.tier is Tier.HISTORICAL
+        assert address.page_id == 3
+        assert address.sector_start == 128
+        assert address.length == 2048
+        assert address.platter == 2
+        assert address.is_historical
+        assert not address.is_magnetic
+
+    def test_historical_default_platter_is_zero(self):
+        address = Address.historical(1, sector_start=0, length=10)
+        assert address.platter == 0
+
+    def test_addresses_are_hashable_and_comparable(self):
+        first = Address.magnetic(1)
+        second = Address.magnetic(1)
+        third = Address.magnetic(2)
+        assert first == second
+        assert first != third
+        assert len({first, second, third}) == 2
+
+    def test_magnetic_and_historical_with_same_id_differ(self):
+        assert Address.magnetic(5) != Address.historical(5, 0, 100)
+
+    def test_str_forms(self):
+        assert str(Address.magnetic(4)) == "M:4"
+        assert str(Address.historical(2, 10, 512)) == "H:2@10+512"
+
+
+class TestTier:
+    def test_two_tiers_exist(self):
+        assert {Tier.MAGNETIC, Tier.HISTORICAL} == set(Tier)
+
+    def test_values(self):
+        assert Tier.MAGNETIC.value == "magnetic"
+        assert Tier.HISTORICAL.value == "historical"

@@ -1,0 +1,94 @@
+"""Unit tests for the I/O counters."""
+
+from repro.storage.iostats import IOStats, TieredIOStats
+
+
+class TestIOStats:
+    def test_record_read_and_write(self):
+        stats = IOStats()
+        stats.record_read(100)
+        stats.record_write(200, sectors=2)
+        assert stats.reads == 1
+        assert stats.writes == 1
+        assert stats.bytes_read == 100
+        assert stats.bytes_written == 200
+        assert stats.sectors_written == 2
+        assert stats.seeks == 2
+        assert stats.total_operations == 2
+
+    def test_seekless_operations(self):
+        stats = IOStats()
+        stats.record_read(10, seek=False)
+        stats.record_write(10, seek=False)
+        assert stats.seeks == 0
+
+    def test_snapshot_is_independent(self):
+        stats = IOStats()
+        stats.record_read(5)
+        snapshot = stats.snapshot()
+        stats.record_read(5)
+        assert snapshot.reads == 1
+        assert stats.reads == 2
+
+    def test_delta(self):
+        stats = IOStats()
+        stats.record_write(50)
+        before = stats.snapshot()
+        stats.record_write(70)
+        stats.record_mount()
+        delta = stats.delta(before)
+        assert delta.writes == 1
+        assert delta.bytes_written == 70
+        assert delta.mounts == 1
+        assert delta.reads == 0
+
+    def test_combined(self):
+        first = IOStats(reads=1, bytes_read=10)
+        second = IOStats(reads=2, bytes_read=20, erases=1)
+        combined = first.combined(second)
+        assert combined.reads == 3
+        assert combined.bytes_read == 30
+        assert combined.erases == 1
+
+    def test_reset(self):
+        stats = IOStats(reads=4, writes=2, mounts=1)
+        stats.reset()
+        assert stats.as_dict() == IOStats().as_dict()
+
+    def test_as_dict_lists_every_counter(self):
+        keys = set(IOStats().as_dict())
+        assert keys == {
+            "reads",
+            "writes",
+            "bytes_read",
+            "bytes_written",
+            "seeks",
+            "sectors_written",
+            "mounts",
+            "erases",
+        }
+
+
+class TestTieredIOStats:
+    def test_stats_for_creates_on_demand(self):
+        tiered = TieredIOStats()
+        tiered.stats_for("magnetic").record_read(10)
+        tiered.stats_for("optical").record_write(20)
+        assert tiered.per_device["magnetic"].reads == 1
+        assert tiered.per_device["optical"].writes == 1
+
+    def test_total_sums_devices(self):
+        tiered = TieredIOStats()
+        tiered.stats_for("a").record_read(10)
+        tiered.stats_for("b").record_read(30)
+        assert tiered.total().bytes_read == 40
+
+    def test_snapshot_and_delta(self):
+        tiered = TieredIOStats()
+        tiered.stats_for("a").record_read(10)
+        before = tiered.snapshot()
+        tiered.stats_for("a").record_read(10)
+        tiered.stats_for("b").record_write(5)
+        delta = tiered.delta(before)
+        assert delta.per_device["a"].reads == 1
+        assert delta.per_device["b"].writes == 1

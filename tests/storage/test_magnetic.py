@@ -1,0 +1,127 @@
+"""Unit tests for the erasable magnetic-disk simulator."""
+
+import pytest
+
+from repro.storage.device import (
+    Address,
+    InvalidAddressError,
+    OutOfSpaceError,
+    PageOverflowError,
+)
+from repro.storage.magnetic import MagneticDisk
+
+
+class TestAllocation:
+    def test_allocate_returns_distinct_pages(self):
+        disk = MagneticDisk(page_size=256)
+        first = disk.allocate_page()
+        second = disk.allocate_page()
+        assert first.page_id != second.page_id
+        assert disk.allocated_pages == 2
+
+    def test_freed_pages_are_reused(self):
+        disk = MagneticDisk(page_size=256)
+        first = disk.allocate_page()
+        disk.free_page(first)
+        second = disk.allocate_page()
+        assert second.page_id == first.page_id
+        assert disk.allocated_pages == 1
+
+    def test_capacity_limit_enforced(self):
+        disk = MagneticDisk(page_size=256, capacity_pages=2)
+        disk.allocate_page()
+        disk.allocate_page()
+        with pytest.raises(OutOfSpaceError):
+            disk.allocate_page()
+
+    def test_capacity_freed_page_allows_reallocation(self):
+        disk = MagneticDisk(page_size=256, capacity_pages=1)
+        page = disk.allocate_page()
+        disk.free_page(page)
+        disk.allocate_page()  # must not raise
+
+    def test_invalid_constructor_arguments(self):
+        with pytest.raises(ValueError):
+            MagneticDisk(page_size=0)
+        with pytest.raises(ValueError):
+            MagneticDisk(page_size=256, capacity_pages=0)
+
+
+class TestReadWrite:
+    def test_write_then_read_roundtrip(self):
+        disk = MagneticDisk(page_size=128)
+        page = disk.allocate_page()
+        disk.write(page, b"hello page")
+        assert disk.read(page) == b"hello page"
+
+    def test_pages_are_erasable(self):
+        disk = MagneticDisk(page_size=128)
+        page = disk.allocate_page()
+        disk.write(page, b"first contents")
+        disk.write(page, b"second contents")
+        assert disk.read(page) == b"second contents"
+
+    def test_page_overflow_rejected(self):
+        disk = MagneticDisk(page_size=16)
+        page = disk.allocate_page()
+        with pytest.raises(PageOverflowError):
+            disk.write(page, b"x" * 17)
+
+    def test_read_unallocated_page_fails(self):
+        disk = MagneticDisk(page_size=128)
+        with pytest.raises(InvalidAddressError):
+            disk.read(Address.magnetic(42))
+
+    def test_read_freed_page_fails(self):
+        disk = MagneticDisk(page_size=128)
+        page = disk.allocate_page()
+        disk.write(page, b"data")
+        disk.free_page(page)
+        with pytest.raises(InvalidAddressError):
+            disk.read(page)
+
+    def test_historical_address_rejected(self):
+        disk = MagneticDisk(page_size=128)
+        with pytest.raises(InvalidAddressError):
+            disk.read(Address.historical(0, 0, 10))
+
+
+class TestAccounting:
+    def test_bytes_used_counts_whole_pages(self):
+        disk = MagneticDisk(page_size=100)
+        first = disk.allocate_page()
+        disk.allocate_page()
+        disk.write(first, b"ten bytes!")
+        assert disk.bytes_used == 200
+        assert disk.bytes_stored == 10
+        assert disk.utilization == pytest.approx(0.05)
+
+    def test_utilization_of_empty_disk_is_one(self):
+        assert MagneticDisk().utilization == 1.0
+
+    def test_stats_record_operations(self):
+        disk = MagneticDisk(page_size=128)
+        page = disk.allocate_page()
+        disk.write(page, b"abc")
+        disk.read(page)
+        disk.free_page(page)
+        assert disk.stats.writes == 1
+        assert disk.stats.reads == 1
+        assert disk.stats.erases == 1
+        assert disk.stats.bytes_written == 3
+        assert disk.stats.bytes_read == 3
+
+    def test_pages_ever_allocated_high_water_mark(self):
+        disk = MagneticDisk(page_size=128)
+        first = disk.allocate_page()
+        disk.allocate_page()
+        disk.free_page(first)
+        disk.allocate_page()  # reuses the freed id
+        assert disk.pages_ever_allocated == 2
+
+    def test_is_allocated(self):
+        disk = MagneticDisk(page_size=128)
+        page = disk.allocate_page()
+        assert disk.is_allocated(page)
+        assert not disk.is_allocated(Address.magnetic(99))
+        assert not disk.is_allocated(Address.historical(0, 0, 1))

@@ -1,0 +1,108 @@
+"""Unit tests for the robot-served optical jukebox."""
+
+import pytest
+
+from repro.storage.device import InvalidAddressError
+from repro.storage.optical_library import OpticalLibrary
+
+
+class TestAppendAndRead:
+    def test_roundtrip_on_single_platter(self):
+        library = OpticalLibrary(sector_size=64, platter_capacity_sectors=16)
+        address = library.append_region(b"historical data")
+        assert library.read(address) == b"historical data"
+        assert library.platter_count == 1
+
+    def test_rollover_to_new_platter_when_full(self):
+        library = OpticalLibrary(sector_size=64, platter_capacity_sectors=4)
+        first = library.append_region(b"a" * 200)   # 4 sectors: fills platter 0
+        second = library.append_region(b"b" * 64)   # needs a new platter
+        assert library.platter_count == 2
+        assert first.platter == 0
+        assert second.platter == 1
+        assert library.read(first) == b"a" * 200
+        assert library.read(second) == b"b" * 64
+
+    def test_node_never_splits_across_platters(self):
+        library = OpticalLibrary(sector_size=64, platter_capacity_sectors=4)
+        library.append_region(b"x" * 180)  # 3 sectors used of 4
+        address = library.append_region(b"y" * 100)  # 2 sectors: must roll over
+        assert address.platter == 1
+        assert address.sector_start == 0
+
+    def test_region_larger_than_platter_rejected(self):
+        library = OpticalLibrary(sector_size=64, platter_capacity_sectors=2)
+        with pytest.raises(ValueError):
+            library.append_region(b"z" * 200)
+
+    def test_empty_append_rejected(self):
+        with pytest.raises(ValueError):
+            OpticalLibrary().append_region(b"")
+
+    def test_unknown_platter_read_rejected(self):
+        library = OpticalLibrary(sector_size=64)
+        address = library.append_region(b"data")
+        bogus = type(address)(
+            tier=address.tier,
+            page_id=address.page_id,
+            sector_start=address.sector_start,
+            length=address.length,
+            platter=7,
+        )
+        with pytest.raises(InvalidAddressError):
+            library.read(bogus)
+
+
+class TestMounting:
+    def test_reads_on_mounted_platter_do_not_remount(self):
+        library = OpticalLibrary(sector_size=64, platter_capacity_sectors=64, drive_bays=1)
+        address = library.append_region(b"abc")
+        mounts_before = library.stats.mounts
+        library.read(address)
+        library.read(address)
+        assert library.stats.mounts == mounts_before
+
+    def test_switching_platters_with_one_bay_records_mounts(self):
+        library = OpticalLibrary(sector_size=64, platter_capacity_sectors=2, drive_bays=1)
+        first = library.append_region(b"a" * 100)   # platter 0
+        second = library.append_region(b"b" * 100)  # platter 1 (mount)
+        mounts_after_appends = library.stats.mounts
+        library.read(first)   # remount platter 0
+        library.read(second)  # remount platter 1
+        assert library.stats.mounts == mounts_after_appends + 2
+        assert library.is_mounted(1)
+        assert not library.is_mounted(0)
+
+    def test_multiple_bays_keep_recent_platters_online(self):
+        library = OpticalLibrary(sector_size=64, platter_capacity_sectors=2, drive_bays=2)
+        first = library.append_region(b"a" * 100)
+        second = library.append_region(b"b" * 100)
+        mounts = library.stats.mounts
+        library.read(first)
+        library.read(second)
+        assert library.stats.mounts == mounts  # both stayed mounted
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            OpticalLibrary(platter_capacity_sectors=0)
+        with pytest.raises(ValueError):
+            OpticalLibrary(drive_bays=0)
+
+
+class TestAccounting:
+    def test_bytes_aggregate_across_platters(self):
+        library = OpticalLibrary(sector_size=64, platter_capacity_sectors=2)
+        library.append_region(b"a" * 100)
+        library.append_region(b"b" * 100)
+        assert library.platter_count == 2
+        assert library.bytes_stored == 200
+        assert library.bytes_used == 256
+        assert library.sectors_burned == 4
+        assert 0.7 < library.burned_utilization < 0.8
+
+    def test_platter_stats_exposed(self):
+        library = OpticalLibrary(sector_size=64, platter_capacity_sectors=8)
+        library.append_region(b"payload")
+        per_platter = library.platter_stats()
+        assert set(per_platter) == {0}
+        assert per_platter[0].sectors_written == 1

@@ -1,0 +1,128 @@
+"""Unit tests for the LRU buffer pool."""
+
+import pytest
+
+from repro.storage.device import StorageError
+from repro.storage.magnetic import MagneticDisk
+from repro.storage.pagecache import CachePinnedError, PageCache
+
+
+def make_disk_and_cache(capacity=2, write_through=False, page_size=128):
+    disk = MagneticDisk(page_size=page_size)
+    cache = PageCache(disk, capacity=capacity, write_through=write_through)
+    return disk, cache
+
+
+class TestReadPath:
+    def test_miss_then_hit(self):
+        disk, cache = make_disk_and_cache()
+        page = disk.allocate_page()
+        disk.write(page, b"on disk")
+        assert cache.read(page) == b"on disk"
+        assert cache.read(page) == b"on disk"
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.hit_ratio == pytest.approx(0.5)
+
+    def test_reads_do_not_hit_disk_after_caching(self):
+        disk, cache = make_disk_and_cache()
+        page = disk.allocate_page()
+        disk.write(page, b"x")
+        cache.read(page)
+        disk_reads_before = disk.stats.reads
+        cache.read(page)
+        assert disk.stats.reads == disk_reads_before
+
+
+class TestWritePath:
+    def test_write_back_defers_disk_write(self):
+        disk, cache = make_disk_and_cache()
+        page = disk.allocate_page()
+        cache.write(page, b"buffered")
+        assert disk.read(page) == b""          # not flushed yet
+        cache.flush()
+        assert disk.read(page) == b"buffered"
+
+    def test_write_through_propagates_immediately(self):
+        disk, cache = make_disk_and_cache(write_through=True)
+        page = disk.allocate_page()
+        cache.write(page, b"straight to disk")
+        assert disk.read(page) == b"straight to disk"
+
+    def test_flush_single_page(self):
+        disk, cache = make_disk_and_cache(capacity=4)
+        first = disk.allocate_page()
+        second = disk.allocate_page()
+        cache.write(first, b"one")
+        cache.write(second, b"two")
+        cache.flush(first)
+        assert disk.read(first) == b"one"
+        assert disk.read(second) == b""
+
+    def test_cached_write_is_readable_before_flush(self):
+        disk, cache = make_disk_and_cache()
+        page = disk.allocate_page()
+        cache.write(page, b"fresh")
+        assert cache.read(page) == b"fresh"
+
+    def test_oversized_write_raises_via_disk(self):
+        disk, cache = make_disk_and_cache(page_size=8)
+        page = disk.allocate_page()
+        with pytest.raises(Exception):
+            cache.write(page, b"this is far too large")
+
+
+class TestEviction:
+    def test_lru_eviction_flushes_dirty_victim(self):
+        disk, cache = make_disk_and_cache(capacity=2)
+        pages = [disk.allocate_page() for _ in range(3)]
+        cache.write(pages[0], b"zero")
+        cache.write(pages[1], b"one")
+        cache.write(pages[2], b"two")   # evicts pages[0]
+        assert disk.read(pages[0]) == b"zero"
+        assert cache.stats.evictions == 1
+        # Evicted page can still be read back (re-faulted).
+        assert cache.read(pages[0]) == b"zero"
+
+    def test_pinned_pages_are_not_evicted(self):
+        disk, cache = make_disk_and_cache(capacity=2)
+        pages = [disk.allocate_page() for _ in range(3)]
+        for page in pages:
+            disk.write(page, b"seed")
+        cache.pin(pages[0])
+        cache.read(pages[1])
+        cache.read(pages[2])  # must evict pages[1], not the pinned pages[0]
+        resident = cache.resident_pages()
+        assert pages[0].page_id in resident
+        cache.unpin(pages[0])
+
+    def test_all_pinned_raises(self):
+        disk, cache = make_disk_and_cache(capacity=1)
+        first = disk.allocate_page()
+        second = disk.allocate_page()
+        disk.write(first, b"a")
+        disk.write(second, b"b")
+        cache.pin(first)
+        with pytest.raises(CachePinnedError):
+            cache.read(second)
+
+    def test_unpin_without_pin_raises(self):
+        disk, cache = make_disk_and_cache()
+        page = disk.allocate_page()
+        with pytest.raises(StorageError):
+            cache.unpin(page)
+
+
+class TestInvalidate:
+    def test_invalidate_drops_dirty_data(self):
+        disk, cache = make_disk_and_cache()
+        page = disk.allocate_page()
+        cache.write(page, b"to be discarded")
+        cache.invalidate(page)
+        cache.flush()
+        assert disk.read(page) == b""
+
+    def test_invalid_capacity_rejected(self):
+        disk = MagneticDisk(page_size=64)
+        with pytest.raises(ValueError):
+            PageCache(disk, capacity=0)

@@ -1,0 +1,189 @@
+"""Unit and property tests for the binary page-image codecs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.device import Address
+from repro.storage.serialization import (
+    ByteReader,
+    ByteWriter,
+    SerializationError,
+    address_size,
+    key_size,
+    read_address,
+    read_key,
+    read_timestamp,
+    read_value,
+    timestamp_size,
+    value_size,
+    write_address,
+    write_key,
+    write_timestamp,
+    write_value,
+)
+
+keys = st.one_of(
+    st.integers(min_value=-(2**62), max_value=2**62),
+    st.text(min_size=0, max_size=40),
+)
+timestamps = st.one_of(st.none(), st.integers(min_value=0, max_value=2**62))
+values = st.binary(min_size=0, max_size=200)
+addresses = st.one_of(
+    st.integers(min_value=0, max_value=2**32).map(Address.magnetic),
+    st.tuples(
+        st.integers(min_value=0, max_value=2**31),
+        st.integers(min_value=0, max_value=2**31),
+        st.integers(min_value=0, max_value=2**31),
+        st.integers(min_value=0, max_value=16),
+    ).map(lambda parts: Address.historical(*parts)),
+)
+
+
+class TestByteWriterReader:
+    def test_integers_roundtrip(self):
+        writer = ByteWriter()
+        writer.put_u8(200)
+        writer.put_u32(70_000)
+        writer.put_u64(2**40)
+        writer.put_i64(-12345)
+        reader = ByteReader(writer.getvalue())
+        assert reader.get_u8() == 200
+        assert reader.get_u32() == 70_000
+        assert reader.get_u64() == 2**40
+        assert reader.get_i64() == -12345
+        assert reader.exhausted
+
+    def test_length_prefixed_bytes_roundtrip(self):
+        writer = ByteWriter()
+        writer.put_bytes(b"abc")
+        writer.put_bytes(b"")
+        reader = ByteReader(writer.getvalue())
+        assert reader.get_bytes() == b"abc"
+        assert reader.get_bytes() == b""
+
+    def test_size_tracks_written_bytes(self):
+        writer = ByteWriter()
+        writer.put_u8(1)
+        writer.put_u32(1)
+        assert writer.size == 5
+        assert len(writer.getvalue()) == 5
+
+    def test_truncated_read_raises(self):
+        reader = ByteReader(b"\x01")
+        with pytest.raises(SerializationError):
+            reader.get_u32()
+
+    def test_truncated_raw_read_raises(self):
+        reader = ByteReader(b"\x00\x00\x00\x05ab")
+        with pytest.raises(SerializationError):
+            reader.get_bytes()
+
+    def test_remaining_counts_down(self):
+        reader = ByteReader(b"\x01\x02\x03")
+        assert reader.remaining == 3
+        reader.get_u8()
+        assert reader.remaining == 2
+
+
+class TestKeyCodec:
+    @given(key=keys)
+    @settings(max_examples=200)
+    def test_roundtrip_and_size(self, key):
+        writer = ByteWriter()
+        write_key(writer, key)
+        data = writer.getvalue()
+        assert len(data) == key_size(key)
+        assert read_key(ByteReader(data)) == key
+
+    def test_unicode_keys_roundtrip(self):
+        writer = ByteWriter()
+        write_key(writer, "clé-日本語")
+        assert read_key(ByteReader(writer.getvalue())) == "clé-日本語"
+
+    @pytest.mark.parametrize("bad", [1.5, None, b"bytes", True, ["list"]])
+    def test_unsupported_key_types_rejected(self, bad):
+        with pytest.raises(SerializationError):
+            write_key(ByteWriter(), bad)
+        with pytest.raises(SerializationError):
+            key_size(bad)
+
+    def test_unknown_key_tag_rejected(self):
+        with pytest.raises(SerializationError):
+            read_key(ByteReader(b"\x07"))
+
+
+class TestTimestampCodec:
+    @given(timestamp=timestamps)
+    @settings(max_examples=100)
+    def test_roundtrip_and_size(self, timestamp):
+        writer = ByteWriter()
+        write_timestamp(writer, timestamp)
+        data = writer.getvalue()
+        assert len(data) == timestamp_size(timestamp)
+        assert read_timestamp(ByteReader(data)) == timestamp
+
+    def test_negative_timestamps_rejected(self):
+        with pytest.raises(SerializationError):
+            write_timestamp(ByteWriter(), -1)
+
+    def test_none_encodes_in_one_byte(self):
+        assert timestamp_size(None) == 1
+        assert timestamp_size(12) == 9
+
+
+class TestValueCodec:
+    @given(value=values)
+    @settings(max_examples=100)
+    def test_roundtrip_and_size(self, value):
+        writer = ByteWriter()
+        write_value(writer, value)
+        data = writer.getvalue()
+        assert len(data) == value_size(value)
+        assert read_value(ByteReader(data)) == value
+
+    def test_non_bytes_rejected(self):
+        with pytest.raises(SerializationError):
+            write_value(ByteWriter(), "not-bytes")
+
+
+class TestAddressCodec:
+    @given(address=addresses)
+    @settings(max_examples=200)
+    def test_roundtrip_and_size(self, address):
+        writer = ByteWriter()
+        write_address(writer, address)
+        data = writer.getvalue()
+        assert len(data) == address_size(address)
+        assert read_address(ByteReader(data)) == address
+
+    def test_magnetic_addresses_are_smaller(self):
+        assert address_size(Address.magnetic(1)) < address_size(
+            Address.historical(1, 0, 100)
+        )
+
+    def test_unknown_address_tag_rejected(self):
+        with pytest.raises(SerializationError):
+            read_address(ByteReader(b"\x09" + b"\x00" * 8))
+
+
+class TestMixedStreams:
+    @given(
+        key=keys,
+        timestamp=timestamps,
+        value=values,
+        address=addresses,
+    )
+    @settings(max_examples=100)
+    def test_heterogeneous_stream_roundtrip(self, key, timestamp, value, address):
+        writer = ByteWriter()
+        write_key(writer, key)
+        write_timestamp(writer, timestamp)
+        write_value(writer, value)
+        write_address(writer, address)
+        reader = ByteReader(writer.getvalue())
+        assert read_key(reader) == key
+        assert read_timestamp(reader) == timestamp
+        assert read_value(reader) == value
+        assert read_address(reader) == address
+        assert reader.exhausted

@@ -1,0 +1,132 @@
+"""Unit tests for the write-once (WORM) optical-disk simulator."""
+
+import pytest
+
+from repro.storage.device import (
+    Address,
+    InvalidAddressError,
+    OutOfSpaceError,
+    WriteOnceViolationError,
+)
+from repro.storage.worm import WormDisk
+
+
+class TestAppendRegion:
+    def test_append_and_read_back(self):
+        disk = WormDisk(sector_size=64)
+        address = disk.append_region(b"historical node contents")
+        assert disk.read(address) == b"historical node contents"
+
+    def test_append_records_exact_length(self):
+        disk = WormDisk(sector_size=64)
+        payload = b"z" * 100
+        address = disk.append_region(payload)
+        assert address.length == 100
+        assert address.sector_start == 0
+        assert disk.read(address) == payload
+
+    def test_regions_are_appended_sequentially(self):
+        disk = WormDisk(sector_size=64)
+        first = disk.append_region(b"a" * 65)    # 2 sectors
+        second = disk.append_region(b"b" * 10)   # 1 sector
+        assert first.sector_start == 0
+        assert second.sector_start == 2
+        assert disk.sectors_reserved == 3
+
+    def test_empty_append_rejected(self):
+        with pytest.raises(ValueError):
+            WormDisk().append_region(b"")
+
+    def test_capacity_enforced(self):
+        disk = WormDisk(sector_size=64, capacity_sectors=2)
+        disk.append_region(b"x" * 100)
+        with pytest.raises(OutOfSpaceError):
+            disk.append_region(b"y" * 64)
+
+    def test_read_unknown_region_fails(self):
+        disk = WormDisk(sector_size=64)
+        with pytest.raises(InvalidAddressError):
+            disk.read(Address.historical(9, 0, 10))
+
+    def test_read_magnetic_address_fails(self):
+        disk = WormDisk(sector_size=64)
+        with pytest.raises(InvalidAddressError):
+            disk.read(Address.magnetic(0))
+
+    def test_last_sector_only_partially_used(self):
+        disk = WormDisk(sector_size=64)
+        disk.append_region(b"q" * 70)
+        assert disk.sectors_burned == 2
+        assert disk.bytes_stored == 70
+        assert disk.bytes_used == 128
+        assert disk.burned_utilization == pytest.approx(70 / 128)
+
+
+class TestWobtExtents:
+    def test_allocate_node_reserves_sectors_without_burning(self):
+        disk = WormDisk(sector_size=64)
+        node = disk.allocate_node(4)
+        assert disk.sectors_reserved == 4
+        assert disk.sectors_burned == 0
+        assert disk.sectors_used_in_node(node) == 0
+        assert disk.node_capacity_sectors(node) == 4
+
+    def test_each_write_burns_one_sector(self):
+        disk = WormDisk(sector_size=64)
+        node = disk.allocate_node(3)
+        assert disk.write_sector_in_node(node, b"one") == 0
+        assert disk.write_sector_in_node(node, b"two") == 1
+        assert disk.sectors_used_in_node(node) == 2
+        assert disk.read_node_sectors(node) == [b"one", b"two"]
+
+    def test_full_extent_rejects_more_burns(self):
+        disk = WormDisk(sector_size=64)
+        node = disk.allocate_node(1)
+        disk.write_sector_in_node(node, b"only")
+        with pytest.raises(OutOfSpaceError):
+            disk.write_sector_in_node(node, b"again")
+
+    def test_oversized_sector_write_rejected(self):
+        disk = WormDisk(sector_size=8)
+        node = disk.allocate_node(1)
+        with pytest.raises(WriteOnceViolationError):
+            disk.write_sector_in_node(node, b"way too large for one sector")
+
+    def test_invalid_extent_arguments(self):
+        disk = WormDisk(sector_size=64)
+        with pytest.raises(ValueError):
+            disk.allocate_node(0)
+        with pytest.raises(InvalidAddressError):
+            disk.write_sector_in_node(Address.historical(99, 0, 64), b"x")
+
+    def test_small_burns_waste_sector_space(self):
+        """The section 2.1 phenomenon: one tiny record occupies a whole sector."""
+        disk = WormDisk(sector_size=1024)
+        node = disk.allocate_node(4)
+        for _ in range(4):
+            disk.write_sector_in_node(node, b"tiny")
+        assert disk.bytes_stored == 16
+        assert disk.bytes_used == 4096
+        assert disk.burned_utilization < 0.01
+
+
+class TestAccounting:
+    def test_sectors_for_rounds_up(self):
+        disk = WormDisk(sector_size=100)
+        assert disk.sectors_for(1) == 1
+        assert disk.sectors_for(100) == 1
+        assert disk.sectors_for(101) == 2
+        assert disk.sectors_for(250) == 3
+
+    def test_stats_track_sector_writes(self):
+        disk = WormDisk(sector_size=64)
+        disk.append_region(b"m" * 130)
+        assert disk.stats.writes == 1
+        assert disk.stats.sectors_written == 3
+        assert disk.stats.bytes_written == 130
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            WormDisk(sector_size=0)
+        with pytest.raises(ValueError):
+            WormDisk(capacity_sectors=0)

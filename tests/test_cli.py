@@ -1,0 +1,49 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands_parse(self):
+        parser = build_parser()
+        assert parser.parse_args(["figures"]).command == "figures"
+        args = parser.parse_args(["study", "S3", "--ops", "500"])
+        assert args.name == "S3"
+        assert args.ops == 500
+        assert parser.parse_args(["demo"]).command == "demo"
+
+
+class TestCommands:
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        output = capsys.readouterr().out
+        assert "balance=120" in output
+        assert "snapshot at T=2" in output
+        assert "history of alice" in output
+
+    def test_figures(self, capsys):
+        assert main(["figures"]) == 0
+        output = capsys.readouterr().out
+        assert "All figures reproduced." in output
+        assert "Figure 9" in output
+
+    def test_single_study(self, capsys):
+        assert main(["study", "S6"]) == 0
+        output = capsys.readouterr().out
+        assert "transaction support" in output
+        assert "read-only snapshot stability" in output
+
+    def test_study_with_custom_ops(self, capsys):
+        assert main(["study", "S2", "--ops", "600"]) == 0
+        output = capsys.readouterr().out
+        assert "update=0.90" in output
+
+    def test_unknown_study_is_an_error(self, capsys):
+        assert main(["study", "S99"]) == 2
+        assert "unknown study" in capsys.readouterr().out

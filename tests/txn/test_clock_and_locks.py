@@ -1,0 +1,80 @@
+"""Unit tests for the timestamp oracle and the record-lock manager."""
+
+import pytest
+
+from repro.txn.clock import TimestampOracle
+from repro.txn.locks import LockConflictError, LockManager
+
+
+class TestTimestampOracle:
+    def test_commit_timestamps_strictly_increase(self):
+        clock = TimestampOracle()
+        stamps = [clock.next_commit_timestamp() for _ in range(10)]
+        assert stamps == sorted(stamps)
+        assert len(set(stamps)) == 10
+
+    def test_read_timestamp_equals_latest_commit(self):
+        clock = TimestampOracle()
+        assert clock.read_timestamp() == 0
+        committed = clock.next_commit_timestamp()
+        assert clock.read_timestamp() == committed
+        assert clock.read_timestamp() == committed  # reading does not advance time
+
+    def test_start_offset(self):
+        clock = TimestampOracle(start=100)
+        assert clock.read_timestamp() == 100
+        assert clock.next_commit_timestamp() == 101
+
+    def test_advance_to_never_goes_backwards(self):
+        clock = TimestampOracle()
+        clock.advance_to(50)
+        clock.advance_to(20)
+        assert clock.latest == 50
+        assert clock.next_commit_timestamp() == 51
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            TimestampOracle(start=-1)
+        with pytest.raises(ValueError):
+            TimestampOracle().advance_to(-5)
+
+
+class TestLockManager:
+    def test_exclusive_lock_conflicts(self):
+        locks = LockManager()
+        locks.acquire_exclusive(1, "account-1")
+        with pytest.raises(LockConflictError) as info:
+            locks.acquire_exclusive(2, "account-1")
+        assert info.value.holder == 1
+        assert info.value.requester == 2
+        assert info.value.key == "account-1"
+
+    def test_reacquire_by_same_transaction_is_fine(self):
+        locks = LockManager()
+        locks.acquire_exclusive(1, "k")
+        locks.acquire_exclusive(1, "k")
+        assert locks.holder_of("k") == 1
+        assert locks.locks_held(1) == {"k"}
+
+    def test_release_all_frees_every_key(self):
+        locks = LockManager()
+        locks.acquire_exclusive(1, "a")
+        locks.acquire_exclusive(1, "b")
+        locks.acquire_exclusive(2, "c")
+        locks.release_all(1)
+        assert locks.holder_of("a") is None
+        assert locks.holder_of("b") is None
+        assert locks.holder_of("c") == 2
+        assert locks.locked_key_count == 1
+        locks.acquire_exclusive(3, "a")  # now available
+
+    def test_release_unknown_transaction_is_noop(self):
+        locks = LockManager()
+        locks.release_all(42)
+        assert locks.locked_key_count == 0
+
+    def test_different_keys_do_not_conflict(self):
+        locks = LockManager()
+        locks.acquire_exclusive(1, "x")
+        locks.acquire_exclusive(2, "y")
+        assert locks.locked_key_count == 2

@@ -1,0 +1,95 @@
+"""Tests for lock-free read-only transactions (paper section 4.1)."""
+
+from repro.core import AlwaysTimeSplitPolicy, ThresholdPolicy, TSBTree
+from repro.txn import TransactionManager
+
+
+def make_manager(policy=None):
+    tree = TSBTree(page_size=512, policy=policy or ThresholdPolicy(0.5))
+    return TransactionManager(tree), tree
+
+
+class TestSnapshotSemantics:
+    def test_reader_sees_only_commits_before_it_started(self):
+        manager, _tree = make_manager()
+        early = manager.begin()
+        early.write("k", b"early")
+        early.commit()
+
+        reader = manager.begin_readonly()
+
+        late = manager.begin()
+        late.write("k", b"late")
+        late.commit()
+
+        assert reader.read("k") == b"early"
+        assert manager.begin_readonly().read("k") == b"late"
+
+    def test_reader_never_sees_uncommitted_data(self):
+        manager, _tree = make_manager()
+        writer = manager.begin()
+        writer.write("k", b"still uncommitted")
+        reader = manager.begin_readonly()
+        assert reader.read("k") is None
+        writer.commit()
+        # The already-started reader still does not see it (commit time is
+        # after the reader's timestamp); a new reader does.
+        assert reader.read("k") is None
+        assert manager.begin_readonly().read("k") == b"still uncommitted"
+
+    def test_reader_takes_no_locks(self):
+        manager, _tree = make_manager()
+        setup = manager.begin()
+        setup.write("k", b"v")
+        setup.commit()
+        _reader = manager.begin_readonly()
+        assert manager.locks.locked_key_count == 0
+        # An updater is not blocked by the reader in any way.
+        writer = manager.begin()
+        writer.write("k", b"v2")
+        writer.commit()
+
+    def test_snapshot_is_stable_under_concurrent_commits(self):
+        """The backup/unload use case: a full scan that never blocks."""
+        manager, _tree = make_manager(policy=AlwaysTimeSplitPolicy("current"))
+        for key in range(50):
+            txn = manager.begin()
+            txn.write(key, f"initial-{key}".encode())
+            txn.commit()
+
+        backup = manager.begin_readonly()
+        before = {key: version.value for key, version in backup.snapshot().items()}
+
+        for key in range(0, 50, 2):
+            txn = manager.begin()
+            txn.write(key, f"updated-{key}".encode())
+            txn.commit()
+
+        after = {key: version.value for key, version in backup.snapshot().items()}
+        assert before == after
+        assert len(before) == 50
+        live = {key: v.value for key, v in manager.begin_readonly().snapshot().items()}
+        assert live != before
+
+    def test_range_read_at_fixed_timestamp(self):
+        manager, _tree = make_manager()
+        for key in range(10):
+            txn = manager.begin()
+            txn.write(key, f"v-{key}".encode())
+            txn.commit()
+        reader = manager.begin_readonly()
+        txn = manager.begin()
+        txn.write(3, b"changed later")
+        txn.commit()
+        versions = reader.range_read(2, 6)
+        assert [v.key for v in versions] == [2, 3, 4, 5]
+        assert versions[1].value == b"v-3"
+
+    def test_read_version_exposes_timestamp(self):
+        manager, _tree = make_manager()
+        txn = manager.begin()
+        txn.write("k", b"v")
+        commit_time = txn.commit()
+        reader = manager.begin_readonly()
+        assert reader.read_version("k").timestamp == commit_time
+        assert reader.timestamp == commit_time

@@ -1,0 +1,34 @@
+"""The paper's WOBT figures (2-4) as asserted scenarios."""
+
+from repro.analysis.figures import figure_2, figure_3, figure_4
+
+
+def assert_figure(result):
+    failing = [name for name, passed in result.checks.items() if not passed]
+    assert not failing, f"{result.figure}: failed checks {failing} ({result.details})"
+
+
+class TestFigure2:
+    def test_insertion_order_with_repeated_keys(self):
+        result = figure_2()
+        assert_figure(result)
+        assert result.details["index_nodes_with_repeated_keys"]
+
+
+class TestFigure3:
+    def test_key_and_current_time_split(self):
+        result = figure_3()
+        assert_figure(result)
+
+    def test_old_node_is_never_modified(self):
+        result = figure_3()
+        assert result.details["old_node_entry_count"] == 4
+        assert result.details["new_data_nodes"] == 2
+
+
+class TestFigure4:
+    def test_pure_time_split(self):
+        result = figure_4()
+        assert_figure(result)
+        assert result.details["new_data_nodes"] == 1
+        assert result.details["time_splits"] == 1

@@ -1,0 +1,166 @@
+"""Unit and property tests for the WOBT node layout and sector codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.device import Address
+from repro.wobt.nodes import (
+    MIN_KEY,
+    MinKeyType,
+    NodeHeader,
+    WOBTIndexEntry,
+    WOBTNodeView,
+    WOBTRecord,
+    decode_sector,
+    encode_sector,
+    pack_entries_into_sectors,
+    sector_payload_size,
+)
+
+records = st.builds(
+    WOBTRecord,
+    key=st.integers(0, 500),
+    timestamp=st.integers(0, 10_000),
+    value=st.binary(min_size=0, max_size=30),
+)
+index_entries = st.builds(
+    WOBTIndexEntry,
+    key=st.one_of(st.integers(0, 500), st.just(MIN_KEY)),
+    timestamp=st.integers(0, 10_000),
+    child=st.integers(0, 1000).map(lambda n: Address.historical(n, 0, 0)),
+)
+entries = st.lists(st.one_of(records, index_entries), max_size=15)
+headers = st.one_of(
+    st.none(),
+    st.builds(
+        NodeHeader,
+        is_leaf=st.booleans(),
+        split_from=st.one_of(st.none(), st.integers(0, 1000)),
+    ),
+)
+
+
+class TestMinKey:
+    def test_orders_below_every_key(self):
+        assert MIN_KEY < 0
+        assert MIN_KEY < -10
+        assert MIN_KEY < "aardvark"
+        assert MIN_KEY <= MIN_KEY
+        assert not MIN_KEY < MIN_KEY
+        assert 5 > MIN_KEY
+        assert not MIN_KEY > 5
+
+    def test_singleton_and_hashable(self):
+        assert MinKeyType() is MIN_KEY
+        assert len({MIN_KEY, MinKeyType()}) == 1
+
+    def test_sorting_mixed_keys(self):
+        assert sorted([10, MIN_KEY, 3]) == [MIN_KEY, 3, 10]
+
+
+class TestSectorCodec:
+    @given(entries=entries, header=headers)
+    @settings(max_examples=150)
+    def test_roundtrip(self, entries, header):
+        image = encode_sector(entries, header)
+        decoded_header, decoded_entries = decode_sector(image)
+        assert decoded_entries == entries
+        if header is None:
+            assert decoded_header is None
+        else:
+            assert decoded_header == header
+
+    def test_min_key_entry_roundtrip(self):
+        entry = WOBTIndexEntry(key=MIN_KEY, timestamp=3, child=Address.historical(7, 0, 0))
+        _header, decoded = decode_sector(encode_sector([entry], None))
+        assert decoded == [entry]
+        assert isinstance(decoded[0].key, MinKeyType)
+
+    def test_payload_size_bounds_encoding(self):
+        record = WOBTRecord(key=1, timestamp=2, value=b"abc")
+        entry = WOBTIndexEntry(key=5, timestamp=2, child=Address.historical(1, 0, 0))
+        for batch, header in (
+            ([record, entry], None),
+            ([record], NodeHeader(is_leaf=True, split_from=3)),
+        ):
+            assert len(encode_sector(batch, header)) <= sector_payload_size(
+                batch, header is not None
+            ) + 1
+
+
+class TestPacking:
+    def test_consolidation_packs_multiple_entries_per_sector(self):
+        batch = [WOBTRecord(key=k, timestamp=k, value=b"xy") for k in range(10)]
+        sectors = pack_entries_into_sectors(batch, 256, NodeHeader(is_leaf=True))
+        assert len(sectors) < len(batch)
+        recovered = []
+        for sector in sectors:
+            _header, decoded = decode_sector(sector)
+            recovered.extend(decoded)
+        assert recovered == batch
+
+    def test_every_sector_respects_the_size_limit(self):
+        batch = [WOBTRecord(key=k, timestamp=k, value=bytes(20)) for k in range(30)]
+        sectors = pack_entries_into_sectors(batch, 128, NodeHeader(is_leaf=True))
+        assert all(len(sector) <= 128 for sector in sectors)
+
+    def test_header_travels_in_first_sector_only(self):
+        batch = [WOBTRecord(key=k, timestamp=k, value=bytes(40)) for k in range(10)]
+        sectors = pack_entries_into_sectors(batch, 128, NodeHeader(is_leaf=False, split_from=9))
+        first_header, _ = decode_sector(sectors[0])
+        assert first_header == NodeHeader(is_leaf=False, split_from=9)
+        for sector in sectors[1:]:
+            header, _ = decode_sector(sector)
+            assert header is None
+
+
+class TestNodeView:
+    def make_view(self):
+        return WOBTNodeView(
+            address=Address.historical(0, 0, 0),
+            is_leaf=True,
+            entries=[
+                WOBTRecord(key=50, timestamp=1, value=b"Joe"),
+                WOBTRecord(key=60, timestamp=2, value=b"Pete"),
+                WOBTRecord(key=50, timestamp=4, value=b"Joe II"),
+            ],
+        )
+
+    def test_last_entry_for_key_respects_as_of(self):
+        view = self.make_view()
+        assert view.last_entry_for_key(50).value == b"Joe II"
+        assert view.last_entry_for_key(50, as_of=3).value == b"Joe"
+        assert view.last_entry_for_key(50, as_of=0) is None
+        assert view.last_entry_for_key(99) is None
+
+    def test_current_records_takes_latest_per_key(self):
+        current = self.make_view().current_records()
+        assert [(r.key, r.value) for r in current] == [(50, b"Joe II"), (60, b"Pete")]
+
+    def test_route_follows_paper_rule(self):
+        view = WOBTNodeView(
+            address=Address.historical(9, 0, 0),
+            is_leaf=False,
+            entries=[
+                WOBTIndexEntry(key=MIN_KEY, timestamp=0, child=Address.historical(1, 0, 0)),
+                WOBTIndexEntry(key=100, timestamp=3, child=Address.historical(2, 0, 0)),
+                WOBTIndexEntry(key=MIN_KEY, timestamp=5, child=Address.historical(3, 0, 0)),
+            ],
+        )
+        # Largest key <= 50 is MIN_KEY; the last such entry is the newest copy.
+        assert view.route(50).child.page_id == 3
+        # As of time 2 the newest copy does not exist yet.
+        assert view.route(50, as_of=2).child.page_id == 1
+        # Keys >= 100 go to the key-100 child (when visible).
+        assert view.route(250).child.page_id == 2
+        assert view.route(250, as_of=2).child.page_id == 1
+
+    def test_route_with_no_candidates(self):
+        view = WOBTNodeView(
+            address=Address.historical(9, 0, 0),
+            is_leaf=False,
+            entries=[WOBTIndexEntry(key=10, timestamp=5, child=Address.historical(1, 0, 0))],
+        )
+        assert view.route(5) is None
+        assert view.route(50, as_of=1) is None

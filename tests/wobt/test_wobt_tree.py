@@ -1,0 +1,194 @@
+"""Functional and model-based tests for the Write-Once B-tree baseline."""
+
+import random
+
+import pytest
+
+from repro.storage.worm import WormDisk
+from repro.wobt import WOBT, WOBTError
+from tests.conftest import VersionedOracle, run_mixed_workload
+
+
+class TestBasicOperations:
+    def test_empty_tree(self):
+        wobt = WOBT()
+        assert wobt.search_current(1) is None
+        assert wobt.search_as_of(1, 100) is None
+        assert wobt.key_history(1) == []
+        assert wobt.snapshot(10) == {}
+
+    def test_insert_and_lookup(self):
+        wobt = WOBT()
+        wobt.insert(50, b"Joe", timestamp=1)
+        wobt.insert(60, b"Pete", timestamp=2)
+        assert wobt.search_current(50).value == b"Joe"
+        assert wobt.search_current(60).value == b"Pete"
+        assert wobt.search_current(70) is None
+
+    def test_update_keeps_history(self):
+        wobt = WOBT()
+        wobt.insert(50, b"v1", timestamp=1)
+        wobt.insert(50, b"v2", timestamp=5)
+        assert wobt.search_current(50).value == b"v2"
+        assert wobt.search_as_of(50, 3).value == b"v1"
+        assert [record.value for record in wobt.key_history(50)] == [b"v1", b"v2"]
+
+    def test_auto_timestamps(self):
+        wobt = WOBT()
+        first = wobt.insert(1, b"a")
+        second = wobt.insert(2, b"b")
+        assert second == first + 1
+        assert wobt.now == second
+
+    def test_timestamp_regression_rejected(self):
+        wobt = WOBT()
+        wobt.insert(1, b"a", timestamp=10)
+        with pytest.raises(WOBTError):
+            wobt.insert(2, b"b", timestamp=5)
+
+    def test_everything_lives_on_the_worm_device(self):
+        worm = WormDisk(sector_size=256)
+        wobt = WOBT(worm=worm, node_sectors=4)
+        for step in range(50):
+            wobt.insert(step % 10, f"v{step}".encode(), timestamp=step + 1)
+        assert worm.sectors_burned > 0
+        assert worm.bytes_stored > 0
+
+    def test_small_node_size_rejected(self):
+        with pytest.raises(ValueError):
+            WOBT(node_sectors=1)
+
+
+class TestWriteOnceBehaviour:
+    def test_old_nodes_are_never_rewritten(self):
+        """Burned sector count only ever grows; existing content never changes."""
+        worm = WormDisk(sector_size=128)
+        wobt = WOBT(worm=worm, node_sectors=4)
+        images = {}
+        for step in range(120):
+            wobt.insert(step % 6, f"value-{step}".encode(), timestamp=step + 1)
+            for sector, data in worm._sectors.items():
+                if sector in images:
+                    assert images[sector] == data, f"sector {sector} was rewritten"
+                else:
+                    images[sector] = data
+
+    def test_every_insert_burns_at_least_one_sector(self):
+        worm = WormDisk(sector_size=1024)
+        wobt = WOBT(worm=worm, node_sectors=8)
+        burned_before = worm.sectors_burned
+        for step in range(20):
+            wobt.insert(step, b"tiny", timestamp=step + 1)
+        assert worm.sectors_burned >= burned_before + 20
+
+    def test_sector_utilisation_is_poor_for_small_records(self):
+        """The waste the TSB-tree was designed to avoid (section 2.6)."""
+        worm = WormDisk(sector_size=1024)
+        wobt = WOBT(worm=worm, node_sectors=8)
+        for step in range(300):
+            wobt.insert(step % 20, b"small record", timestamp=step + 1)
+        stats = wobt.space_stats()
+        assert stats.burned_utilization < 0.5
+
+    def test_splits_copy_current_records(self):
+        wobt = WOBT(worm=WormDisk(sector_size=256), node_sectors=4)
+        for step in range(200):
+            wobt.insert(step % 8, f"row-{step}".encode(), timestamp=step + 1)
+        stats = wobt.space_stats()
+        assert stats.redundant_copies > 0
+        assert stats.redundancy_ratio > 1.0
+        assert stats.record_copies == stats.unique_versions + stats.redundant_copies
+
+    def test_root_history_grows(self):
+        wobt = WOBT(worm=WormDisk(sector_size=128), node_sectors=3)
+        for step in range(150):
+            wobt.insert(step % 5, f"value-{step}".encode(), timestamp=step + 1)
+        assert len(wobt.root_history) > 1
+        assert wobt.counters.root_splits == len(wobt.root_history) - 1
+        assert wobt.root_history[-1] == wobt.root_address
+
+
+class TestReconstructionFromSectors:
+    def test_views_can_be_rebuilt_from_burned_sectors(self):
+        """Dropping the in-memory cache and re-reading the device must work."""
+        worm = WormDisk(sector_size=256)
+        wobt = WOBT(worm=worm, node_sectors=4)
+        history = {}
+        for step in range(150):
+            key = step % 12
+            value = f"v-{key}-{step}".encode()
+            wobt.insert(key, value, timestamp=step + 1)
+            history[key] = value
+        wobt._nodes.clear()   # simulate reopening the database
+        for key, value in history.items():
+            assert wobt.search_current(key).value == value
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("seed,update_fraction,node_sectors", [
+        (3, 0.6, 8),
+        (11, 0.2, 8),
+        (23, 0.9, 6),
+        (31, 0.5, 4),
+    ])
+    def test_mixed_workloads_match_oracle(self, seed, update_fraction, node_sectors):
+        wobt = WOBT(worm=WormDisk(sector_size=512), node_sectors=node_sectors)
+        oracle = VersionedOracle()
+        run_mixed_workload(
+            wobt,
+            oracle,
+            operations=500,
+            update_fraction=update_fraction,
+            key_space=60,
+            seed=seed,
+        )
+        rng = random.Random(seed)
+        for key in oracle.keys():
+            assert wobt.search_current(key).value == oracle.current(key)
+        for _ in range(150):
+            key = rng.choice(oracle.keys())
+            timestamp = rng.randint(0, oracle.max_timestamp + 1)
+            expected = oracle.as_of(key, timestamp)
+            observed = wobt.search_as_of(key, timestamp)
+            assert (None if observed is None else observed.value) == expected
+        for key in oracle.keys()[:15]:
+            assert [
+                (record.timestamp, record.value) for record in wobt.key_history(key)
+            ] == oracle.key_history(key)
+        for timestamp in (oracle.max_timestamp // 3, oracle.max_timestamp):
+            snapshot = {key: record.value for key, record in wobt.snapshot(timestamp).items()}
+            assert snapshot == oracle.snapshot(timestamp)
+
+    def test_single_key_churn(self):
+        wobt = WOBT(worm=WormDisk(sector_size=256), node_sectors=4)
+        oracle = VersionedOracle()
+        for timestamp in range(1, 201):
+            value = f"only-{timestamp}".encode()
+            wobt.insert("only", value, timestamp=timestamp)
+            oracle.insert("only", value, timestamp)
+        assert wobt.search_current("only").value == oracle.current("only")
+        assert [
+            (record.timestamp, record.value) for record in wobt.key_history("only")
+        ] == oracle.key_history("only")
+        assert wobt.counters.data_time_splits > 0
+
+
+class TestStatsAndCounters:
+    def test_space_stats_fields_are_consistent(self):
+        wobt = WOBT(worm=WormDisk(sector_size=512), node_sectors=6)
+        for step in range(250):
+            wobt.insert(step % 25, b"some record payload", timestamp=step + 1)
+        stats = wobt.space_stats()
+        assert stats.nodes == stats.data_nodes + stats.index_nodes
+        assert stats.sectors_burned <= stats.sectors_reserved
+        assert stats.bytes_stored <= stats.bytes_used
+        assert stats.unique_versions == 250
+        assert stats.counters["inserts"] == 250
+        assert 0.0 < stats.reserved_utilization <= 1.0
+
+    def test_as_dict_has_every_column(self):
+        wobt = WOBT()
+        wobt.insert(1, b"x", timestamp=1)
+        flattened = wobt.space_stats().as_dict()
+        for column in ("sectors_reserved", "burned_utilization", "redundancy_ratio", "nodes"):
+            assert column in flattened

@@ -1,0 +1,189 @@
+"""Tests for the workload generators, distributions and domain scenarios."""
+
+import random
+
+import pytest
+
+from repro.workload import (
+    LatestDistribution,
+    Operation,
+    OperationKind,
+    UniformDistribution,
+    WorkloadSpec,
+    ZipfianDistribution,
+    apply_to,
+    bank_accounts,
+    engineering_designs,
+    generate,
+    make_distribution,
+    personnel_records,
+    sequential_keys,
+)
+from repro.core import ThresholdPolicy, TSBTree
+
+
+class TestDistributions:
+    def test_uniform_covers_all_keys(self):
+        rng = random.Random(1)
+        distribution = UniformDistribution()
+        keys = list(range(10))
+        chosen = {distribution.choose(keys, rng) for _ in range(500)}
+        assert chosen == set(keys)
+
+    def test_zipfian_skews_toward_early_ranks(self):
+        rng = random.Random(2)
+        distribution = ZipfianDistribution(theta=1.2)
+        keys = list(range(100))
+        counts = {}
+        for _ in range(4000):
+            key = distribution.choose(keys, rng)
+            counts[key] = counts.get(key, 0) + 1
+        top_share = sum(counts.get(key, 0) for key in range(10)) / 4000
+        assert top_share > 0.5
+
+    def test_latest_prefers_recent_keys(self):
+        rng = random.Random(3)
+        distribution = LatestDistribution(window=4)
+        keys = list(range(50))
+        chosen = {distribution.choose(keys, rng) for _ in range(200)}
+        assert chosen <= set(range(46, 50))
+
+    def test_factory(self):
+        assert isinstance(make_distribution("uniform"), UniformDistribution)
+        assert isinstance(make_distribution("zipfian", theta=0.9), ZipfianDistribution)
+        assert isinstance(make_distribution("latest", window=8), LatestDistribution)
+        with pytest.raises(ValueError):
+            make_distribution("bogus")
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ZipfianDistribution(theta=0)
+        with pytest.raises(ValueError):
+            LatestDistribution(window=0)
+
+    def test_sequential_keys_helper(self):
+        assert sequential_keys(4) == [0, 1, 2, 3]
+        assert sequential_keys(3, start=10, stride=5) == [10, 15, 20]
+
+
+class TestGenerator:
+    def test_deterministic_for_same_spec(self):
+        spec = WorkloadSpec(operations=200, update_fraction=0.5, seed=9)
+        assert generate(spec) == generate(spec)
+
+    def test_different_seeds_differ(self):
+        first = generate(WorkloadSpec(operations=200, update_fraction=0.5, seed=1))
+        second = generate(WorkloadSpec(operations=200, update_fraction=0.5, seed=2))
+        assert first != second
+
+    def test_timestamps_are_dense_and_increasing(self):
+        operations = generate(WorkloadSpec(operations=50, update_fraction=0.3, seed=5))
+        assert [op.timestamp for op in operations] == list(range(1, 51))
+
+    def test_update_fraction_zero_means_all_inserts(self):
+        operations = generate(WorkloadSpec(operations=300, update_fraction=0.0, seed=3))
+        assert all(op.kind is OperationKind.INSERT for op in operations)
+        assert len({op.key for op in operations}) == 300
+
+    def test_update_fraction_close_to_one_reuses_keys(self):
+        operations = generate(WorkloadSpec(operations=300, update_fraction=0.95, seed=3))
+        updates = sum(1 for op in operations if op.is_update)
+        assert updates > 240
+        assert len({op.key for op in operations}) < 60
+
+    def test_observed_update_fraction_tracks_requested(self):
+        spec = WorkloadSpec(operations=2000, update_fraction=0.6, seed=11)
+        operations = generate(spec)
+        observed = sum(1 for op in operations if op.is_update) / len(operations)
+        assert abs(observed - 0.6) < 0.05
+
+    def test_key_space_cap(self):
+        spec = WorkloadSpec(operations=500, update_fraction=0.0, key_space=50, seed=7)
+        operations = generate(spec)
+        assert len({op.key for op in operations}) == 50
+
+    def test_value_size_respected(self):
+        for size in (0, 8, 64):
+            operations = generate(
+                WorkloadSpec(operations=20, update_fraction=0.5, value_size=size, seed=1)
+            )
+            assert all(len(op.value) == size for op in operations)
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(operations=0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(update_fraction=1.5)
+        with pytest.raises(ValueError):
+            WorkloadSpec(value_size=-1)
+        with pytest.raises(ValueError):
+            WorkloadSpec(key_space=0)
+
+    def test_apply_to_drives_a_tree(self):
+        spec = WorkloadSpec(operations=100, update_fraction=0.5, seed=2)
+        operations = generate(spec)
+        tree = TSBTree(page_size=512, policy=ThresholdPolicy(0.5))
+        apply_to(tree, operations)
+        assert tree.counters.inserts == 100
+        last_for_key = {}
+        for op in operations:
+            last_for_key[op.key] = op.value
+        for key, value in last_for_key.items():
+            assert tree.search_current(key).value == value
+
+    def test_describe_mentions_the_knobs(self):
+        description = WorkloadSpec(operations=10, update_fraction=0.25).describe()
+        assert "10 ops" in description
+        assert "0.25" in description
+
+
+class TestScenarios:
+    def test_bank_accounts_history_is_consistent(self):
+        scenario = bank_accounts(accounts=10, transactions=100, seed=1)
+        assert len(scenario.events) == 110
+        assert scenario.name == "bank-accounts"
+        # The oracle's state matches a replay of the events.
+        replay = {}
+        for event in scenario.events:
+            replay[event.entity] = event.payload
+        assert scenario.state_at(scenario.final_timestamp) == replay
+
+    def test_bank_accounts_deterministic(self):
+        first = bank_accounts(accounts=5, transactions=50, seed=3)
+        second = bank_accounts(accounts=5, transactions=50, seed=3)
+        assert first.events == second.events
+
+    def test_personnel_records_have_departments(self):
+        scenario = personnel_records(employees=8, changes=40)
+        departments = {event.attribute for event in scenario.events}
+        assert departments <= {"engineering", "sales", "finance", "legal", "research"}
+        assert all(b"salary=" in event.payload for event in scenario.events)
+
+    def test_engineering_designs_revisions_accumulate(self):
+        scenario = engineering_designs(designs=5, revisions=60)
+        assert len(scenario.history) == 5
+        total_events = sum(len(history) for history in scenario.history.values())
+        assert total_events == len(scenario.events) == 65
+
+    def test_state_at_intermediate_time(self):
+        scenario = bank_accounts(accounts=3, transactions=30, seed=2)
+        midpoint = scenario.final_timestamp // 2
+        state = scenario.state_at(midpoint)
+        for entity, payload in state.items():
+            expected = None
+            for stamp, value in scenario.history[entity]:
+                if stamp <= midpoint:
+                    expected = value
+            assert payload == expected
+
+    def test_scenarios_replay_into_a_tsb_tree(self):
+        scenario = bank_accounts(accounts=10, transactions=200, seed=4)
+        tree = TSBTree(page_size=512, policy=ThresholdPolicy(0.5))
+        for event in scenario.events:
+            tree.insert(event.entity, event.payload, timestamp=event.timestamp)
+        final_state = scenario.state_at(scenario.final_timestamp)
+        for entity, payload in final_state.items():
+            assert tree.search_current(entity).value == payload
+        midpoint = scenario.final_timestamp // 2
+        mid_state = scenario.state_at(midpoint)
+        assert {k: v.value for k, v in tree.snapshot(midpoint).items()} == mid_state

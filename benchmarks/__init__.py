@@ -1,0 +1,1 @@
+"""Benchmark package (see harness.py): ``pytest benchmarks/ --benchmark-only``."""

@@ -1,0 +1,51 @@
+"""Recovery-subsystem benchmarks: group commit and restart time.
+
+Two tables:
+
+* group commit — commit throughput for several batch sizes.  The classic
+  result: forcing the log is the per-commit device access, so throughput
+  scales with the number of commit records one force covers.
+* recovery time — restart cost as a function of durable log length, plus a
+  row with a checkpoint taken just before the crash, which collapses the
+  replayed suffix to (nearly) nothing.
+"""
+
+from repro.recovery.studies import run_group_commit_study, run_recovery_time_study
+
+from .harness import run_study_once
+
+BATCH_SIZES = (1, 4, 16, 64)
+LOG_LENGTHS = (100, 300, 900)
+
+
+def test_group_commit_throughput(benchmark):
+    result = run_study_once(
+        benchmark, lambda: run_group_commit_study(batch_sizes=BATCH_SIZES)
+    )
+    rows = {row.label: row.metrics for row in result.rows}
+    forces = [rows[f"batch={batch}"]["log_forces"] for batch in BATCH_SIZES]
+    throughput = [rows[f"batch={batch}"]["commits_per_sec"] for batch in BATCH_SIZES]
+    # Bigger batches -> strictly fewer forces and no throughput regression.
+    assert forces == sorted(forces, reverse=True)
+    assert forces[0] > forces[-1]
+    assert throughput[-1] > throughput[0]
+    # With batch size N, one force covers ~N commits.
+    assert rows["batch=16"]["commits_per_force"] >= 8
+
+
+def test_recovery_time_vs_log_length(benchmark):
+    result = run_study_once(
+        benchmark, lambda: run_recovery_time_study(log_lengths=LOG_LENGTHS)
+    )
+    rows = {row.label: row.metrics for row in result.rows}
+    replayed = [rows[f"ops={n}"]["ops_replayed"] for n in LOG_LENGTHS]
+    # Longer post-checkpoint logs mean strictly more replay work...
+    assert replayed == sorted(replayed)
+    assert replayed[0] < replayed[-1]
+    assert all(rows[f"ops={n}"]["ops_replayed"] == n for n in LOG_LENGTHS)
+    # ...and a checkpoint right before the crash removes it entirely.
+    longest = max(LOG_LENGTHS)
+    assert rows[f"ops={longest}+ckpt"]["ops_replayed"] == 0
+    assert (
+        rows[f"ops={longest}+ckpt"]["live_keys"] == rows[f"ops={longest}"]["live_keys"]
+    )

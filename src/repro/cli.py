@@ -12,6 +12,16 @@ The CLI exposes the experiment harness without writing any Python:
 ``python -m repro demo``
     A tiny end-to-end demonstration (insert, update, as-of query, snapshot)
     printed step by step — the quickstart example in one command.
+
+``python -m repro crash-demo``
+    A narrated write-ahead-logging demonstration: commit transactions, leave
+    some in flight, crash, and watch restart recovery rebuild exactly the
+    durably committed state.
+
+``python -m repro recover``
+    A randomized crash-recovery trial: run a deterministic transactional
+    script, crash at a chosen (or every) step, recover, and verify the
+    recovered tree against the durable-prefix oracle.
 """
 
 from __future__ import annotations
@@ -33,6 +43,7 @@ from repro.analysis.experiment import (
 from repro.analysis.figures import run_all_figures
 from repro.analysis.report import render_comparison
 from repro.core import ThresholdPolicy, TSBTree, collect_space_stats
+from repro.recovery import RecoverableSystem, ScriptRunner, generate_script
 from repro.workload import WorkloadSpec
 
 
@@ -106,6 +117,93 @@ def command_demo(_args: argparse.Namespace) -> int:
     return 0
 
 
+def command_crash_demo(_args: argparse.Namespace) -> int:
+    system = RecoverableSystem(page_size=512, group_commit_size=2)
+    print("group commit batch size      : 2 (a force makes two commits durable)")
+    print()
+    t1 = system.begin()
+    t1.write("alice", b"balance=50")
+    t1.commit()
+    print(f"T1 commits alice=50          : durable={system.commit_is_durable(t1)}")
+    t2 = system.begin()
+    t2.write("bob", b"balance=200")
+    t2.commit()
+    print(
+        f"T2 commits bob=200           : durable={system.commit_is_durable(t2)}"
+        " (the batch filled; one force covered both)"
+    )
+    t3 = system.begin()
+    t3.write("carol", b"balance=75")
+    t3.commit()
+    print(
+        f"T3 commits carol=75          : durable={system.commit_is_durable(t3)}"
+        " (still in the volatile log tail)"
+    )
+    t4 = system.begin()
+    t4.write("alice", b"balance=9999")
+    print("T4 writes alice=9999         : provisional, never commits")
+    print()
+    print("*** CRASH ***  (buffer pool, lock table and unforced log tail are gone)")
+    report = system.crash()
+    print(report.summary())
+    print()
+    alice = system.tree.search_current("alice")
+    bob = system.tree.search_current("bob")
+    carol = system.tree.search_current("carol")
+    print(f"alice after recovery         : {alice.value.decode()} (T1, durable)")
+    print(f"bob after recovery           : {bob.value.decode()} (T2, durable)")
+    print(f"carol after recovery         : {carol!r} (T3's commit was never forced)")
+    print("T4's provisional version     : discarded (loser)")
+    print()
+    t5 = system.begin()
+    t5.write("alice", b"balance=120")
+    timestamp = t5.commit()
+    system.log.force()
+    print(f"post-recovery T5 commits     : alice=120 @ T={timestamp}")
+    print("The system is live again; recovery preserved exactly the committed prefix.")
+    return 0
+
+
+def command_recover(args: argparse.Namespace) -> int:
+    if args.batch < 1:
+        print("--batch must be a positive group-commit batch size")
+        return 2
+    script = generate_script(steps=args.ops, key_space=args.keys, seed=args.seed)
+    if args.crash_at is not None and not 0 <= args.crash_at <= len(script):
+        print(
+            f"--crash-at must be a step index between 0 and {len(script)} "
+            f"(the script has {len(script)} steps)"
+        )
+        return 2
+    crash_points = range(len(script) + 1) if args.crash_at is None else [args.crash_at]
+    failures = 0
+    for crash_at in crash_points:
+        runner = ScriptRunner(
+            RecoverableSystem(page_size=512, group_commit_size=args.batch)
+        )
+        runner.run(script[:crash_at])
+        expected = runner.expected_visible()
+        report = runner.system.crash()
+        observed = {
+            version.key: version.value for version in runner.system.tree.range_search()
+        }
+        if observed != expected:
+            failures += 1
+            print(f"crash at step {crash_at}: MISMATCH")
+            print(f"  expected {expected}")
+            print(f"  observed {observed}")
+        elif args.crash_at is not None or args.verbose:
+            print(f"crash at step {crash_at}: ok — {report.summary()}")
+    if failures:
+        print(f"{failures} crash points failed verification")
+        return 1
+    print(
+        f"recovery verified: {len(list(crash_points))} crash point(s), "
+        f"{len(script)} scripted steps, group commit batch {args.batch}"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -128,6 +226,37 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = subparsers.add_parser("demo", help="a one-minute end-to-end demonstration")
     demo.set_defaults(handler=command_demo)
+
+    crash_demo = subparsers.add_parser(
+        "crash-demo", help="narrated WAL + group commit + crash recovery demo"
+    )
+    crash_demo.set_defaults(handler=command_crash_demo)
+
+    recover = subparsers.add_parser(
+        "recover", help="run a randomized crash-recovery trial and verify it"
+    )
+    recover.add_argument(
+        "--ops", type=int, default=60, help="scripted transactional steps (default: 60)"
+    )
+    recover.add_argument(
+        "--seed", type=int, default=1989, help="script random seed (default: 1989)"
+    )
+    recover.add_argument(
+        "--keys", type=int, default=8, help="key-space size (default: 8)"
+    )
+    recover.add_argument(
+        "--batch", type=int, default=1, help="group-commit batch size (default: 1)"
+    )
+    recover.add_argument(
+        "--crash-at",
+        type=int,
+        default=None,
+        help="crash after this many steps (default: try every step)",
+    )
+    recover.add_argument(
+        "--verbose", action="store_true", help="print a line per crash point"
+    )
+    recover.set_defaults(handler=command_recover)
     return parser
 
 

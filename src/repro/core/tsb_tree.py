@@ -23,7 +23,7 @@ byte-accurate, not estimates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.nodes import DataNode, IndexEntry, IndexNode, NodeError, decode_node
@@ -111,6 +111,22 @@ class TreeCounters:
             + self.index_time_splits
         )
 
+    def field_values(self) -> List[int]:
+        """Counter values in declaration order (the superblock wire order)."""
+        return [getattr(self, spec.name) for spec in fields(self)]
+
+    @classmethod
+    def from_field_values(cls, values: Sequence[int]) -> "TreeCounters":
+        """Rebuild counters from :meth:`field_values` output.
+
+        Tolerates a shorter sequence (a superblock written before a counter
+        was added): missing trailing counters keep their zero defaults.
+        """
+        counters = cls()
+        for spec, value in zip(fields(cls), values):
+            setattr(counters, spec.name, int(value))
+        return counters
+
     def as_dict(self) -> Dict[str, int]:
         return {
             "inserts": self.inserts,
@@ -172,6 +188,8 @@ class TSBTree:
         self.counters = TreeCounters()
         self._max_committed_ts = 0
         self._next_auto_ts = 1
+        self._log_anchor = 0
+        self._log_anchor_offset = 0
         # The first magnetic page is the superblock: the durable pointer to
         # the current root written by :meth:`checkpoint` and read by
         # :meth:`open` when the database is reopened from its devices.
@@ -407,6 +425,25 @@ class TSBTree:
         """The largest committed timestamp the tree has seen."""
         return self._max_committed_ts
 
+    @property
+    def log_anchor(self) -> int:
+        """LSN of the WAL checkpoint record this tree was last flushed under.
+
+        Zero means the tree has never been checkpointed through a
+        :class:`~repro.recovery.log_manager.LogManager`; restart recovery
+        then replays the durable log from its very beginning.
+        """
+        return self._log_anchor
+
+    @property
+    def log_anchor_offset(self) -> int:
+        """Byte offset of the anchored checkpoint record in the log device.
+
+        Lets restart recovery start decoding at the anchor instead of
+        scanning the whole log from byte 0.
+        """
+        return self._log_anchor_offset
+
     def iter_nodes(self) -> Iterator[Union[DataNode, IndexNode]]:
         """Yield every reachable node exactly once (current and historical)."""
         seen: Set[Address] = set()
@@ -434,13 +471,26 @@ class TSBTree:
     # ------------------------------------------------------------------
     # Durability: superblock checkpointing and reopening
     # ------------------------------------------------------------------
-    def checkpoint(self) -> None:
+    def checkpoint(
+        self,
+        log_anchor: Optional[int] = None,
+        log_anchor_offset: Optional[int] = None,
+    ) -> None:
         """Flush dirty pages and persist the root pointer to the superblock.
 
         After a checkpoint, :meth:`open` can rebuild an equivalent tree from
-        the two devices alone.  Statistics counters are session-local and are
-        not persisted.
+        the two devices alone.  The structural-event counters are persisted
+        too, so accounting survives reopen and restart recovery.
+
+        ``log_anchor`` records the LSN of the WAL checkpoint record this
+        flush belongs to (see :meth:`~repro.recovery.log_manager.LogManager.checkpoint`)
+        and ``log_anchor_offset`` that record's byte position in the log
+        device; restart recovery replays the log from that record.  When
+        omitted, the previously recorded anchor is kept.
         """
+        if log_anchor is not None:
+            self._log_anchor = log_anchor
+            self._log_anchor_offset = log_anchor_offset or 0
         self.flush()
         writer = ByteWriter()
         writer.put_u32(_SUPERBLOCK_MAGIC)
@@ -449,6 +499,16 @@ class TSBTree:
         writer.put_u64(self._max_committed_ts)
         writer.put_u64(self._next_auto_ts)
         writer.put_u32(self.page_size)
+        writer.put_u64(self._log_anchor)
+        writer.put_u64(self._log_anchor_offset)
+        counter_values = self.counters.field_values()
+        # Counters are best-effort on pathologically small pages: drop them
+        # rather than overflow the superblock page.
+        if writer.size + 4 + 8 * len(counter_values) > self.magnetic.page_size:
+            counter_values = []
+        writer.put_u32(len(counter_values))
+        for value in counter_values:
+            writer.put_u64(value)
         self.magnetic.write(self._superblock_address, writer.getvalue())
 
     @classmethod
@@ -479,6 +539,9 @@ class TSBTree:
         max_committed_ts = reader.get_u64()
         next_auto_ts = reader.get_u64()
         page_size = reader.get_u32()
+        log_anchor = reader.get_u64()
+        log_anchor_offset = reader.get_u64()
+        counter_values = [reader.get_u64() for _ in range(reader.get_u32())]
 
         tree = cls.__new__(cls)
         tree.page_size = page_size
@@ -486,9 +549,11 @@ class TSBTree:
         tree.magnetic = magnetic
         tree.historical = historical
         tree.cache = PageCache(magnetic, capacity=cache_pages)
-        tree.counters = TreeCounters()
+        tree.counters = TreeCounters.from_field_values(counter_values)
         tree._max_committed_ts = max_committed_ts
         tree._next_auto_ts = next_auto_ts
+        tree._log_anchor = log_anchor
+        tree._log_anchor_offset = log_anchor_offset
         tree._superblock_address = superblock_address
         tree._root_address = root_address
         tree._height = height

@@ -1,0 +1,56 @@
+"""Write-ahead logging, group commit and restart recovery.
+
+The paper's versioning scheme (section 4) assumes commit is atomic and
+durable: provisional versions become visible only once stamped with the
+commit timestamp.  This package supplies the durability half of that
+contract for the reproduction:
+
+* :mod:`repro.recovery.log_records` — the binary log-record format.
+* :class:`LogManager` — LSN assignment, the write-ahead disciplines, group
+  commit and (full or fuzzy) checkpoints over a
+  :class:`~repro.storage.logdevice.LogDevice`.
+* :class:`RecoveryManager` — analysis / redo / undo restart recovery that
+  rebuilds exactly the durably committed state, verified against the
+  structural checker.
+* :class:`RecoverableSystem` — the assembled durable stack with an honest
+  ``crash()`` for tests, benchmarks and the CLI demos.
+* :mod:`repro.recovery.scripts` — deterministic transactional scripts and
+  the durable-prefix oracle used by crash-injection testing.
+"""
+
+from repro.recovery.log_manager import LogManager, RecoveryRequiredError
+from repro.recovery.log_records import (
+    ActiveTransaction,
+    LogRecord,
+    LogRecordError,
+    LogRecordType,
+    decode_stream,
+    encode_record,
+)
+from repro.recovery.recovery_manager import (
+    RecoveryError,
+    RecoveryManager,
+    RecoveryReport,
+    RecoveryResult,
+)
+from repro.recovery.scripts import ScriptRunner, ScriptStep, generate_script
+from repro.recovery.system import RecoverableSystem
+
+__all__ = [
+    "ActiveTransaction",
+    "LogManager",
+    "LogRecord",
+    "LogRecordError",
+    "LogRecordType",
+    "RecoverableSystem",
+    "RecoveryError",
+    "RecoveryManager",
+    "RecoveryReport",
+    "RecoveryRequiredError",
+    "RecoveryResult",
+    "ScriptRunner",
+    "ScriptStep",
+    "decode_stream",
+    "encode_record",
+    "generate_script",
+]

@@ -1,0 +1,235 @@
+"""Write-ahead-log manager: LSN assignment, group commit, checkpoints.
+
+The manager owns one :class:`~repro.storage.logdevice.LogDevice` and is the
+only writer to it.  It enforces the two WAL disciplines the transaction
+layer relies on:
+
+**Log-before-stamp.**  Every operation record is appended before the tree is
+touched, and a transaction's commit record is appended before its versions
+are stamped.  Because the tree's pages only reach the magnetic device at a
+checkpoint — which forces the log first — no durable page can ever describe
+an unlogged change.
+
+**Group commit.**  Forcing the log is the expensive, per-commit device
+access; batching amortises it.  With ``group_commit_size = N``, commit
+records accumulate in the device's volatile tail and a single force makes
+the whole batch durable, so commit throughput scales with ``N`` at the cost
+of the last ``< N`` commits being vulnerable until the next force.  This is
+the classic throughput lever the benchmark suite measures
+(``benchmarks/bench_recovery.py``).
+
+**Checkpoints.**  :meth:`checkpoint` writes a CHECKPOINT record carrying the
+timestamp-oracle high-water mark, the next transaction id and the
+active-transaction table, then forces the log.  A *full* checkpoint
+additionally flushes the tree and stamps the superblock with the record's
+LSN — recovery replays the log from that anchor.  A *fuzzy* checkpoint
+(``fuzzy=True``) skips the page flush entirely: it costs one log force, does
+not move the replay anchor, and exists so long-running systems can bound the
+analysis pass without stalling on a full buffer-pool flush.
+
+The WAL protocol assumes a **no-steal** buffer pool: dirty tree pages must
+not be written back to the magnetic device between checkpoints (give the
+tree a cache large enough to hold its working set, as
+:class:`~repro.recovery.system.RecoverableSystem` does).  Under no-steal,
+the magnetic device always holds exactly the last checkpoint's image, which
+is the durable base restart recovery rebuilds from.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.recovery.log_records import (
+    ActiveTransaction,
+    LogRecord,
+    encode_record,
+)
+from repro.storage.logdevice import LogDevice
+from repro.storage.serialization import Key
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.tsb_tree import TSBTree
+    from repro.txn.manager import TransactionManager
+
+
+class RecoveryRequiredError(Exception):
+    """A full checkpoint was refused because the tree may be damaged.
+
+    Raised when the transaction manager flagged a failed structure
+    modification (``requires_recovery``): flushing now would anchor a
+    possibly-inconsistent image and silently lose committed data that only
+    the log still describes.  The cure is restart recovery
+    (:class:`~repro.recovery.recovery_manager.RecoveryManager`, or
+    :meth:`~repro.recovery.system.RecoverableSystem.crash`), which rebuilds
+    from the last good checkpoint plus the log.
+    """
+
+
+class LogManager:
+    """Appends WAL records, assigns LSNs and batches commit forces.
+
+    Parameters
+    ----------
+    device:
+        The append-only log device; a fresh :class:`LogDevice` by default.
+    group_commit_size:
+        Number of commit records that triggers a force.  ``1`` forces on
+        every commit (strict durability); larger values trade the tail of
+        unforced commits for throughput.
+    next_lsn:
+        First LSN to assign.  After restart recovery, a new manager on the
+        same device continues the sequence so LSNs stay unique log-wide.
+    """
+
+    def __init__(
+        self,
+        device: Optional[LogDevice] = None,
+        group_commit_size: int = 1,
+        next_lsn: int = 1,
+    ) -> None:
+        if group_commit_size <= 0:
+            raise ValueError("group_commit_size must be positive")
+        if next_lsn <= 0:
+            raise ValueError("LSNs start at 1")
+        self.device = device or LogDevice()
+        self.group_commit_size = group_commit_size
+        self._next_lsn = next_lsn
+        self._last_lsn = next_lsn - 1
+        self._flushed_lsn = next_lsn - 1
+        self._last_append_offset = 0
+        self._pending_commits = 0
+
+    # ------------------------------------------------------------------
+    # LSN bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def last_lsn(self) -> int:
+        """LSN of the most recently appended record (0 if none)."""
+        return self._last_lsn
+
+    @property
+    def flushed_lsn(self) -> int:
+        """LSN of the last record that is durable on the log device."""
+        return self._flushed_lsn
+
+    @property
+    def pending_commits(self) -> int:
+        """Commit records appended but not yet forced."""
+        return self._pending_commits
+
+    def is_durable(self, lsn: int) -> bool:
+        """Whether the record at ``lsn`` has been forced to stable storage."""
+        return 0 < lsn <= self._flushed_lsn
+
+    # ------------------------------------------------------------------
+    # Record appends
+    # ------------------------------------------------------------------
+    def log_begin(self, txn_id: int) -> int:
+        return self._append(LogRecord.begin(self._take_lsn(), txn_id))
+
+    def log_insert(self, txn_id: int, key: Key, value: bytes) -> int:
+        return self._append(LogRecord.insert(self._take_lsn(), txn_id, key, value))
+
+    def log_delete(self, txn_id: int, key: Key) -> int:
+        return self._append(LogRecord.delete(self._take_lsn(), txn_id, key))
+
+    def log_abort(self, txn_id: int) -> int:
+        return self._append(LogRecord.abort(self._take_lsn(), txn_id))
+
+    def log_commit(self, txn_id: int, commit_timestamp: int) -> int:
+        """Append a commit record; force when the group-commit batch is full.
+
+        Returns the commit record's LSN.  The commit is durable once
+        ``flushed_lsn`` reaches that LSN — immediately when
+        ``group_commit_size == 1``, at the batch-filling (or next explicit)
+        force otherwise.
+        """
+        lsn = self._append(LogRecord.commit(self._take_lsn(), txn_id, commit_timestamp))
+        self._pending_commits += 1
+        if self._pending_commits >= self.group_commit_size:
+            self.force()
+        return lsn
+
+    def force(self) -> None:
+        """Force the log: every appended record becomes durable."""
+        self.device.force()
+        self._flushed_lsn = self._last_lsn
+        self._pending_commits = 0
+
+    # ------------------------------------------------------------------
+    # Checkpoints
+    # ------------------------------------------------------------------
+    def checkpoint(
+        self,
+        tree: "TSBTree",
+        txn_manager: Optional["TransactionManager"] = None,
+        fuzzy: bool = False,
+    ) -> int:
+        """Write a checkpoint record (and, unless fuzzy, flush the tree).
+
+        Order matters: the record is appended and the log forced *before*
+        the tree flushes its pages, so the durable page image can never be
+        ahead of the durable log.  A crash between the force and the
+        superblock stamp simply leaves the previous anchor in place — the
+        new record is then ignored, which is safe because redo starts only
+        from the anchored LSN.
+
+        A full checkpoint refuses (:class:`RecoveryRequiredError`) while the
+        transaction manager reports a possibly-damaged tree; anchoring a
+        broken image would make the damage durable.  Fuzzy checkpoints are
+        log-only and stay allowed.
+        """
+        if (
+            not fuzzy
+            and txn_manager is not None
+            and getattr(txn_manager, "requires_recovery", False)
+        ):
+            raise RecoveryRequiredError(
+                "a failed structure modification left the tree suspect; run "
+                "restart recovery before taking a full checkpoint"
+            )
+        active = ()
+        high_water = tree.now
+        next_txn_id = 1
+        if txn_manager is not None:
+            active = tuple(
+                ActiveTransaction(
+                    txn_id=txn.txn_id, keys=tuple(sorted(txn.write_set))
+                )
+                for txn in txn_manager.active_transactions()
+            )
+            high_water = max(high_water, txn_manager.clock.latest)
+            next_txn_id = txn_manager.next_txn_id
+        lsn = self._append(
+            LogRecord.checkpoint(
+                self._take_lsn(),
+                high_water=high_water,
+                next_txn_id=next_txn_id,
+                active=active,
+                fuzzy=fuzzy,
+            )
+        )
+        anchor_offset = self._last_append_offset
+        self.force()
+        if not fuzzy:
+            tree.checkpoint(log_anchor=lsn, log_anchor_offset=anchor_offset)
+        return lsn
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _take_lsn(self) -> int:
+        lsn = self._next_lsn
+        self._next_lsn += 1
+        return lsn
+
+    def _append(self, record: LogRecord) -> int:
+        self._last_append_offset = self.device.append(encode_record(record))
+        self._last_lsn = record.lsn
+        return record.lsn
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LogManager(last_lsn={self._last_lsn}, flushed_lsn={self._flushed_lsn}, "
+            f"group_commit_size={self.group_commit_size})"
+        )

@@ -1,0 +1,176 @@
+"""Deterministic transactional scripts for crash-injection testing.
+
+The crash-injection methodology is: generate one randomized but fully
+deterministic script of transactional steps, then for every prefix of that
+script build a fresh :class:`~repro.recovery.system.RecoverableSystem`,
+execute the prefix, crash, recover, and compare the recovered tree against
+an independently computed oracle.  The oracle is deliberately trivial — a
+list of (commit LSN, writes) events filtered by what the log had forced at
+the crash — so if the tree and the oracle disagree, recovery is wrong.
+
+The *committed prefix* a crash must preserve is defined by the log, not by
+the API: a transaction whose ``commit()`` returned but whose commit record
+sat in the unforced tail (group commit!) is correctly lost, and a
+transaction whose commit record was forced must be fully present.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.recovery.system import RecoverableSystem
+from repro.storage.serialization import Key
+
+
+@dataclass(frozen=True)
+class ScriptStep:
+    """One step of a transactional script.
+
+    ``kind`` is one of ``begin``, ``write``, ``delete``, ``commit``,
+    ``abort``, ``checkpoint``, ``fuzzy-checkpoint``; ``slot`` names one of a
+    small pool of concurrent transaction slots; ``key``/``value`` apply to
+    write and delete steps.
+    """
+
+    kind: str
+    slot: int = 0
+    key: Optional[Key] = None
+    value: bytes = b""
+
+
+def generate_script(
+    steps: int,
+    key_space: int = 8,
+    slots: int = 3,
+    seed: int = 0,
+    checkpoint_every: float = 0.06,
+    abort_fraction: float = 0.15,
+) -> List[ScriptStep]:
+    """Generate a valid random script of ``steps`` transactional steps.
+
+    The generator mirrors the slot state machine a runner keeps, so every
+    produced script is executable: writes only target open transactions,
+    commits and aborts only close open ones, and every key is locked by at
+    most one open transaction at a time (the lock manager would refuse
+    anything else).
+    """
+    rng = random.Random(seed)
+    script: List[ScriptStep] = []
+    open_slots: Dict[int, List[Key]] = {}
+    locked: set = set()
+    serial = 0
+
+    while len(script) < steps:
+        choices: List[str] = []
+        if len(open_slots) < slots:
+            choices.append("begin")
+        if open_slots:
+            choices.extend(["write"] * 4)
+            if any(open_slots.values()):
+                choices.extend(["commit", "commit", "abort" if rng.random() < abort_fraction else "commit"])
+            choices.append("delete")
+        if rng.random() < checkpoint_every:
+            choices.append("fuzzy-checkpoint" if rng.random() < 0.4 else "checkpoint")
+
+        kind = rng.choice(choices)
+        if kind == "begin":
+            slot = min(set(range(slots)) - set(open_slots))
+            open_slots[slot] = []
+            script.append(ScriptStep(kind="begin", slot=slot))
+        elif kind in ("write", "delete"):
+            slot = rng.choice(sorted(open_slots))
+            own = set(open_slots[slot])
+            free = [k for k in range(key_space) if k not in locked or k in own]
+            if not free:
+                continue
+            key = rng.choice(free)
+            locked.add(key)
+            if key not in own:
+                open_slots[slot].append(key)
+            serial += 1
+            value = f"s{seed}-{serial}-k{key}".encode()
+            script.append(ScriptStep(kind=kind, slot=slot, key=key, value=value))
+        elif kind in ("commit", "abort"):
+            slot = rng.choice(sorted(open_slots))
+            for key in open_slots.pop(slot):
+                locked.discard(key)
+            script.append(ScriptStep(kind=kind, slot=slot))
+        else:
+            script.append(ScriptStep(kind=kind))
+    return script
+
+
+@dataclass
+class ScriptRunner:
+    """Executes a script against a system while keeping the durable oracle.
+
+    ``commit_events`` accumulates ``(commit_lsn, writes)`` pairs where
+    ``writes`` maps key to value (or ``None`` for a delete).  The expected
+    visible state after a crash is the fold of all events whose commit LSN
+    the log had forced — see :meth:`expected_visible`.
+    """
+
+    system: RecoverableSystem
+    slots: Dict[int, object] = field(default_factory=dict)
+    slot_writes: Dict[int, Dict[Key, Optional[bytes]]] = field(default_factory=dict)
+    #: (commit LSN, commit timestamp, writes) per committed transaction
+    commit_events: List[Tuple[int, int, Dict[Key, Optional[bytes]]]] = field(
+        default_factory=list
+    )
+
+    def run(self, script: List[ScriptStep]) -> None:
+        for step in script:
+            self.apply(step)
+
+    def apply(self, step: ScriptStep) -> None:
+        if step.kind == "begin":
+            self.slots[step.slot] = self.system.begin()
+            self.slot_writes[step.slot] = {}
+        elif step.kind == "write":
+            self.slots[step.slot].write(step.key, step.value)
+            self.slot_writes[step.slot][step.key] = step.value
+        elif step.kind == "delete":
+            self.slots[step.slot].delete(step.key)
+            self.slot_writes[step.slot][step.key] = None
+        elif step.kind == "commit":
+            txn = self.slots.pop(step.slot)
+            timestamp = txn.commit()
+            self.commit_events.append(
+                (txn.commit_lsn, timestamp, self.slot_writes.pop(step.slot))
+            )
+        elif step.kind == "abort":
+            self.slots.pop(step.slot).abort()
+            self.slot_writes.pop(step.slot)
+        elif step.kind == "checkpoint":
+            self.system.checkpoint()
+        elif step.kind == "fuzzy-checkpoint":
+            self.system.checkpoint(fuzzy=True)
+        else:
+            raise ValueError(f"unknown script step kind {step.kind!r}")
+
+    # ------------------------------------------------------------------
+    # Oracle
+    # ------------------------------------------------------------------
+    def expected_visible(self, flushed_lsn: Optional[int] = None) -> Dict[Key, bytes]:
+        """Visible state implied by the durable committed prefix.
+
+        ``flushed_lsn`` defaults to the log's current durable horizon —
+        call this *before* :meth:`~repro.recovery.system.RecoverableSystem.crash`
+        (recovery itself appends a fresh checkpoint, moving the horizon).
+        """
+        if flushed_lsn is None:
+            flushed_lsn = self.system.log.flushed_lsn
+        state: Dict[Key, Optional[bytes]] = {}
+        for lsn, _timestamp, writes in self.commit_events:
+            if lsn <= flushed_lsn:
+                state.update(writes)
+        return {key: value for key, value in state.items() if value is not None}
+
+    def durable_high_water(self, flushed_lsn: Optional[int] = None) -> int:
+        """Largest commit timestamp among durably committed transactions."""
+        if flushed_lsn is None:
+            flushed_lsn = self.system.log.flushed_lsn
+        durable = [ts for lsn, ts, _ in self.commit_events if lsn <= flushed_lsn]
+        return max(durable, default=0)

@@ -1,0 +1,153 @@
+"""A TSB-tree wired for durability: WAL + transactions + crash/restart.
+
+:class:`RecoverableSystem` assembles the full stack the recovery subsystem
+needs — magnetic disk, historical device, log device, tree, log manager and
+transaction manager — with the disciplines the WAL protocol requires:
+
+* the tree's buffer pool is sized **no-steal** (dirty pages never reach the
+  magnetic device between checkpoints), so the device always holds exactly
+  the last full checkpoint's image — the durable base recovery starts from;
+* every checkpoint goes through the log manager, so the superblock anchor
+  and the log stay in lockstep;
+* :meth:`crash` models the failure honestly: the in-memory tree, cache,
+  lock table and transaction state vanish wholesale, the log loses its
+  unforced tail, and a fresh :class:`~repro.recovery.recovery_manager.RecoveryManager`
+  rebuilds everything from the surviving devices.
+
+After a crash the system object is live again — recovered tree, a
+timestamp oracle restored to the pre-crash high-water mark, a log manager
+continuing the LSN sequence, and a fresh full checkpoint so the next crash
+replays only post-recovery work.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.policy import SplitPolicy
+from repro.core.tsb_tree import TSBTree
+from repro.recovery.log_manager import LogManager
+from repro.recovery.recovery_manager import RecoveryManager, RecoveryReport
+from repro.storage.logdevice import LogDevice
+from repro.storage.magnetic import MagneticDisk
+from repro.storage.worm import WormDisk
+from repro.txn.manager import Transaction, TransactionManager, TransactionState
+from repro.txn.readonly import ReadOnlyTransaction
+
+#: Effectively-unbounded buffer pool: the no-steal discipline in page counts.
+_NO_STEAL_CACHE_PAGES = 1_000_000
+
+
+class RecoverableSystem:
+    """The durable configuration of the reproduction, as one object.
+
+    Parameters
+    ----------
+    page_size:
+        Magnetic/tree page size in bytes.
+    policy:
+        Split policy for the tree (tree default when omitted).
+    group_commit_size:
+        Commit records per log force (see
+        :class:`~repro.recovery.log_manager.LogManager`).
+    magnetic / historical / log_device:
+        Devices to build on; fresh unbounded ones by default.  Passing a
+        bounded device is how the failure-injection tests crash the system
+        mid-split.
+    """
+
+    def __init__(
+        self,
+        page_size: int = 512,
+        policy: Optional[SplitPolicy] = None,
+        group_commit_size: int = 1,
+        magnetic: Optional[MagneticDisk] = None,
+        historical: Optional[object] = None,
+        log_device: Optional[LogDevice] = None,
+    ) -> None:
+        self.page_size = page_size
+        self.policy = policy
+        self.group_commit_size = group_commit_size
+        self.magnetic = magnetic or MagneticDisk(page_size=page_size)
+        self.historical = historical or WormDisk(sector_size=min(1024, page_size))
+        self.log_device = log_device or LogDevice()
+        self.tree = TSBTree(
+            page_size=page_size,
+            policy=policy,
+            magnetic=self.magnetic,
+            historical=self.historical,
+            cache_pages=_NO_STEAL_CACHE_PAGES,
+        )
+        self.log = LogManager(self.log_device, group_commit_size=group_commit_size)
+        self.txns = TransactionManager(self.tree, log=self.log)
+        self.log.checkpoint(self.tree, self.txns)
+        self.last_report: Optional[RecoveryReport] = None
+
+    # ------------------------------------------------------------------
+    # Transactional surface (delegates)
+    # ------------------------------------------------------------------
+    def begin(self) -> Transaction:
+        return self.txns.begin()
+
+    def begin_readonly(self) -> ReadOnlyTransaction:
+        return self.txns.begin_readonly()
+
+    def checkpoint(self, fuzzy: bool = False) -> int:
+        """Take a checkpoint through the log manager; return its LSN."""
+        return self.log.checkpoint(self.tree, self.txns, fuzzy=fuzzy)
+
+    def commit_is_durable(self, txn: Transaction) -> bool:
+        """Whether ``txn``'s commit record would survive a crash right now."""
+        return txn.commit_lsn is not None and self.log.is_durable(txn.commit_lsn)
+
+    # ------------------------------------------------------------------
+    # Crash and restart
+    # ------------------------------------------------------------------
+    def crash(self, verify: bool = True) -> RecoveryReport:
+        """Crash the system and restart it from the surviving devices.
+
+        Everything volatile dies: the buffer pool's dirty pages, the lock
+        table, in-flight transactions, and the unforced log tail.  What
+        survives is what real hardware keeps — the magnetic pages as of the
+        last full checkpoint (no-steal), the write-once historical regions,
+        and the forced log prefix.  Returns the recovery report; the system
+        is ready for new transactions afterwards.
+
+        Transaction handles from before the crash are dead: their
+        transactions are marked aborted and their manager is detached from
+        the log, so a stale ``commit()`` raises instead of silently writing
+        into the post-crash log.
+        """
+        for txn in self.txns.active_transactions():
+            txn.state = TransactionState.ABORTED
+        self.txns.log = None
+        self.log_device.lose_volatile_tail()
+        result = RecoveryManager(
+            self.magnetic,
+            self.historical,
+            self.log_device,
+            policy=self.policy,
+            cache_pages=_NO_STEAL_CACHE_PAGES,
+        ).recover(verify=verify)
+
+        self.tree = result.tree
+        self.log = LogManager(
+            self.log_device,
+            group_commit_size=self.group_commit_size,
+            next_lsn=max(result.report.last_durable_lsn, self.log.last_lsn) + 1,
+        )
+        self.txns = TransactionManager(
+            self.tree,
+            clock=result.clock,
+            log=self.log,
+            next_txn_id=result.report.next_txn_id,
+        )
+        self.log.checkpoint(self.tree, self.txns)
+        self.last_report = result.report
+        return result.report
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RecoverableSystem(page_size={self.page_size}, "
+            f"group_commit_size={self.group_commit_size}, tree={self.tree!r})"
+        )

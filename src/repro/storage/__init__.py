@@ -7,6 +7,7 @@ The package models the hardware environment the paper assumes:
 * :class:`WormDisk` — write-once, sector-oriented optical disk holding the
   *historical* database.
 * :class:`OpticalLibrary` — a robot-served jukebox of WORM platters.
+* :class:`LogDevice` — append-only, force-batched log disk for the WAL.
 * :class:`PageCache` — LRU buffer pool over the magnetic disk.
 * :class:`CostModel` — seek/mount latencies and the storage cost function
   ``CS = SpaceM * CM + SpaceO * CO`` of paper section 3.2.
@@ -24,6 +25,7 @@ from repro.storage.device import (
     WriteOnceViolationError,
 )
 from repro.storage.iostats import IOStats, TieredIOStats
+from repro.storage.logdevice import LogDevice
 from repro.storage.magnetic import MagneticDisk
 from repro.storage.optical_library import OpticalLibrary
 from repro.storage.pagecache import CachePinnedError, CacheStats, PageCache
@@ -37,6 +39,7 @@ __all__ = [
     "Device",
     "IOStats",
     "InvalidAddressError",
+    "LogDevice",
     "MagneticDisk",
     "OpticalLibrary",
     "OutOfSpaceError",

@@ -1,0 +1,199 @@
+"""Append-only log device backing the write-ahead log.
+
+The recovery subsystem (:mod:`repro.recovery`) needs a device with semantics
+neither existing tier provides: the magnetic disk is page-oriented and
+rewritable, the WORM disk is sector-burned and immutable, but a write-ahead
+log is a *byte stream* that is appended continuously and made durable in
+batches.  :class:`LogDevice` models the log disk of a classical database
+system:
+
+* ``append`` places bytes in a **volatile tail** — the OS/controller buffer
+  that a crash wipes out.
+* ``force`` is the ``fsync`` analogue: it moves the whole volatile tail to
+  durable storage and is the *only* operation that touches the physical
+  device.  Group commit exists precisely because one force can cover many
+  commit records, so the force count — not the append count — is what the
+  access accounting records.
+* ``lose_volatile_tail`` simulates the crash: everything not yet forced is
+  gone; everything forced survives bit-for-bit.
+
+Accounting follows the same discipline as
+:class:`~repro.storage.magnetic.MagneticDisk`: every force is one seek plus
+one transfer recorded in :class:`~repro.storage.iostats.IOStats`, and
+occupancy is reported both as payload bytes (``bytes_stored``) and as whole
+sectors consumed (``bytes_used``), because a real log disk writes in sector
+units even when the tail is short.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.storage.device import (
+    Address,
+    Device,
+    InvalidAddressError,
+    OutOfSpaceError,
+)
+from repro.storage.iostats import IOStats
+
+
+class LogDevice(Device):
+    """In-memory simulation of an append-only, force-batched log disk.
+
+    Parameters
+    ----------
+    sector_size:
+        Physical write granularity; each force transfers whole sectors.
+    capacity_bytes:
+        Optional bound on total appended bytes; ``None`` means unbounded.
+    name:
+        Device name used in I/O reports.
+    """
+
+    def __init__(
+        self,
+        sector_size: int = 512,
+        capacity_bytes: Optional[int] = None,
+        name: str = "log",
+    ) -> None:
+        if sector_size <= 0:
+            raise ValueError("sector_size must be positive")
+        if capacity_bytes is not None and capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive when given")
+        self.sector_size = sector_size
+        self.capacity_bytes = capacity_bytes
+        self.name = name
+        self.stats = IOStats()
+        self._durable = bytearray()
+        self._volatile = bytearray()
+
+    # ------------------------------------------------------------------
+    # Appending and forcing
+    # ------------------------------------------------------------------
+    def append(self, payload: bytes) -> int:
+        """Buffer ``payload`` in the volatile tail; return its byte offset.
+
+        The offset is the log position the payload starts at once forced,
+        stable across crashes because the volatile tail is always lost or
+        kept wholesale.
+        """
+        if not payload:
+            raise ValueError("cannot append an empty log payload")
+        offset = len(self._durable) + len(self._volatile)
+        if (
+            self.capacity_bytes is not None
+            and offset + len(payload) > self.capacity_bytes
+        ):
+            raise OutOfSpaceError(
+                f"log device full: {self.capacity_bytes} bytes capacity, "
+                f"{offset} appended, {len(payload)} requested"
+            )
+        self._volatile.extend(payload)
+        return offset
+
+    def force(self) -> int:
+        """Make the volatile tail durable; return the bytes transferred.
+
+        One force is one device access — a seek plus the transfer of the
+        pending bytes, rounded up to whole sectors — regardless of how many
+        log records the tail contains.  An empty tail costs nothing.
+        """
+        pending = len(self._volatile)
+        if pending == 0:
+            return 0
+        sectors = -(-pending // self.sector_size)
+        self._durable.extend(self._volatile)
+        self._volatile.clear()
+        self.stats.record_write(pending, sectors=sectors)
+        return pending
+
+    def lose_volatile_tail(self) -> int:
+        """Simulate a crash: drop everything not yet forced; return bytes lost."""
+        lost = len(self._volatile)
+        self._volatile.clear()
+        return lost
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def durable_contents(self) -> bytes:
+        """The forced portion of the log — all a restart ever gets to see."""
+        self.stats.record_read(len(self._durable))
+        return bytes(self._durable)
+
+    def durable_suffix(self, offset: int) -> bytes:
+        """The durable log from byte ``offset`` on (empty if out of range).
+
+        Restart recovery reads from the checkpoint anchor's byte offset
+        instead of byte 0, so restart cost tracks the post-checkpoint log,
+        not total history.  An offset beyond the durable length yields
+        ``b""`` — the caller decides whether that means "nothing to replay"
+        or "log and superblock disagree".
+        """
+        if offset < 0:
+            raise ValueError("log offsets are non-negative")
+        if offset >= len(self._durable):
+            return b""
+        data = bytes(self._durable[offset:])
+        self.stats.record_read(len(data))
+        return data
+
+    def read(self, address: Address) -> bytes:
+        """Read ``address.length`` durable bytes starting at ``sector_start``.
+
+        The log is byte-addressed; ``sector_start`` carries the byte offset
+        an earlier :meth:`append` returned.
+        """
+        if not address.is_historical:
+            raise InvalidAddressError(f"{address} is not a log-region address")
+        start = address.sector_start or 0
+        length = address.length or 0
+        if start + length > len(self._durable):
+            raise InvalidAddressError(
+                f"log range [{start}, {start + length}) exceeds the durable "
+                f"log of {len(self._durable)} bytes"
+            )
+        data = bytes(self._durable[start : start + length])
+        self.stats.record_read(len(data))
+        return data
+
+    # ------------------------------------------------------------------
+    # Occupancy accounting
+    # ------------------------------------------------------------------
+    @property
+    def durable_bytes(self) -> int:
+        """Bytes that survive a crash."""
+        return len(self._durable)
+
+    @property
+    def volatile_bytes(self) -> int:
+        """Bytes appended but not yet forced (lost on crash)."""
+        return len(self._volatile)
+
+    @property
+    def appended_bytes(self) -> int:
+        """Total bytes appended, durable or not."""
+        return len(self._durable) + len(self._volatile)
+
+    @property
+    def forces(self) -> int:
+        """Number of forces performed (each is one device write)."""
+        return self.stats.writes
+
+    @property
+    def bytes_used(self) -> int:
+        """Capacity consumed: durable payload rounded up to whole sectors."""
+        sectors = -(-len(self._durable) // self.sector_size)
+        return sectors * self.sector_size
+
+    @property
+    def bytes_stored(self) -> int:
+        """Durable payload bytes."""
+        return len(self._durable)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LogDevice(name={self.name!r}, durable={self.durable_bytes}, "
+            f"volatile={self.volatile_bytes}, forces={self.forces})"
+        )

@@ -146,6 +146,14 @@ class MagneticDisk(Device):
         """Return whether ``address`` refers to a live page on this disk."""
         return address.tier is Tier.MAGNETIC and address.page_id in self._pages
 
+    def allocated_page_ids(self) -> list[int]:
+        """Page numbers of every currently allocated page (sorted).
+
+        Restart recovery uses this to sweep pages that were allocated after
+        the last checkpoint but never linked into the tree before the crash.
+        """
+        return sorted(self._pages)
+
     # ------------------------------------------------------------------
     # Internal helpers
     # ------------------------------------------------------------------

@@ -14,19 +14,30 @@ describes:
   of the transaction remains in either database.
 * **Read-only transactions** (:mod:`repro.txn.readonly`) are stamped when
   they start and read the tree without any locks.
+
+When a :class:`~repro.recovery.log_manager.LogManager` is attached, the
+manager additionally enforces write-ahead logging: every operation appends
+its log record *before* the tree is touched, and the commit record is
+appended (and, per the group-commit policy, forced) *before* the versions
+are stamped.  A transaction is then durably committed exactly when its
+commit record lies inside the forced log prefix — which is what restart
+recovery (:mod:`repro.recovery`) reconstructs after a crash.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
 
-from repro.core.tsb_tree import TSBTree
+from repro.core.tsb_tree import RecordTooLargeError, TSBTree
 from repro.storage.serialization import Key
 from repro.txn.clock import TimestampOracle
 from repro.txn.locks import LockManager
 from repro.txn.readonly import ReadOnlyTransaction
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.recovery.log_manager import LogManager
 
 
 class TransactionError(Exception):
@@ -48,6 +59,9 @@ class Transaction:
     state: TransactionState = TransactionState.ACTIVE
     write_set: Set[Key] = field(default_factory=set)
     commit_timestamp: Optional[int] = None
+    #: LSN of this transaction's commit record (None until commit, or when
+    #: the manager runs without a write-ahead log).
+    commit_lsn: Optional[int] = None
 
     # -- convenience pass-throughs ----------------------------------------
     def write(self, key: Key, value: bytes) -> None:
@@ -79,12 +93,31 @@ class Transaction:
 class TransactionManager:
     """Coordinates updaters, read-only readers and the commit clock."""
 
-    def __init__(self, tree: TSBTree, clock: Optional[TimestampOracle] = None) -> None:
+    def __init__(
+        self,
+        tree: TSBTree,
+        clock: Optional[TimestampOracle] = None,
+        log: Optional["LogManager"] = None,
+        next_txn_id: int = 1,
+    ) -> None:
+        if next_txn_id <= 0:
+            raise ValueError("transaction ids start at 1")
         self.tree = tree
         self.clock = clock or TimestampOracle(start=tree.now)
         self.locks = LockManager()
-        self._next_txn_id = 1
+        self.log = log
+        #: Set when a logged operation died mid-structure-modification and
+        #: may have left the in-memory tree inconsistent.  Durability
+        #: operations (full checkpoints) refuse while this is set; the cure
+        #: is restart recovery, which rebuilds from the last good image.
+        self.requires_recovery = False
+        self._next_txn_id = next_txn_id
         self._transactions: Dict[int, Transaction] = {}
+
+    @property
+    def next_txn_id(self) -> int:
+        """The id the next :meth:`begin` will assign (checkpointed to the WAL)."""
+        return self._next_txn_id
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -94,6 +127,8 @@ class TransactionManager:
         txn = Transaction(txn_id=self._next_txn_id, manager=self)
         self._next_txn_id += 1
         self._transactions[txn.txn_id] = txn
+        if self.log is not None:
+            self.log.log_begin(txn.txn_id)
         return txn
 
     def begin_readonly(self) -> ReadOnlyTransaction:
@@ -101,11 +136,33 @@ class TransactionManager:
         return ReadOnlyTransaction(tree=self.tree, timestamp=self.clock.read_timestamp())
 
     def commit(self, txn_id: int) -> int:
-        """Stamp the transaction's versions with a fresh commit timestamp."""
+        """Stamp the transaction's versions with a fresh commit timestamp.
+
+        With a write-ahead log attached, the commit record is appended (and
+        group-commit-forced) *before* any version is stamped, so a crash can
+        never leave stamped versions whose commit is not in the log.
+        """
         txn = self._active(txn_id)
         commit_timestamp = self.clock.next_commit_timestamp()
+        if self.log is not None:
+            txn.commit_lsn = self.log.log_commit(txn_id, commit_timestamp)
         if txn.write_set:
-            self.tree.commit_provisional(txn_id, sorted(txn.write_set), commit_timestamp)
+            try:
+                self.tree.commit_provisional(
+                    txn_id, sorted(txn.write_set), commit_timestamp
+                )
+            except Exception:
+                if self.log is not None:
+                    # The durable commit record is authoritative: the
+                    # transaction *is* committed even though in-memory
+                    # stamping failed.  Marking it committed here blocks a
+                    # contradictory abort(); restart recovery will replay
+                    # the stamping from the log.
+                    txn.state = TransactionState.COMMITTED
+                    txn.commit_timestamp = commit_timestamp
+                    self.locks.release_all(txn_id)
+                    self.requires_recovery = True
+                raise
         txn.state = TransactionState.COMMITTED
         txn.commit_timestamp = commit_timestamp
         self.locks.release_all(txn_id)
@@ -114,6 +171,8 @@ class TransactionManager:
     def abort(self, txn_id: int) -> None:
         """Erase every provisional version the transaction wrote."""
         txn = self._active(txn_id)
+        if self.log is not None:
+            self.log.log_abort(txn_id)
         if txn.write_set:
             self.tree.abort_provisional(txn_id, sorted(txn.write_set))
         txn.state = TransactionState.ABORTED
@@ -125,14 +184,54 @@ class TransactionManager:
     def write(self, txn_id: int, key: Key, value: bytes) -> None:
         txn = self._active(txn_id)
         self.locks.acquire_exclusive(txn_id, key)
-        self.tree.insert_provisional(key, value, txn_id)
+        if self.log is not None:
+            self.log.log_insert(txn_id, key, value)
+        try:
+            self.tree.insert_provisional(key, value, txn_id)
+        except Exception as exc:
+            self._fail_logged(txn, exc)
+            raise
         txn.write_set.add(key)
 
     def delete(self, txn_id: int, key: Key) -> None:
         txn = self._active(txn_id)
         self.locks.acquire_exclusive(txn_id, key)
-        self.tree.delete_provisional(key, txn_id)
+        if self.log is not None:
+            self.log.log_delete(txn_id, key)
+        try:
+            self.tree.delete_provisional(key, txn_id)
+        except Exception as exc:
+            self._fail_logged(txn, exc)
+            raise
         txn.write_set.add(key)
+
+    def _fail_logged(self, txn: Transaction, exc: Exception) -> None:
+        """Doom a logged transaction whose tree write blew up mid-operation.
+
+        The operation record is already in the log but its effect never
+        (fully) reached the tree, so the transaction must not be allowed to
+        commit — redo would replay the phantom operation.  An abort record
+        makes it a durable loser.  A clean pre-write rejection (an oversized
+        record is refused before the tree is touched) leaves the tree
+        intact, so the transaction's earlier provisional versions are erased
+        immediately like any abort.  Any other failure may have broken the
+        tree mid-structure-modification — erasing from it could make things
+        worse — so the versions are left for restart recovery to undo and
+        the manager is flagged as requiring recovery: full checkpoints
+        refuse until a restart rebuilds from the last good image.  Without a
+        log the old contract stands: the error propagates and the
+        transaction stays active.
+        """
+        if self.log is None:
+            return
+        self.log.log_abort(txn.txn_id)
+        txn.state = TransactionState.ABORTED
+        if isinstance(exc, RecordTooLargeError):
+            if txn.write_set:
+                self.tree.abort_provisional(txn.txn_id, sorted(txn.write_set))
+        else:
+            self.requires_recovery = True
+        self.locks.release_all(txn.txn_id)
 
     def read(self, txn_id: int, key: Key) -> Optional[bytes]:
         """Read inside an updating transaction (sees its own provisional writes)."""

@@ -17,6 +17,17 @@ class TestParser:
         assert args.name == "S3"
         assert args.ops == 500
         assert parser.parse_args(["demo"]).command == "demo"
+        assert parser.parse_args(["crash-demo"]).command == "crash-demo"
+
+    def test_recover_command_parses_its_options(self):
+        args = build_parser().parse_args(
+            ["recover", "--ops", "30", "--seed", "7", "--batch", "4", "--crash-at", "12"]
+        )
+        assert args.command == "recover"
+        assert (args.ops, args.seed, args.batch, args.crash_at) == (30, 7, 4, 12)
+        defaults = build_parser().parse_args(["recover"])
+        assert defaults.crash_at is None
+        assert defaults.batch == 1
 
 
 class TestCommands:
@@ -47,3 +58,30 @@ class TestCommands:
     def test_unknown_study_is_an_error(self, capsys):
         assert main(["study", "S99"]) == 2
         assert "unknown study" in capsys.readouterr().out
+
+    def test_crash_demo(self, capsys):
+        assert main(["crash-demo"]) == 0
+        output = capsys.readouterr().out
+        assert "CRASH" in output
+        assert "recovered from checkpoint LSN" in output
+        assert "alice after recovery         : balance=50" in output
+        assert "carol after recovery         : None" in output
+        assert "alice=120" in output
+
+    def test_recover_single_crash_point(self, capsys):
+        assert main(["recover", "--ops", "30", "--seed", "7", "--crash-at", "15"]) == 0
+        output = capsys.readouterr().out
+        assert "crash at step 15: ok" in output
+        assert "recovery verified: 1 crash point(s)" in output
+
+    def test_recover_rejects_bad_arguments(self, capsys):
+        assert main(["recover", "--ops", "10", "--batch", "0"]) == 2
+        assert "--batch" in capsys.readouterr().out
+        assert main(["recover", "--ops", "10", "--crash-at", "999"]) == 2
+        assert "--crash-at" in capsys.readouterr().out
+
+    def test_recover_every_crash_point_with_group_commit(self, capsys):
+        assert main(["recover", "--ops", "25", "--seed", "3", "--batch", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "recovery verified: 26 crash point(s)" in output
+        assert "group commit batch 3" in output

@@ -5,7 +5,8 @@ This is the paper's flagship application area (section 1): financial
 transactions must never be deleted, auditors need the balance of any account
 at any past time, and backups must not block ongoing business.
 
-The example drives a TSB-tree through the transaction manager of section 4:
+The example drives a :class:`repro.VersionStore` (TSB-tree engine on an
+optical jukebox) through the transaction surface of section 4:
 
 * every transfer runs as an updating transaction (provisional versions under
   record locks, stamped at commit);
@@ -24,28 +25,29 @@ from __future__ import annotations
 
 import random
 
-from repro import AlwaysTimeSplitPolicy, TSBTree, collect_space_stats
+from repro import StoreConfig, VersionStore, collect_space_stats
 from repro.storage import OpticalLibrary
-from repro.txn import TransactionManager
 from repro.workload import bank_accounts
 
 
 def main() -> None:
     random.seed(1989)
-    tree = TSBTree(
-        page_size=1024,
-        policy=AlwaysTimeSplitPolicy("last_update"),
-        historical=OpticalLibrary(sector_size=1024, platter_capacity_sectors=512),
+    store = VersionStore.open(
+        StoreConfig(
+            engine="tsb",
+            page_size=1024,
+            split_policy="always-time:last_update",
+            historical="jukebox",
+            platter_capacity_sectors=512,
+        )
     )
-    manager = TransactionManager(tree)
 
     # --- open accounts ------------------------------------------------------
     scenario = bank_accounts(accounts=40, transactions=0)
     balances = {}
     for event in scenario.events:
-        txn = manager.begin()
-        txn.write(event.entity, event.payload)
-        txn.commit()
+        with store.begin() as txn:
+            txn.write(event.entity, event.payload)
         balances[event.entity] = int(event.payload.decode().split("=")[1])
     print(f"Opened {len(balances)} accounts.")
 
@@ -54,7 +56,7 @@ def main() -> None:
     for _ in range(600):
         source, target = random.sample(sorted(balances), 2)
         amount = random.randint(1, 120)
-        txn = manager.begin()
+        txn = store.begin()
         txn.write(source, f"balance={balances[source] - amount}".encode())
         txn.write(target, f"balance={balances[target] + amount}".encode())
         if balances[source] - amount < 0:
@@ -68,7 +70,7 @@ def main() -> None:
     print(f"Transfers: {committed} committed, {aborted} aborted (erased).")
 
     # --- auditor: lock-free consistent snapshot -----------------------------
-    auditor = manager.begin_readonly()
+    auditor = store.begin_readonly()
     audit_total_before = sum(
         int(version.value.decode().split("=")[1]) for version in auditor.snapshot().values()
     )
@@ -78,10 +80,9 @@ def main() -> None:
         amount = random.randint(1, 50)
         if balances[source] - amount < 0:
             continue
-        txn = manager.begin()
-        txn.write(source, f"balance={balances[source] - amount}".encode())
-        txn.write(target, f"balance={balances[target] + amount}".encode())
-        txn.commit()
+        with store.begin() as txn:
+            txn.write(source, f"balance={balances[source] - amount}".encode())
+            txn.write(target, f"balance={balances[target] + amount}".encode())
         balances[source] -= amount
         balances[target] += amount
     audit_total_after = sum(
@@ -97,20 +98,21 @@ def main() -> None:
 
     # --- audit one account through time --------------------------------------
     sample_account = sorted(balances)[0]
-    history = tree.key_history(sample_account)
+    history = store.key_history(sample_account)
     print(f"\n{sample_account} has {len(history)} recorded balances; the last three:")
-    for version in history[-3:]:
-        print(f"  T={version.timestamp}: {version.value.decode()}")
+    for record in history[-3:]:
+        print(f"  T={record.timestamp}: {record.value.decode()}")
 
     # --- storage: history has migrated to the optical library ----------------
-    stats = collect_space_stats(tree)
-    library: OpticalLibrary = tree.historical  # type: ignore[assignment]
+    stats = collect_space_stats(store.backend)
+    library: OpticalLibrary = store.backend.historical  # type: ignore[assignment]
     print("\nStorage summary:")
     print(f"  current (magnetic) bytes    : {stats.magnetic_bytes_used}")
     print(f"  historical (optical) bytes  : {stats.historical_bytes_used}")
     print(f"  historical sector utilisation: {stats.historical_utilization:.2%}")
     print(f"  optical platters in library : {library.platter_count}")
     print(f"  redundancy ratio            : {stats.redundancy_ratio:.3f}")
+    store.close()  # flushes and checkpoints; the devices now hold everything
 
 
 if __name__ == "__main__":

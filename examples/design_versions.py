@@ -27,8 +27,9 @@ from repro import (
     AlwaysKeySplitPolicy,
     AlwaysTimeSplitPolicy,
     CostDrivenPolicy,
+    StoreConfig,
     ThresholdPolicy,
-    TSBTree,
+    VersionStore,
     collect_space_stats,
 )
 from repro.analysis import ExperimentRow, render_table, space_row
@@ -51,12 +52,15 @@ def main() -> None:
         "designs under four splitting policies...\n"
     )
     rows = []
-    trees = {}
+    stores = {}
     for policy in policies:
-        tree = TSBTree(page_size=1024, policy=policy)
+        store = VersionStore.open(
+            StoreConfig(engine="tsb", page_size=1024, split_policy=policy)
+        )
         for event in scenario.events:
-            tree.insert(event.entity, event.payload, timestamp=event.timestamp)
-        trees[policy.name] = tree
+            store.insert(event.entity, event.payload, timestamp=event.timestamp)
+        stores[policy.name] = store
+        tree = store.backend
         stats = collect_space_stats(tree, cost_model)
         rows.append(
             space_row(
@@ -90,8 +94,8 @@ def main() -> None:
     sample_design = sorted(scenario.history)[0]
     mid_time = scenario.final_timestamp // 2
     answers = {
-        name: tree.search_as_of(sample_design, mid_time).value
-        for name, tree in trees.items()
+        name: store.get_as_of(sample_design, mid_time).value
+        for name, store in stores.items()
     }
     agreed = len(set(answers.values())) == 1
     print(
@@ -101,10 +105,10 @@ def main() -> None:
 
     # Revision history of the most-revised design.
     busiest = max(scenario.history, key=lambda name: len(scenario.history[name]))
-    history = trees[ThresholdPolicy(0.5).name].key_history(busiest)
+    history = stores[ThresholdPolicy(0.5).name].key_history(busiest)
     print(f"\n{busiest} accumulated {len(history)} revisions; the last three:")
-    for version in history[-3:]:
-        print(f"  T={version.timestamp}: {version.value.decode()}")
+    for record in history[-3:]:
+        print(f"  T={record.timestamp}: {record.value.decode()}")
 
 
 if __name__ == "__main__":

@@ -18,13 +18,15 @@ Run with::
 
 from __future__ import annotations
 
-from repro import SecondaryIndex, ThresholdPolicy, TSBTree, collect_space_stats
+from repro import SecondaryIndex, StoreConfig, VersionStore, collect_space_stats
 from repro.workload import personnel_records
 
 
 def main() -> None:
     scenario = personnel_records(employees=30, changes=600)
-    primary = TSBTree(page_size=1024, policy=ThresholdPolicy(0.5))
+    primary = VersionStore.open(
+        StoreConfig(engine="tsb", page_size=1024, split_policy="threshold:0.5")
+    )
     by_department = SecondaryIndex("department", page_size=1024)
 
     print(f"Replaying {len(scenario.events)} personnel events...")
@@ -48,22 +50,22 @@ def main() -> None:
     # Cross-check one checkpoint against the primary data (two-step lookup).
     checkpoint = checkpoints[1]
     print(f"\nEngineering staff as of T={checkpoint} (secondary -> primary lookup):")
-    for version in by_department.lookup(primary, "engineering", as_of=checkpoint)[:8]:
+    for version in by_department.lookup(primary.backend, "engineering", as_of=checkpoint)[:8]:
         print(f"  {version.key}: {version.value.decode()}")
 
-    # Salary history of one employee from the primary tree.
+    # Salary history of one employee from the primary store.
     employee = sorted(scenario.history)[0]
     history = primary.key_history(employee)
     print(f"\n{employee} record history ({len(history)} versions); first and last:")
-    for version in (history[0], history[-1]):
-        print(f"  T={version.timestamp}: {version.value.decode()}")
+    for record in (history[0], history[-1]):
+        print(f"  T={record.timestamp}: {record.value.decode()}")
 
     # Attribute history from the secondary index.
     print(f"\n{employee} department history (from the secondary index):")
     for timestamp, department in by_department.value_history(employee):
         print(f"  T={timestamp}: {department if department is not None else '(left)'}")
 
-    primary_stats = collect_space_stats(primary)
+    primary_stats = collect_space_stats(primary.backend)
     secondary_stats = collect_space_stats(by_department.tree)
     print("\nStorage summary:")
     print(

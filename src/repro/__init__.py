@@ -5,19 +5,35 @@ integrated index over a versioned, timestamped, non-deleting database whose
 current data lives on an erasable magnetic disk and whose historical data is
 incrementally migrated to a cheaper (possibly write-once) device.
 
+The public face of the library is the :class:`VersionStore` façade: declare
+a store with :class:`StoreConfig` (engine, split policy, page size, device
+tier, WAL) and every engine — the TSB-tree, Easton's Write-Once B-tree and
+the naive all-magnetic baseline — answers the same queries through the same
+API with normalized :class:`~repro.api.RecordView` results.
+
 Quick start::
 
-    from repro import TSBTree
+    from repro import StoreConfig, VersionStore
 
-    tree = TSBTree()
-    tree.insert("alice", b"balance=50", timestamp=1)
-    tree.insert("alice", b"balance=90", timestamp=5)
+    with VersionStore.open(StoreConfig(engine="tsb")) as store:
+        store.insert("alice", b"balance=50", timestamp=1)
+        store.insert("alice", b"balance=90", timestamp=5)
 
-    tree.search_current("alice").value      # b"balance=90"
-    tree.search_as_of("alice", 3).value     # b"balance=50"
+        store.get("alice").value               # b"balance=90"
+        store.get_as_of("alice", 3).value      # b"balance=50"
+        store.snapshot(2)                      # whole database as of T=2
+        store.key_history("alice")             # every version, oldest first
+
+        with store.begin() as txn:             # section 4 transactions
+            txn.write("bob", b"balance=200")
+
+    # Swap engine="tsb" for "wobt" or "naive": same workload, same answers,
+    # different storage behaviour — that is the comparison the paper makes.
 
 Sub-packages:
 
+* :mod:`repro.api` — the :class:`VersionStore` façade, the
+  :class:`~repro.api.VersionedEngine` protocol and the engine adapters.
 * :mod:`repro.core` — the TSB-tree, splitting policies, secondary indexes,
   space statistics and the structural invariant checker.
 * :mod:`repro.storage` — the two-tier storage substrate (magnetic disk,
@@ -27,11 +43,23 @@ Sub-packages:
 * :mod:`repro.baselines` — single-version B+-tree and a naive multiversion
   B-tree used as comparison points.
 * :mod:`repro.txn` — transaction support (section 4).
+* :mod:`repro.recovery` — write-ahead logging, group commit and restart
+  recovery.
 * :mod:`repro.workload` — stepwise-constant workload generators.
 * :mod:`repro.analysis` — the experiment harness that regenerates every
   figure and study listed in DESIGN.md / EXPERIMENTS.md.
 """
 
+from repro.api import (
+    Capability,
+    CapabilityError,
+    ENGINE_NAMES,
+    ReadView,
+    RecordView,
+    StoreConfig,
+    VersionStore,
+    VersionedEngine,
+)
 from repro.core import (
     AlwaysKeySplitPolicy,
     AlwaysTimeSplitPolicy,
@@ -48,24 +76,52 @@ from repro.core import (
     collect_space_stats,
     make_policy,
 )
+from repro.recovery import (
+    LogManager,
+    RecoverableSystem,
+    RecoveryManager,
+    RecoveryReport,
+)
 from repro.storage import Address, CostModel, MagneticDisk, OpticalLibrary, WormDisk
+from repro.txn import (
+    ReadOnlyTransaction,
+    TimestampOracle,
+    Transaction,
+    TransactionManager,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Address",
     "AlwaysKeySplitPolicy",
     "AlwaysTimeSplitPolicy",
+    "Capability",
+    "CapabilityError",
     "CostDrivenPolicy",
     "CostModel",
+    "ENGINE_NAMES",
+    "LogManager",
     "MagneticDisk",
     "OpticalLibrary",
+    "ReadOnlyTransaction",
+    "ReadView",
+    "RecordView",
+    "RecoverableSystem",
+    "RecoveryManager",
+    "RecoveryReport",
     "SecondaryIndex",
     "SpaceStats",
     "SplitPolicy",
+    "StoreConfig",
     "ThresholdPolicy",
+    "TimestampOracle",
     "TSBTree",
+    "Transaction",
+    "TransactionManager",
     "Version",
+    "VersionStore",
+    "VersionedEngine",
     "WOBTEmulationPolicy",
     "WormDisk",
     "__version__",

@@ -2,10 +2,13 @@
 
 from repro.analysis.experiment import (
     StudyResult,
+    answers_digest,
+    build_store,
     build_tree,
     default_policies,
     run_all_studies,
     run_cost_function_study,
+    run_engine_matrix,
     run_policy_study,
     run_query_io_study,
     run_secondary_study,
@@ -23,6 +26,8 @@ __all__ = [
     "FigureResult",
     "QueryCost",
     "StudyResult",
+    "answers_digest",
+    "build_store",
     "build_tree",
     "default_policies",
     "render_comparison",
@@ -31,6 +36,7 @@ __all__ = [
     "run_all_figures",
     "run_all_studies",
     "run_cost_function_study",
+    "run_engine_matrix",
     "run_policy_study",
     "run_query_io_study",
     "run_secondary_study",

@@ -12,11 +12,12 @@ functions one-to-one (S1..S7), and EXPERIMENTS.md records a reference run.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.analysis.metrics import ExperimentRow, QueryCost, query_cost_from_deltas, space_row
-from repro.baselines.naive_multiversion import NaiveMultiversionIndex
+from repro.api import ENGINE_NAMES, Capability, CapabilityError, StoreConfig, VersionStore
 from repro.core.policy import (
     AlwaysKeySplitPolicy,
     AlwaysTimeSplitPolicy,
@@ -29,12 +30,7 @@ from repro.core.secondary import SecondaryIndex
 from repro.core.stats import collect_space_stats
 from repro.core.tsb_tree import TSBTree
 from repro.storage.costmodel import CostModel
-from repro.storage.optical_library import OpticalLibrary
-from repro.storage.pagecache import PageCache
-from repro.storage.worm import WormDisk
-from repro.txn.manager import TransactionManager
-from repro.wobt.wobt_tree import WOBT
-from repro.workload.generator import Operation, WorkloadSpec, apply_to, generate
+from repro.workload.generator import WorkloadSpec, apply_to, generate
 from repro.workload.scenarios import personnel_records
 
 
@@ -64,14 +60,35 @@ def default_policies(cost_model: Optional[CostModel] = None) -> List[SplitPolicy
     ]
 
 
+def build_store(
+    engine: str = "tsb",
+    policy: Union[None, str, SplitPolicy] = None,
+    page_size: int = 1024,
+    use_jukebox: bool = False,
+) -> VersionStore:
+    """Open a :class:`VersionStore` the way the studies configure engines."""
+    config = StoreConfig(
+        engine=engine,
+        page_size=page_size,
+        split_policy=policy if engine == "tsb" else None,
+        historical="jukebox" if (use_jukebox and engine == "tsb") else "worm",
+    )
+    return VersionStore.open(config)
+
+
 def build_tree(policy: SplitPolicy, page_size: int = 1024, use_jukebox: bool = False) -> TSBTree:
     """A TSB-tree on a fresh magnetic disk + WORM device (or jukebox)."""
-    historical = (
-        OpticalLibrary(sector_size=min(1024, page_size))
-        if use_jukebox
-        else WormDisk(sector_size=min(1024, page_size))
-    )
-    return TSBTree(page_size=page_size, policy=policy, historical=historical)
+    return build_store(
+        engine="tsb", policy=policy, page_size=page_size, use_jukebox=use_jukebox
+    ).backend
+
+
+def _engine_space_row(label: str, store: VersionStore, extra: Optional[Dict[str, float]] = None) -> ExperimentRow:
+    """A result row from the normalized cross-engine space summary."""
+    metrics: Dict[str, float] = dict(store.space_summary())
+    if extra:
+        metrics.update(extra)
+    return ExperimentRow(label=label, metrics=metrics)
 
 
 # ----------------------------------------------------------------------
@@ -82,16 +99,28 @@ def run_policy_study(
     policies: Optional[Sequence[SplitPolicy]] = None,
     cost_model: Optional[CostModel] = None,
     page_size: int = 1024,
+    engine: str = "tsb",
 ) -> StudyResult:
-    """Replay one workload under each splitting policy and measure space use."""
+    """Replay one workload under each splitting policy and measure space use.
+
+    Splitting policies are a TSB-tree concept; with another ``engine`` the
+    same workload runs through the façade once and the study reports that
+    engine's normalized space row instead of a per-policy table.
+    """
     spec = spec or WorkloadSpec(operations=8_000, update_fraction=0.5, seed=1989)
     cost_model = cost_model or CostModel()
-    policies = list(policies) if policies is not None else default_policies(cost_model)
     operations = generate(spec)
     result = StudyResult(study="S1: space vs splitting policy")
+    if engine != "tsb":
+        store = build_store(engine=engine, page_size=page_size)
+        apply_to(store, operations)
+        result.rows.append(_engine_space_row(f"{engine} (no split policies)", store))
+        return result
+    policies = list(policies) if policies is not None else default_policies(cost_model)
     for policy in policies:
-        tree = build_tree(policy, page_size=page_size)
-        apply_to(tree, operations)
+        store = build_store(engine="tsb", policy=policy, page_size=page_size)
+        apply_to(store, operations)
+        tree = store.backend
         stats = collect_space_stats(tree, cost_model)
         extra = {
             "data_time_splits": tree.counters.data_time_splits,
@@ -111,14 +140,29 @@ def run_update_ratio_study(
     seed: int = 1989,
     page_size: int = 1024,
     cost_model: Optional[CostModel] = None,
+    engine: str = "tsb",
 ) -> StudyResult:
-    """Fix the policy, vary the rate of update versus insertion."""
+    """Fix the configuration, vary the rate of update versus insertion.
+
+    Runs on any engine: the TSB-tree reports the full section 5 space row,
+    the other engines their normalized space summary.
+    """
     cost_model = cost_model or CostModel()
     result = StudyResult(study="S2: space vs update fraction")
     for fraction in update_fractions:
         spec = WorkloadSpec(operations=operations, update_fraction=fraction, seed=seed)
-        tree = build_tree(policy_factory(), page_size=page_size)
-        apply_to(tree, generate(spec))
+        if engine != "tsb":
+            store = build_store(engine=engine, page_size=page_size)
+            apply_to(store, generate(spec))
+            result.rows.append(
+                _engine_space_row(
+                    f"update={fraction:.2f}", store, {"update_fraction": fraction}
+                )
+            )
+            continue
+        store = build_store(engine="tsb", policy=policy_factory(), page_size=page_size)
+        apply_to(store, generate(spec))
+        tree = store.backend
         stats = collect_space_stats(tree, cost_model)
         extra = {
             "update_fraction": fraction,
@@ -153,7 +197,7 @@ def run_tsb_vs_wobt(
     operations = generate(spec)
     result = StudyResult(study="S3: TSB-tree vs WOBT")
 
-    tsb = build_tree(ThresholdPolicy(0.5), page_size=page_size)
+    tsb = build_store(engine="tsb", policy=ThresholdPolicy(0.5), page_size=page_size).backend
     apply_to(tsb, operations)
     tsb_stats = collect_space_stats(tsb, cost_model)
     result.rows.append(
@@ -162,7 +206,9 @@ def run_tsb_vs_wobt(
         )
     )
 
-    tsb_wobt_policy = build_tree(WOBTEmulationPolicy(), page_size=page_size)
+    tsb_wobt_policy = build_store(
+        engine="tsb", policy=WOBTEmulationPolicy(), page_size=page_size
+    ).backend
     apply_to(tsb_wobt_policy, operations)
     emu_stats = collect_space_stats(tsb_wobt_policy, cost_model)
     result.rows.append(
@@ -171,7 +217,9 @@ def run_tsb_vs_wobt(
         )
     )
 
-    wobt = WOBT(worm=WormDisk(sector_size=min(1024, page_size)), node_sectors=wobt_node_sectors)
+    wobt = VersionStore.open(
+        StoreConfig(engine="wobt", page_size=page_size, node_sectors=wobt_node_sectors)
+    ).backend
     apply_to(wobt, operations)
     wobt_stats = wobt.space_stats()
     result.rows.append(
@@ -190,7 +238,7 @@ def run_tsb_vs_wobt(
         )
     )
 
-    naive = NaiveMultiversionIndex(page_size=page_size)
+    naive = build_store(engine="naive", page_size=page_size).backend
     for operation in operations:
         naive.insert(operation.key, operation.value, timestamp=operation.timestamp)
     naive_stats = naive.space_stats()
@@ -219,11 +267,41 @@ def run_cost_function_study(
     cost_ratios: Sequence[float] = (1.0, 2.0, 5.0, 10.0, 20.0),
     spec: Optional[WorkloadSpec] = None,
     page_size: int = 1024,
+    engine: str = "tsb",
 ) -> StudyResult:
-    """Sweep CM/CO and watch the cost-driven policy shift toward time splits."""
+    """Sweep CM/CO and watch the cost-driven policy shift toward time splits.
+
+    Engines without split policies cannot react to the cost function, but
+    the sweep still prices their fixed layout: one row per ratio showing
+    what the same workload costs on that engine.
+    """
     spec = spec or WorkloadSpec(operations=6_000, update_fraction=0.5, seed=1989)
     operations = generate(spec)
     result = StudyResult(study="S4: storage cost function sweep")
+    if engine != "tsb":
+        store = build_store(engine=engine, page_size=page_size)
+        apply_to(store, operations)
+        summary = store.space_summary()
+        for ratio in cost_ratios:
+            cost_model = CostModel.with_cost_ratio(ratio)
+            result.rows.append(
+                ExperimentRow(
+                    label=f"{engine} CM/CO={ratio:g}",
+                    metrics={
+                        "cost_ratio": ratio,
+                        "magnetic_bytes": summary["magnetic_bytes"],
+                        "historical_bytes": summary["historical_bytes"],
+                        "storage_cost": round(
+                            cost_model.storage_cost(
+                                int(summary["magnetic_bytes"]),
+                                int(summary["historical_bytes"]),
+                            ),
+                            2,
+                        ),
+                    },
+                )
+            )
+        return result
     for ratio in cost_ratios:
         cost_model = CostModel.with_cost_ratio(ratio)
         for label, policy in (
@@ -231,8 +309,9 @@ def run_cost_function_study(
             (f"always-key CM/CO={ratio:g}", AlwaysKeySplitPolicy()),
             (f"always-time CM/CO={ratio:g}", AlwaysTimeSplitPolicy("last_update")),
         ):
-            tree = build_tree(policy, page_size=page_size)
-            apply_to(tree, operations)
+            store = build_store(engine="tsb", policy=policy, page_size=page_size)
+            apply_to(store, operations)
+            tree = store.backend
             stats = collect_space_stats(tree, cost_model)
             extra = {
                 "cost_ratio": ratio,
@@ -253,48 +332,63 @@ def run_query_io_study(
     policy: Optional[SplitPolicy] = None,
     use_jukebox: bool = True,
     cost_model: Optional[CostModel] = None,
+    engine: str = "tsb",
 ) -> StudyResult:
-    """Measure device touches per query class (current, as-of, history, snapshot)."""
+    """Measure device touches per query class (current, as-of, history, snapshot).
+
+    Runs on any engine through the façade: the adapters report per-tier
+    I/O counters uniformly, and every query class starts from a cold cache,
+    so the same five query classes are priced on the TSB-tree, the WOBT and
+    the naive baseline alike.  (Within a class the engines warm what they
+    have: a bounded buffer pool for tsb/naive, the unbounded decoded-view
+    cache for the WOBT.)
+    """
     spec = spec or WorkloadSpec(operations=6_000, update_fraction=0.6, seed=1989)
     cost_model = cost_model or CostModel()
-    tree = build_tree(policy or ThresholdPolicy(0.5), page_size=page_size, use_jukebox=use_jukebox)
+    store = build_store(
+        engine=engine,
+        policy=(policy or ThresholdPolicy(0.5)) if engine == "tsb" else None,
+        page_size=page_size,
+        use_jukebox=use_jukebox,
+    )
     operations = generate(spec)
-    apply_to(tree, operations)
-    tree.flush()
-    # Query with a small, cold buffer pool so the magnetic-versus-optical
-    # access pattern is visible (a warm pool large enough to hold the whole
-    # current database would report zero device reads for every query class).
-    tree.cache = PageCache(tree.magnetic, capacity=8)
+    apply_to(store, operations)
 
     keys = sorted({operation.key for operation in operations})
     final_time = operations[-1].timestamp
     early_time = max(1, final_time // 4)
 
     def measure(run_queries: Callable[[], None]) -> QueryCost:
-        magnetic_before = tree.magnetic.stats.snapshot()
-        historical_before = tree.historical.stats.snapshot()
+        # Start each query class from a small, cold cache so the
+        # magnetic-versus-optical access pattern is visible (a warm pool
+        # holding the whole current database would report zero device reads)
+        # and no class is measured warm from the previous one.
+        store.engine.drop_cache(8)
+        tiers = store.io_summary()
+        magnetic_before = tiers["magnetic"].snapshot()
+        historical_before = tiers["historical"].snapshot()
         run_queries()
-        magnetic_delta = tree.magnetic.stats.delta(magnetic_before)
-        historical_delta = tree.historical.stats.delta(historical_before)
+        magnetic_delta = tiers["magnetic"].delta(magnetic_before)
+        historical_delta = tiers["historical"].delta(historical_before)
         return query_cost_from_deltas(magnetic_delta, historical_delta, cost_model)
 
     sample = keys[:: max(1, len(keys) // query_count)][:query_count]
 
     result = StudyResult(study="S5: query I/O by query class")
 
-    current_cost = measure(lambda: [tree.search_current(key) for key in sample])
+    current_cost = measure(lambda: [store.get(key) for key in sample])
     result.rows.append(ExperimentRow("current lookups", current_cost.as_dict()))
 
-    asof_cost = measure(lambda: [tree.search_as_of(key, early_time) for key in sample])
+    asof_cost = measure(lambda: [store.get_as_of(key, early_time) for key in sample])
     result.rows.append(ExperimentRow("as-of lookups (T=25%)", asof_cost.as_dict()))
 
-    history_cost = measure(lambda: [tree.key_history(key) for key in sample[: max(1, query_count // 10)]])
+    history_cost = measure(lambda: [store.key_history(key) for key in sample[: max(1, query_count // 10)]])
     result.rows.append(ExperimentRow("key histories", history_cost.as_dict()))
 
-    snapshot_cost = measure(lambda: tree.snapshot(early_time))
+    snapshot_cost = measure(lambda: store.snapshot(early_time))
     result.rows.append(ExperimentRow("snapshot (T=25%)", snapshot_cost.as_dict()))
 
-    current_snapshot_cost = measure(lambda: tree.range_search())
+    current_snapshot_cost = measure(lambda: store.range_search())
     result.rows.append(ExperimentRow("current range scan", current_snapshot_cost.as_dict()))
     return result
 
@@ -302,7 +396,7 @@ def run_query_io_study(
 # ----------------------------------------------------------------------
 # S6: transaction-processing claims of section 4
 # ----------------------------------------------------------------------
-def run_txn_study(page_size: int = 1024) -> StudyResult:
+def run_txn_study(page_size: int = 1024, engine: str = "tsb") -> StudyResult:
     """Demonstrate and measure the section 4 properties.
 
     * uncommitted data never reaches the historical database and is erasable;
@@ -310,12 +404,16 @@ def run_txn_study(page_size: int = 1024) -> StudyResult:
       updaters proceed;
     * aborted transactions leave no trace.
     """
-    tree = build_tree(AlwaysTimeSplitPolicy("current"), page_size=page_size)
-    manager = TransactionManager(tree)
+    store = build_store(
+        engine=engine, policy=AlwaysTimeSplitPolicy("current") if engine == "tsb" else None,
+        page_size=page_size,
+    )
+    store.engine.require(Capability.TRANSACTIONS)
+    tree = store.backend
 
     committed_payload: Dict[int, bytes] = {}
     for key in range(120):
-        txn = manager.begin()
+        txn = store.begin()
         value = f"initial-{key}".encode()
         txn.write(key, value)
         txn.commit()
@@ -325,20 +423,20 @@ def run_txn_study(page_size: int = 1024) -> StudyResult:
     # historical database is non-empty before the claims are checked.
     for round_index in range(4):
         for key in range(120):
-            txn = manager.begin()
+            txn = store.begin()
             value = f"round{round_index}-{key}".encode()
             txn.write(key, value)
             txn.commit()
             committed_payload[key] = value
 
-    reader = manager.begin_readonly()
+    reader = store.begin_readonly()
     reader_snapshot_before = {k: v.value for k, v in reader.snapshot().items()}
 
     # Concurrent updates and an abort while the reader is open.
-    updater = manager.begin()
+    updater = store.begin()
     for key in range(0, 120, 3):
         updater.write(key, f"updated-{key}".encode())
-    aborted = manager.begin()
+    aborted = store.begin()
     for key in range(1, 120, 3):
         aborted.write(key, f"aborted-{key}".encode())
     aborted.abort()
@@ -402,8 +500,10 @@ def run_txn_study(page_size: int = 1024) -> StudyResult:
 # ----------------------------------------------------------------------
 # S7: secondary indexes (section 3.6)
 # ----------------------------------------------------------------------
-def run_secondary_study(page_size: int = 1024) -> StudyResult:
+def run_secondary_study(page_size: int = 1024, engine: str = "tsb") -> StudyResult:
     """Answer "how many records had value V at time T" from the secondary tree alone."""
+    if engine != "tsb":
+        raise CapabilityError(engine, Capability.SECONDARY_INDEXES)
     scenario = personnel_records(employees=40, changes=800)
     primary = build_tree(ThresholdPolicy(0.5), page_size=page_size)
     secondary = SecondaryIndex("department", page_size=page_size)
@@ -445,6 +545,71 @@ def run_secondary_study(page_size: int = 1024) -> StudyResult:
             },
         )
     )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Engine matrix: the same workload and queries on every engine
+# ----------------------------------------------------------------------
+def answers_digest(
+    store: VersionStore,
+    keys: Sequence,
+    probe_times: Sequence[int],
+) -> int:
+    """A CRC over a store's logical query answers.
+
+    Covers snapshots at the probe times, per-key histories and the current
+    range scan, all through the normalized protocol.  Two engines that agree
+    on every logical answer produce the same digest — the cross-engine
+    comparability the unified API exists to provide.
+    """
+    parts: List[str] = []
+    for timestamp in probe_times:
+        state = store.snapshot(timestamp)
+        parts.append(
+            repr(sorted((k, r.timestamp, r.value) for k, r in state.items()))
+        )
+    for key in keys:
+        parts.append(
+            repr([(r.timestamp, r.value) for r in store.key_history(key)])
+        )
+    parts.append(
+        repr([(r.key, r.timestamp, r.value) for r in store.range_search()])
+    )
+    return zlib.crc32("|".join(parts).encode())
+
+
+def run_engine_matrix(
+    spec: Optional[WorkloadSpec] = None,
+    engines: Sequence[str] = ENGINE_NAMES,
+    page_size: int = 1024,
+    sample_keys: int = 50,
+    base_config: Optional[StoreConfig] = None,
+) -> StudyResult:
+    """One workload, every engine, one table.
+
+    Replays the same operation stream through a :class:`VersionStore` per
+    engine, reports each engine's normalized space summary, and fingerprints
+    the logical query answers (``answers_digest``): identical digests across
+    rows mean the engines agree on every current, snapshot, history and
+    range answer for the workload.  ``base_config`` carries shared knobs
+    (page size, cache, ...) across the matrix; engine-specific settings it
+    names are dropped when they do not transfer.
+    """
+    spec = spec or WorkloadSpec(operations=2_000, update_fraction=0.5, seed=1989)
+    operations = generate(spec)
+    keys = sorted({operation.key for operation in operations})
+    sample = keys[:: max(1, len(keys) // sample_keys)][:sample_keys]
+    final_time = operations[-1].timestamp
+    probe_times = sorted({max(1, final_time // 4), max(1, final_time // 2), final_time})
+    base = base_config or StoreConfig(page_size=page_size)
+    result = StudyResult(study="engine matrix: one workload through every engine")
+    for engine in engines:
+        with VersionStore.open(base.with_engine(engine)) as store:
+            apply_to(store, operations)
+            metrics = dict(store.space_summary())
+            metrics["answers_digest"] = answers_digest(store, sample, probe_times)
+            result.rows.append(ExperimentRow(label=engine, metrics=metrics))
     return result
 
 

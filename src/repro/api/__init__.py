@@ -1,0 +1,49 @@
+"""The unified public API: one façade and one protocol for every engine.
+
+* :class:`VersionStore` + :class:`StoreConfig` — declare a store (engine,
+  split policy, page size, device tier, cache, WAL) and open it; the façade
+  wires storage, engine, transactions and logging together.
+* :class:`VersionedEngine` + :class:`RecordView` — the engine protocol all
+  three access methods (TSB-tree, WOBT, naive baseline) implement, with
+  normalized query answers.
+* :class:`Capability` / :exc:`CapabilityError` — explicit, uniform failure
+  for operations an engine genuinely does not support.
+"""
+
+from repro.api.adapters import (
+    ENGINE_NAMES,
+    NaiveEngine,
+    TSBEngine,
+    WOBTEngine,
+)
+from repro.api.engine import (
+    Capability,
+    CapabilityError,
+    RecordView,
+    VersionedEngine,
+    VersionStoreError,
+)
+from repro.api.store import (
+    ReadView,
+    StoreClosedError,
+    StoreConfig,
+    VersionStore,
+    resolve_policy,
+)
+
+__all__ = [
+    "Capability",
+    "CapabilityError",
+    "ENGINE_NAMES",
+    "NaiveEngine",
+    "ReadView",
+    "RecordView",
+    "StoreClosedError",
+    "StoreConfig",
+    "TSBEngine",
+    "VersionStore",
+    "VersionStoreError",
+    "VersionedEngine",
+    "WOBTEngine",
+    "resolve_policy",
+]

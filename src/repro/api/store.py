@@ -1,0 +1,553 @@
+"""The :class:`VersionStore` façade: one front door for every engine.
+
+A store is described declaratively by :class:`StoreConfig` (engine name,
+split policy, page size, device tier, cache size, WAL on/off) and opened
+with :meth:`VersionStore.open`.  The façade wires together the storage
+devices, the chosen engine and — for the TSB-tree — the transaction and log
+managers, and exposes:
+
+* the uniform read/write surface of :class:`~repro.api.engine.VersionedEngine`
+  (normalized :class:`~repro.api.engine.RecordView` answers);
+* context-manager transactions (:meth:`VersionStore.begin`);
+* immutable :class:`ReadView` handles pinned to a timestamp;
+* an ``open()/close()`` lifecycle that subsumes the old
+  ``TSBTree.checkpoint()/TSBTree.open()`` dance: closing checkpoints the
+  engine, and opening over previously-written devices resumes from the last
+  checkpoint.
+
+Example::
+
+    from repro import StoreConfig, VersionStore
+
+    with VersionStore.open(StoreConfig(engine="tsb", page_size=1024)) as store:
+        store.insert("alice", b"balance=50", timestamp=1)
+        store.insert("alice", b"balance=90", timestamp=5)
+        store.get("alice").value                  # b"balance=90"
+        store.get_as_of("alice", 3).value         # b"balance=50"
+
+Swapping ``engine="tsb"`` for ``"wobt"`` or ``"naive"`` runs the same code
+against a different access method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, List, Optional, Union
+
+from repro.api.adapters import (
+    ENGINE_NAMES,
+    NaiveEngine,
+    TSBEngine,
+    VersionedEngine,
+    WOBTEngine,
+)
+from repro.api.engine import Capability, RecordView, VersionStoreError
+from repro.baselines.naive_multiversion import NaiveMultiversionIndex
+from repro.core.policy import (
+    AlwaysKeySplitPolicy,
+    AlwaysTimeSplitPolicy,
+    CostDrivenPolicy,
+    SplitPolicy,
+    ThresholdPolicy,
+    WOBTEmulationPolicy,
+)
+from repro.core.tsb_tree import _SUPERBLOCK_MAGIC, TSBTree
+from repro.storage.device import Address, StorageError
+from repro.storage.iostats import IOStats
+from repro.storage.logdevice import LogDevice
+from repro.storage.magnetic import MagneticDisk
+from repro.storage.optical_library import OpticalLibrary
+from repro.storage.serialization import ByteReader, Key
+from repro.storage.worm import WormDisk
+from repro.wobt.wobt_tree import WOBT
+from repro.txn.manager import Transaction, TransactionManager
+from repro.txn.readonly import ReadOnlyTransaction
+
+
+class StoreClosedError(VersionStoreError):
+    """An operation was attempted on a closed :class:`VersionStore`."""
+
+
+def resolve_policy(spec: Union[None, str, SplitPolicy]) -> Optional[SplitPolicy]:
+    """Turn a declarative policy spec into a :class:`SplitPolicy`.
+
+    Accepts ``None`` (engine default), an already-built policy object, or a
+    string of the form ``"name"`` / ``"name:arg"``: ``threshold:0.5``,
+    ``always-key``, ``always-time:last_update``, ``cost``, ``wobt``.
+    """
+    if spec is None or isinstance(spec, SplitPolicy):
+        return spec
+    name, _, argument = str(spec).partition(":")
+    name = name.strip().lower()
+    argument = argument.strip()
+    if name == "threshold":
+        return ThresholdPolicy(float(argument)) if argument else ThresholdPolicy()
+    if name in {"always-key", "key"}:
+        return AlwaysKeySplitPolicy()
+    if name in {"always-time", "time"}:
+        return AlwaysTimeSplitPolicy(argument or "current")
+    if name in {"cost", "cost-driven"}:
+        return CostDrivenPolicy()
+    if name in {"wobt", "wobt-emulation"}:
+        return WOBTEmulationPolicy()
+    raise ValueError(f"unknown split policy spec {spec!r}")
+
+
+@dataclass(frozen=True)
+class StoreConfig:
+    """Declarative description of a :class:`VersionStore`.
+
+    Parameters
+    ----------
+    engine:
+        ``"tsb"`` (the Time-Split B-tree), ``"wobt"`` (Easton's Write-Once
+        B-tree) or ``"naive"`` (every version in one magnetic B+-tree).
+    page_size:
+        Magnetic page / WORM sector size in bytes.
+    split_policy:
+        TSB-tree split policy: a :class:`~repro.core.policy.SplitPolicy`,
+        a spec string (``"threshold:0.5"``), or ``None`` for the default.
+        Only meaningful for the TSB-tree.
+    node_sectors:
+        Sectors reserved per WOBT node extent (WOBT only).
+    cache_pages:
+        Buffer-pool capacity over the magnetic device (tsb/naive).
+    historical:
+        Historical device tier for the TSB-tree: ``"worm"`` (single
+        write-once platter) or ``"jukebox"`` (robot-served optical library).
+    platter_capacity_sectors:
+        Platter size when ``historical="jukebox"``.
+    wal:
+        Attach a write-ahead log and group commit (tsb only): transactions
+        opened with :meth:`VersionStore.begin` are then logged before they
+        touch the tree, and :meth:`VersionStore.close` takes a logged
+        checkpoint.
+    group_commit_size:
+        Commit records per log force when ``wal=True``.
+    """
+
+    engine: str = "tsb"
+    page_size: int = 1024
+    split_policy: Union[None, str, SplitPolicy] = None
+    node_sectors: int = 8
+    cache_pages: int = 128
+    historical: str = "worm"
+    platter_capacity_sectors: int = 4096
+    wal: bool = False
+    group_commit_size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINE_NAMES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; choose one of {', '.join(ENGINE_NAMES)}"
+            )
+        if self.page_size < 128:
+            raise ValueError("page_size must be at least 128 bytes")
+        if self.node_sectors < 2:
+            raise ValueError("node_sectors must be at least 2")
+        if self.cache_pages < 1:
+            raise ValueError("cache_pages must be positive")
+        if self.historical not in {"worm", "jukebox"}:
+            raise ValueError("historical must be 'worm' or 'jukebox'")
+        if self.group_commit_size < 1:
+            raise ValueError("group_commit_size must be positive")
+        if self.wal and self.engine != "tsb":
+            raise ValueError("wal=True requires the 'tsb' engine")
+        if self.split_policy is not None and self.engine != "tsb":
+            raise ValueError("split_policy only applies to the 'tsb' engine")
+        # Engine-specific knobs left at their defaults are fine on any
+        # engine; setting one the engine cannot honour is an error, not a
+        # silently dropped wish.
+        if self.engine != "tsb":
+            if self.historical != "worm":
+                raise ValueError("the historical tier only applies to the 'tsb' engine")
+            if self.platter_capacity_sectors != 4096:
+                raise ValueError("platter_capacity_sectors only applies to the 'tsb' engine")
+        if self.engine != "wobt" and self.node_sectors != 8:
+            raise ValueError("node_sectors only applies to the 'wobt' engine")
+        if self.engine == "wobt" and self.cache_pages != 128:
+            raise ValueError("cache_pages does not apply to the 'wobt' engine")
+        resolve_policy(self.split_policy)  # fail fast on malformed specs
+
+    def with_engine(self, engine: str) -> "StoreConfig":
+        """This configuration pointed at a different engine.
+
+        Drops the engine-specific knobs that do not transfer (split policy,
+        WAL, device tier, sector/cache sizing), so one base config can fan
+        out across the engine matrix.
+        """
+        if engine == self.engine:
+            return self
+        updates: dict = {"engine": engine}
+        if engine != "tsb":
+            updates.update(
+                split_policy=None,
+                wal=False,
+                historical="worm",
+                platter_capacity_sectors=4096,
+            )
+        if engine != "wobt":
+            updates["node_sectors"] = 8
+        else:
+            updates["cache_pages"] = 128
+        return replace(self, **updates)
+
+
+@dataclass(frozen=True)
+class ReadView:
+    """An immutable read handle pinned to one timestamp.
+
+    Every query through the view answers as of :attr:`timestamp`, no matter
+    how many versions commit after the view was taken — the lock-free
+    stable-snapshot guarantee of paper section 4, available on every engine
+    because it only needs as-of reads.  A view taken from a
+    :class:`VersionStore` dies with it: queries after ``store.close()``
+    raise :exc:`StoreClosedError`, like every other read surface.
+    """
+
+    engine: VersionedEngine
+    timestamp: int
+    store: Optional["VersionStore"] = field(default=None, repr=False, compare=False)
+
+    def _ensure_usable(self) -> None:
+        if self.store is not None:
+            self.store._ensure_open()
+
+    def get(self, key: Key) -> Optional[RecordView]:
+        self._ensure_usable()
+        return self.engine.get_as_of(key, self.timestamp)
+
+    def range(
+        self, low: Optional[Key] = None, high: Optional[Key] = None
+    ) -> Iterator[RecordView]:
+        self._ensure_usable()
+        return iter(self.engine.range_search(low, high, as_of=self.timestamp))
+
+    def snapshot(self) -> Dict[Key, RecordView]:
+        self._ensure_usable()
+        return self.engine.snapshot(self.timestamp)
+
+    def history_between(self, key: Key, start: int) -> List[RecordView]:
+        """Versions of ``key`` valid between ``start`` and this view's time."""
+        self._ensure_usable()
+        return self.engine.history_between(key, start, self.timestamp + 1)
+
+
+class VersionStore:
+    """Engine-agnostic façade over one versioned database.
+
+    Construct with :meth:`open`; use as a context manager so :meth:`close`
+    (flush + checkpoint, where the engine supports them) always runs.
+    """
+
+    def __init__(
+        self,
+        engine: VersionedEngine,
+        config: StoreConfig,
+        txns: Optional[TransactionManager] = None,
+        log_manager: Optional[object] = None,
+        log_device: Optional[LogDevice] = None,
+    ) -> None:
+        self._engine = engine
+        self._config = config
+        self._txns = txns
+        self._log = log_manager
+        self._log_device = log_device
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        config: Optional[StoreConfig] = None,
+        *,
+        magnetic: Optional[MagneticDisk] = None,
+        historical: Optional[object] = None,
+        **overrides,
+    ) -> "VersionStore":
+        """Open a store described by ``config`` (or keyword overrides).
+
+        ``VersionStore.open(engine="wobt")`` is shorthand for
+        ``VersionStore.open(StoreConfig(engine="wobt"))``.  For the TSB-tree,
+        passing the ``magnetic`` and ``historical`` devices of a previously
+        closed store resumes from its last checkpoint instead of formatting
+        a fresh database.
+        """
+        if config is None:
+            config = StoreConfig(**overrides)
+        elif overrides:
+            config = replace(config, **overrides)
+
+        if config.engine == "tsb":
+            return cls._open_tsb(config, magnetic, historical)
+        if magnetic is not None or historical is not None:
+            raise VersionStoreError(
+                f"engine {config.engine!r} cannot be reopened from devices; "
+                "only the TSB-tree persists a checkpointed root"
+            )
+        if config.engine == "wobt":
+            wobt = WOBT(
+                worm=WormDisk(sector_size=min(1024, config.page_size)),
+                node_sectors=config.node_sectors,
+            )
+            return cls(WOBTEngine(wobt), config)
+        index = NaiveMultiversionIndex(
+            page_size=config.page_size, cache_pages=config.cache_pages
+        )
+        return cls(NaiveEngine(index), config)
+
+    @classmethod
+    def _open_tsb(
+        cls,
+        config: StoreConfig,
+        magnetic: Optional[MagneticDisk],
+        historical: Optional[object],
+    ) -> "VersionStore":
+        policy = resolve_policy(config.split_policy)
+        resuming = magnetic is not None and cls._has_superblock(magnetic)
+        if resuming and historical is None:
+            # The checkpointed tree may hold pointers into its historical
+            # tier; pairing it with a fabricated blank device would only
+            # crash later, on the first query that follows such a pointer.
+            raise VersionStoreError(
+                "reopening from a checkpointed magnetic device requires the "
+                "matching historical device"
+            )
+        if historical is None:
+            historical = (
+                OpticalLibrary(
+                    sector_size=min(1024, config.page_size),
+                    platter_capacity_sectors=config.platter_capacity_sectors,
+                )
+                if config.historical == "jukebox"
+                else WormDisk(sector_size=min(1024, config.page_size))
+            )
+        if resuming:
+            tree = TSBTree.open(
+                magnetic, historical, policy=policy, cache_pages=config.cache_pages
+            )
+        elif magnetic is not None and magnetic.allocated_pages:
+            # The device holds data but no superblock on page 0: formatting a
+            # fresh tree over it would silently discard whatever is there.
+            raise VersionStoreError(
+                "magnetic device holds data but no TSB-tree superblock on "
+                "page 0; refusing to format over it"
+            )
+        else:
+            tree = TSBTree(
+                page_size=config.page_size,
+                policy=policy,
+                magnetic=magnetic,
+                historical=historical,
+                cache_pages=config.cache_pages,
+            )
+        log_manager = None
+        log_device = None
+        if config.wal:
+            from repro.recovery.log_manager import LogManager
+
+            log_device = LogDevice()
+            log_manager = LogManager(
+                log_device, group_commit_size=config.group_commit_size
+            )
+        txns = TransactionManager(tree, log=log_manager)
+        if log_manager is not None:
+            log_manager.checkpoint(tree, txns)
+        return cls(
+            TSBEngine(tree),
+            config,
+            txns=txns,
+            log_manager=log_manager,
+            log_device=log_device,
+        )
+
+    @staticmethod
+    def _has_superblock(magnetic: MagneticDisk) -> bool:
+        """Whether magnetic page 0 holds a TSB-tree superblock to resume from."""
+        try:
+            image = magnetic.read(Address.magnetic(0))
+        except StorageError:
+            return False  # blank device: page 0 was never allocated/written
+        if len(image) < 4:
+            return False
+        return ByteReader(image).get_u32() == _SUPERBLOCK_MAGIC
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> StoreConfig:
+        return self._config
+
+    @property
+    def engine(self) -> VersionedEngine:
+        """The engine adapter (protocol surface)."""
+        return self._engine
+
+    @property
+    def backend(self):
+        """The raw underlying structure (TSBTree, WOBT or naive index)."""
+        return self._engine.backend  # type: ignore[attr-defined]
+
+    @property
+    def txns(self) -> Optional[TransactionManager]:
+        return self._txns
+
+    @property
+    def log(self):
+        """The attached :class:`~repro.recovery.log_manager.LogManager`, if any."""
+        return self._log
+
+    @property
+    def now(self) -> int:
+        return self._engine.now
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise StoreClosedError("this VersionStore has been closed")
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def insert(self, key: Key, value: bytes, timestamp: Optional[int] = None) -> int:
+        self._ensure_open()
+        # One version per (key, timestamp), uniformly: the backends disagree
+        # on equal-timestamp re-inserts (the TSB-tree keeps the first version,
+        # the WOBT and the naive index overwrite), which would break the
+        # identical-answers guarantee and mutate pinned ReadViews.  Only a
+        # backdated-or-equal timestamp can conflict, so the common strictly
+        # increasing path pays nothing.
+        self._reject_timestamp_conflict(key, timestamp)
+        return self._engine.insert(key, value, timestamp=timestamp)
+
+    def delete(self, key: Key, timestamp: Optional[int] = None) -> int:
+        self._ensure_open()
+        self._reject_timestamp_conflict(key, timestamp)
+        return self._engine.delete(key, timestamp=timestamp)
+
+    def _reject_timestamp_conflict(self, key: Key, timestamp: Optional[int]) -> None:
+        if timestamp is not None and timestamp <= self._engine.now:
+            if self._engine.has_version_at(key, timestamp):
+                raise VersionStoreError(
+                    f"key {key!r} already has a version at timestamp {timestamp}"
+                )
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def get(self, key: Key) -> Optional[RecordView]:
+        self._ensure_open()
+        return self._engine.get(key)
+
+    def get_as_of(self, key: Key, timestamp: int) -> Optional[RecordView]:
+        self._ensure_open()
+        return self._engine.get_as_of(key, timestamp)
+
+    def range_search(
+        self,
+        low: Optional[Key] = None,
+        high: Optional[Key] = None,
+        as_of: Optional[int] = None,
+    ) -> List[RecordView]:
+        self._ensure_open()
+        return self._engine.range_search(low, high, as_of=as_of)
+
+    def snapshot(self, timestamp: int) -> Dict[Key, RecordView]:
+        self._ensure_open()
+        return self._engine.snapshot(timestamp)
+
+    def key_history(self, key: Key) -> List[RecordView]:
+        self._ensure_open()
+        return self._engine.key_history(key)
+
+    def history_between(self, key: Key, start: int, end: int) -> List[RecordView]:
+        self._ensure_open()
+        return self._engine.history_between(key, start, end)
+
+    def read_view(self, as_of: Optional[int] = None) -> ReadView:
+        """An immutable view pinned at ``as_of`` (default: the current time)."""
+        self._ensure_open()
+        timestamp = self._engine.now if as_of is None else as_of
+        return ReadView(engine=self._engine, timestamp=timestamp, store=self)
+
+    # ------------------------------------------------------------------
+    # Transactions (tsb only)
+    # ------------------------------------------------------------------
+    def begin(self) -> Transaction:
+        """Start an updating transaction (context manager: commit/abort on exit)."""
+        self._ensure_open()
+        self._engine.require(Capability.TRANSACTIONS)
+        assert self._txns is not None
+        return self._txns.begin()
+
+    def begin_readonly(self) -> ReadOnlyTransaction:
+        """Start a lock-free read-only transaction stamped at its start time."""
+        self._ensure_open()
+        self._engine.require(Capability.TRANSACTIONS)
+        assert self._txns is not None
+        return self._txns.begin_readonly()
+
+    def commit_is_durable(self, txn: Transaction) -> bool:
+        """Whether ``txn``'s commit record is in the forced log prefix (WAL only)."""
+        self._ensure_open()
+        if self._log is None:
+            raise VersionStoreError("commit durability requires wal=True")
+        return txn.commit_lsn is not None and self._log.is_durable(txn.commit_lsn)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def space_summary(self) -> Dict[str, float]:
+        self._ensure_open()
+        return self._engine.space_summary()
+
+    def io_summary(self) -> Dict[str, IOStats]:
+        self._ensure_open()
+        return self._engine.io_summary()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        self._ensure_open()
+        self._engine.flush()
+
+    def checkpoint(self) -> None:
+        """Checkpoint through the WAL when attached, else the bare engine."""
+        self._ensure_open()
+        if self._log is not None and self._txns is not None:
+            self._log.checkpoint(self.backend, self._txns)
+        else:
+            self._engine.checkpoint()
+
+    def close(self) -> None:
+        """Flush and checkpoint (where supported), then refuse further use.
+
+        Closing a TSB-tree store leaves its devices holding a complete
+        checkpointed image: ``VersionStore.open(config, magnetic=...,
+        historical=...)`` resumes exactly where this store left off.
+        """
+        if self._closed:
+            return
+        if self._engine.supports(Capability.CHECKPOINT):
+            self.checkpoint()
+        elif self._engine.supports(Capability.FLUSH):
+            self._engine.flush()
+        self._closed = True
+
+    def __enter__(self) -> "VersionStore":
+        self._ensure_open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else f"now={self._engine.now}"
+        return f"VersionStore(engine={self._engine.name!r}, {state})"

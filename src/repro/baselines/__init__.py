@@ -1,12 +1,17 @@
 """Comparison baselines: a single-version B+-tree and a naive multiversion index."""
 
 from repro.baselines.bplus_tree import BPlusTree, BPlusTreeError, BPlusTreeStats
-from repro.baselines.naive_multiversion import NaiveMultiversionIndex, NaiveSpaceStats
+from repro.baselines.naive_multiversion import (
+    NaiveMultiversionIndex,
+    NaiveRecord,
+    NaiveSpaceStats,
+)
 
 __all__ = [
     "BPlusTree",
     "BPlusTreeError",
     "BPlusTreeStats",
     "NaiveMultiversionIndex",
+    "NaiveRecord",
     "NaiveSpaceStats",
 ]

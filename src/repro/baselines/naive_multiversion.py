@@ -16,14 +16,27 @@ are stored under a composite ``(key, timestamp)`` key inside a standard
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, NamedTuple, Optional, Tuple
 
 from repro.baselines.bplus_tree import BPlusTree, BPlusTreeStats
+from repro.core.records import records_valid_between
 from repro.storage.magnetic import MagneticDisk
 from repro.storage.serialization import Key
 
 #: zero-padding width for integer components so string order == numeric order.
 _INT_PAD = 20
+
+
+class NaiveRecord(NamedTuple):
+    """A ``(timestamp, value)`` record, the baseline's normalized answer.
+
+    Like the other engines' result types it carries the commit timestamp,
+    so as-of answers are verifiable.  Being a named tuple it still compares
+    equal to a plain ``(timestamp, value)`` pair.
+    """
+
+    timestamp: int
+    value: bytes
 
 
 def _encode_component(component: Key) -> str:
@@ -71,8 +84,11 @@ class NaiveMultiversionIndex:
         self,
         page_size: int = 1024,
         magnetic: Optional[MagneticDisk] = None,
+        cache_pages: int = 128,
     ) -> None:
-        self.tree = BPlusTree(page_size=page_size, magnetic=magnetic)
+        self.tree = BPlusTree(
+            page_size=page_size, magnetic=magnetic, cache_pages=cache_pages
+        )
         self._version_count = 0
         self._latest_timestamp: Dict[Key, int] = {}
         self._max_timestamp = 0
@@ -94,25 +110,33 @@ class NaiveMultiversionIndex:
         self._max_timestamp = max(self._max_timestamp, timestamp)
         return timestamp
 
+    @property
+    def now(self) -> int:
+        """The largest committed timestamp the index has seen."""
+        return self._max_timestamp
+
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
-    def search_current(self, key: Key) -> Optional[bytes]:
+    def search_current(self, key: Key) -> Optional[NaiveRecord]:
         latest = self._latest_timestamp.get(key)
         if latest is None:
             return None
-        return self.tree.search(_version_key(key, latest))
+        value = self.tree.search(_version_key(key, latest))
+        if value is None:
+            return None
+        return NaiveRecord(timestamp=latest, value=value)
 
-    def search_as_of(self, key: Key, timestamp: int) -> Optional[bytes]:
-        best: Optional[Tuple[int, bytes]] = None
-        for version_timestamp, value in self.key_history(key):
-            if version_timestamp <= timestamp and (
-                best is None or version_timestamp > best[0]
+    def search_as_of(self, key: Key, timestamp: int) -> Optional[NaiveRecord]:
+        best: Optional[NaiveRecord] = None
+        for record in self.key_history(key):
+            if record.timestamp <= timestamp and (
+                best is None or record.timestamp > best.timestamp
             ):
-                best = (version_timestamp, value)
-        return best[1] if best else None
+                best = record
+        return best
 
-    def key_history(self, key: Key) -> List[Tuple[int, bytes]]:
+    def key_history(self, key: Key) -> List[NaiveRecord]:
         """All (timestamp, value) versions of ``key``, oldest first."""
         prefix = _encode_component(key) + "\x00"
         low = prefix
@@ -120,17 +144,49 @@ class NaiveMultiversionIndex:
         history = []
         for composite, value in self.tree.range_search(low, high):
             timestamp = int(composite.split("\x00", 1)[1])
-            history.append((timestamp, value))
+            history.append(NaiveRecord(timestamp=timestamp, value=value))
         return history
 
-    def snapshot(self, timestamp: int) -> Dict[Key, bytes]:
+    def history_between(self, key: Key, start: int, end: int) -> List[NaiveRecord]:
+        """Versions of ``key`` valid at some point in ``[start, end)``, oldest
+        first — the time-slice query the other engines answer."""
+        return records_valid_between(self.key_history(key), start, end)
+
+    def snapshot(self, timestamp: int) -> Dict[Key, NaiveRecord]:
         """State of the database as of ``timestamp``."""
-        result: Dict[Key, bytes] = {}
+        result: Dict[Key, NaiveRecord] = {}
         for key in self._latest_timestamp:
-            value = self.search_as_of(key, timestamp)
-            if value is not None:
-                result[key] = value
+            record = self.search_as_of(key, timestamp)
+            if record is not None:
+                result[key] = record
         return result
+
+    def range_search(
+        self,
+        low: Optional[Key] = None,
+        high: Optional[Key] = None,
+        as_of: Optional[int] = None,
+    ) -> List[Tuple[Key, NaiveRecord]]:
+        """Records of keys in ``[low, high)`` valid at ``as_of`` (default: now),
+        as ``(key, record)`` pairs sorted by key.
+
+        A current scan probes each key's latest version directly; only an
+        explicit ``as_of`` pays for walking that key's history.
+        """
+        results: List[Tuple[Key, NaiveRecord]] = []
+        for key in sorted(self._latest_timestamp):
+            if low is not None and key < low:
+                continue
+            if high is not None and not key < high:
+                continue
+            record = (
+                self.search_current(key)
+                if as_of is None
+                else self.search_as_of(key, as_of)
+            )
+            if record is not None:
+                results.append((key, record))
+        return results
 
     # ------------------------------------------------------------------
     # Statistics

@@ -2,16 +2,20 @@
 
 The CLI exposes the experiment harness without writing any Python:
 
-``python -m repro figures``
-    Re-run the paper's Figures 1–9 and print pass/fail for every check.
+``python -m repro figures [--engine all|tsb|wobt|naive]``
+    Re-run the paper's Figures 1–9 (optionally only those exercising one
+    engine) and print pass/fail for every check.
 
-``python -m repro study S1`` (or S2..S7, or ``all``)
+``python -m repro study S1 [--engine tsb|wobt|naive]`` (or S2..S7, or ``all``)
     Run one of the DESIGN.md studies and print its result table.  ``--ops``
-    scales the workload.
+    scales the workload; ``--engine`` routes the workload through the
+    :class:`~repro.api.VersionStore` façade onto a different access method
+    (studies needing a capability the engine lacks are skipped with a note).
 
-``python -m repro demo``
+``python -m repro demo [--engine tsb|wobt|naive]``
     A tiny end-to-end demonstration (insert, update, as-of query, snapshot)
-    printed step by step — the quickstart example in one command.
+    printed step by step — the quickstart example in one command, on any
+    engine.
 
 ``python -m repro crash-demo``
     A narrated write-ahead-logging demonstration: commit transactions, leave
@@ -42,30 +46,34 @@ from repro.analysis.experiment import (
 )
 from repro.analysis.figures import run_all_figures
 from repro.analysis.report import render_comparison
-from repro.core import ThresholdPolicy, TSBTree, collect_space_stats
+from repro.api import ENGINE_NAMES, CapabilityError, StoreConfig, VersionStore
 from repro.recovery import RecoverableSystem, ScriptRunner, generate_script
 from repro.workload import WorkloadSpec
 
 
-def _study_runners(operations: int) -> Dict[str, Callable[[], StudyResult]]:
+def _study_runners(operations: int, engine: str = "tsb") -> Dict[str, Callable[[], StudyResult]]:
     spec = WorkloadSpec(operations=operations, update_fraction=0.5, seed=1989)
     query_spec = WorkloadSpec(operations=operations, update_fraction=0.6, seed=1989)
     return {
-        "S1": lambda: run_policy_study(spec=spec),
-        "S2": lambda: run_update_ratio_study(operations=operations),
+        "S1": lambda: run_policy_study(spec=spec, engine=engine),
+        "S2": lambda: run_update_ratio_study(operations=operations, engine=engine),
         "S3": lambda: run_tsb_vs_wobt(
             spec=WorkloadSpec(operations=min(operations, 4_000), update_fraction=0.5, seed=1989)
         ),
-        "S4": lambda: run_cost_function_study(spec=spec),
-        "S5": lambda: run_query_io_study(spec=query_spec),
-        "S6": run_txn_study,
-        "S7": run_secondary_study,
+        "S4": lambda: run_cost_function_study(spec=spec, engine=engine),
+        "S5": lambda: run_query_io_study(spec=query_spec, engine=engine),
+        "S6": lambda: run_txn_study(engine=engine),
+        "S7": lambda: run_secondary_study(engine=engine),
     }
 
 
-def command_figures(_args: argparse.Namespace) -> int:
+def command_figures(args: argparse.Namespace) -> int:
+    results = run_all_figures(engine=args.engine)
+    if not results:
+        print(f"No paper figures exercise engine {args.engine!r}.")
+        return 0
     failures = 0
-    for result in run_all_figures():
+    for result in results:
         print(result.summary())
         for check, passed in result.checks.items():
             print(f"    [{'ok ' if passed else 'FAIL'}] {check}")
@@ -78,7 +86,7 @@ def command_figures(_args: argparse.Namespace) -> int:
 
 
 def command_study(args: argparse.Namespace) -> int:
-    runners = _study_runners(args.ops)
+    runners = _study_runners(args.ops, engine=args.engine)
     names: List[str]
     if args.name.lower() == "all":
         names = list(runners)
@@ -89,31 +97,46 @@ def command_study(args: argparse.Namespace) -> int:
             return 2
         names = [name]
     for name in names:
-        result = runners[name]()
+        if name == "S3" and args.engine != "tsb":
+            print(
+                "S3 note: this study always compares every engine "
+                f"(tsb/wobt/naive); --engine {args.engine} does not change it"
+            )
+        try:
+            result = runners[name]()
+        except CapabilityError as exc:
+            print(f"{name} skipped: {exc}")
+            continue
         print(render_comparison(f"{name} — {result.study}", result.rows))
     return 0
 
 
-def command_demo(_args: argparse.Namespace) -> int:
-    tree = TSBTree(page_size=1024, policy=ThresholdPolicy(0.5))
-    print("insert  alice -> balance=50   @ T=1")
-    tree.insert("alice", b"balance=50", timestamp=1)
-    print("insert  bob   -> balance=200  @ T=2")
-    tree.insert("bob", b"balance=200", timestamp=2)
-    print("update  alice -> balance=120  @ T=5")
-    tree.insert("alice", b"balance=120", timestamp=5)
-    print()
-    print(f"current alice          : {tree.search_current('alice').value.decode()}")
-    print(f"as-of   alice at T=3   : {tree.search_as_of('alice', 3).value.decode()}")
-    snapshot = {key: version.value.decode() for key, version in tree.snapshot(2).items()}
-    print(f"snapshot at T=2        : {snapshot}")
-    history = [(v.timestamp, v.value.decode()) for v in tree.key_history("alice")]
-    print(f"history of alice       : {history}")
-    stats = collect_space_stats(tree)
-    print(
-        f"storage                : {stats.magnetic_bytes_used} B magnetic, "
-        f"{stats.historical_bytes_used} B historical"
+def command_demo(args: argparse.Namespace) -> int:
+    config = StoreConfig(
+        engine=args.engine,
+        page_size=1024,
+        split_policy="threshold:0.5" if args.engine == "tsb" else None,
     )
+    with VersionStore.open(config) as store:
+        print(f"engine                 : {args.engine} ({type(store.backend).__name__})")
+        print("insert  alice -> balance=50   @ T=1")
+        store.insert("alice", b"balance=50", timestamp=1)
+        print("insert  bob   -> balance=200  @ T=2")
+        store.insert("bob", b"balance=200", timestamp=2)
+        print("update  alice -> balance=120  @ T=5")
+        store.insert("alice", b"balance=120", timestamp=5)
+        print()
+        print(f"current alice          : {store.get('alice').value.decode()}")
+        print(f"as-of   alice at T=3   : {store.get_as_of('alice', 3).value.decode()}")
+        snapshot = {key: record.value.decode() for key, record in store.snapshot(2).items()}
+        print(f"snapshot at T=2        : {snapshot}")
+        history = [(r.timestamp, r.value.decode()) for r in store.key_history("alice")]
+        print(f"history of alice       : {history}")
+        space = store.space_summary()
+        print(
+            f"storage                : {space['magnetic_bytes']} B magnetic, "
+            f"{space['historical_bytes']} B historical"
+        )
     return 0
 
 
@@ -212,6 +235,12 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     figures = subparsers.add_parser("figures", help="re-run the paper's Figures 1-9")
+    figures.add_argument(
+        "--engine",
+        choices=("all",) + ENGINE_NAMES,
+        default="all",
+        help="only the figures exercising this engine (default: all)",
+    )
     figures.set_defaults(handler=command_figures)
 
     study = subparsers.add_parser("study", help="run one of the studies S1..S7 (or 'all')")
@@ -222,9 +251,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=3_000,
         help="workload size in operations (default: 3000)",
     )
+    study.add_argument(
+        "--engine",
+        choices=ENGINE_NAMES,
+        default="tsb",
+        help="access method the workload runs on, via VersionStore (default: tsb)",
+    )
     study.set_defaults(handler=command_study)
 
     demo = subparsers.add_parser("demo", help="a one-minute end-to-end demonstration")
+    demo.add_argument(
+        "--engine",
+        choices=ENGINE_NAMES,
+        default="tsb",
+        help="access method to demonstrate, via VersionStore (default: tsb)",
+    )
     demo.set_defaults(handler=command_demo)
 
     crash_demo = subparsers.add_parser(

@@ -329,6 +329,33 @@ def version_as_of(versions: Iterable[Version], timestamp: int) -> Optional[Versi
     return best
 
 
+def records_valid_between(records: Sequence, start: int, end: int) -> List:
+    """Select the records of one key valid at some point in ``[start, end)``.
+
+    ``records`` is that key's full committed history, oldest first; each
+    record carries a ``timestamp`` and is valid from it until the next
+    record's timestamp (the stepwise-constant rule of section 1).  Works on
+    any record type with a ``timestamp`` attribute, so every engine's
+    time-slice query shares this one definition.
+    """
+    if end <= start:
+        return []
+    selected: List = []
+    for position, record in enumerate(records):
+        next_start = (
+            records[position + 1].timestamp
+            if position + 1 < len(records)
+            else None
+        )
+        # Valid interval of this record: [timestamp, next_start).
+        if record.timestamp >= end:
+            continue
+        if next_start is not None and next_start <= start:
+            continue
+        selected.append(record)
+    return selected
+
+
 def distinct_keys(versions: Iterable[Version]) -> List[Key]:
     """Return the sorted distinct keys appearing in ``versions``."""
     return sorted({version.key for version in versions})

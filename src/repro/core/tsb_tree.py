@@ -33,6 +33,7 @@ from repro.core.records import (
     Rectangle,
     TimeRange,
     Version,
+    records_valid_between,
     version_as_of,
 )
 from repro.core.split import (
@@ -350,24 +351,7 @@ class TSBTree:
         version valid at ``start`` (if any) followed by every version created
         inside the interval, oldest first.
         """
-        if end <= start:
-            return []
-        versions = self.key_history(key)
-        selected: List[Version] = []
-        for position, version in enumerate(versions):
-            assert version.timestamp is not None
-            next_start = (
-                versions[position + 1].timestamp
-                if position + 1 < len(versions)
-                else None
-            )
-            # Valid interval of this version: [timestamp, next_start).
-            if version.timestamp >= end:
-                continue
-            if next_start is not None and next_start <= start:
-                continue
-            selected.append(version)
-        return selected
+        return records_valid_between(self.key_history(key), start, end)
 
     def snapshot(self, timestamp: int) -> Dict[Key, Version]:
         """The state of the database as of ``timestamp`` (paper section 2.5)."""

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.core.records import records_valid_between
 from repro.storage.device import Address, OutOfSpaceError
 from repro.storage.serialization import Key
 from repro.storage.worm import WormDisk
@@ -210,6 +211,36 @@ class WOBT:
                         result[key] = entry
         return result
 
+    def range_search(
+        self,
+        low: Optional[Key] = None,
+        high: Optional[Key] = None,
+        as_of: Optional[int] = None,
+    ) -> List[WOBTRecord]:
+        """Records of keys in ``[low, high)`` valid at ``as_of`` (default: now),
+        sorted by key.
+
+        The WOBT has no rectangle-directed descent, so a range scan walks the
+        nodes reachable at ``as_of`` — exactly the cost profile section 2.5
+        describes for version scans on the write-once structure.
+        """
+        timestamp = self._max_timestamp if as_of is None else as_of
+        results: List[WOBTRecord] = []
+        for key, record in self.snapshot(timestamp).items():
+            if low is not None and key < low:
+                continue
+            if high is not None and not key < high:
+                continue
+            results.append(record)
+        results.sort(key=lambda record: record.key)
+        return results
+
+    def history_between(self, key: Key, start: int, end: int) -> List[WOBTRecord]:
+        """Versions of ``key`` valid at some point in ``[start, end)``, oldest
+        first — the time-slice query, answered from the backward-pointer
+        history walk of section 2.5."""
+        return records_valid_between(self.key_history(key), start, end)
+
     def key_history(self, key: Key) -> List[WOBTRecord]:
         """All versions of ``key``, following backward pointers (section 2.5)."""
         leaf = self._descend_path(key, as_of=None)[-1]
@@ -291,6 +322,10 @@ class WOBT:
         else:
             self.counters.index_copies_written += len(entries)
         return view
+
+    def drop_view_cache(self) -> None:
+        """Forget the decoded node views; later reads re-decode burned sectors."""
+        self._nodes.clear()
 
     def _load_view(self, address: Address) -> WOBTNodeView:
         self.counters.node_accesses += 1

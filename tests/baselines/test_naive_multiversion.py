@@ -13,14 +13,18 @@ class TestBasicOperations:
         index = NaiveMultiversionIndex()
         index.insert("k", b"v1", timestamp=1)
         index.insert("k", b"v2", timestamp=5)
-        assert index.search_current("k") == b"v2"
+        # Results are (timestamp, value) records, so as-of answers are
+        # verifiable; named tuples still compare equal to plain tuples.
+        assert index.search_current("k") == (5, b"v2")
+        assert index.search_current("k").value == b"v2"
         assert index.search_current("missing") is None
 
     def test_as_of_and_history(self):
         index = NaiveMultiversionIndex()
         index.insert("k", b"v1", timestamp=1)
         index.insert("k", b"v2", timestamp=5)
-        assert index.search_as_of("k", 3) == b"v1"
+        assert index.search_as_of("k", 3) == (1, b"v1")
+        assert index.search_as_of("k", 3).timestamp == 1
         assert index.search_as_of("k", 0) is None
         assert index.key_history("k") == [(1, b"v1"), (5, b"v2")]
 
@@ -29,8 +33,39 @@ class TestBasicOperations:
         index.insert("a", b"a1", timestamp=1)
         index.insert("b", b"b1", timestamp=4)
         index.insert("a", b"a2", timestamp=6)
-        assert index.snapshot(2) == {"a": b"a1"}
-        assert index.snapshot(9) == {"a": b"a2", "b": b"b1"}
+        assert index.snapshot(2) == {"a": (1, b"a1")}
+        assert index.snapshot(9) == {"a": (6, b"a2"), "b": (4, b"b1")}
+
+    def test_range_search(self):
+        index = NaiveMultiversionIndex()
+        index.insert("a", b"a1", timestamp=1)
+        index.insert("b", b"b1", timestamp=2)
+        index.insert("c", b"c1", timestamp=3)
+        index.insert("b", b"b2", timestamp=5)
+        assert index.range_search("a", "c") == [
+            ("a", (1, b"a1")),
+            ("b", (5, b"b2")),
+        ]
+        assert index.range_search() == [
+            ("a", (1, b"a1")),
+            ("b", (5, b"b2")),
+            ("c", (3, b"c1")),
+        ]
+        assert index.range_search("a", "c", as_of=2) == [
+            ("a", (1, b"a1")),
+            ("b", (2, b"b1")),
+        ]
+        assert index.range_search("z") == []
+
+    def test_history_between(self):
+        index = NaiveMultiversionIndex()
+        index.insert("k", b"v1", timestamp=1)
+        index.insert("k", b"v2", timestamp=5)
+        index.insert("k", b"v3", timestamp=9)
+        # v1 is valid at the start of [3, 6); v2 is created inside it.
+        assert index.history_between("k", 3, 6) == [(1, b"v1"), (5, b"v2")]
+        assert index.history_between("k", 6, 6) == []
+        assert index.history_between("k", 10, 20) == [(9, b"v3")]
 
     def test_auto_timestamps_and_order_enforcement(self):
         index = NaiveMultiversionIndex()
@@ -61,16 +96,25 @@ class TestAgainstOracle:
             index, oracle, operations=400, update_fraction=0.6, key_space=40, seed=17
         )
         rng = random.Random(17)
+
+        def value_of(record):
+            return None if record is None else record.value
+
         for key in oracle.keys():
-            assert index.search_current(key) == oracle.current(key)
+            assert value_of(index.search_current(key)) == oracle.current(key)
         for _ in range(100):
             key = rng.choice(oracle.keys())
             timestamp = rng.randint(0, oracle.max_timestamp + 1)
-            assert index.search_as_of(key, timestamp) == oracle.as_of(key, timestamp)
+            assert value_of(index.search_as_of(key, timestamp)) == oracle.as_of(
+                key, timestamp
+            )
         for key in oracle.keys()[:10]:
             assert index.key_history(key) == oracle.key_history(key)
         checkpoint = oracle.max_timestamp // 2
-        assert index.snapshot(checkpoint) == oracle.snapshot(checkpoint)
+        observed = {
+            key: record.value for key, record in index.snapshot(checkpoint).items()
+        }
+        assert observed == oracle.snapshot(checkpoint)
 
     def test_magnetic_footprint_grows_with_history(self):
         """The motivation for the TSB-tree: the current database bloats."""

@@ -19,6 +19,16 @@ class TestParser:
         assert parser.parse_args(["demo"]).command == "demo"
         assert parser.parse_args(["crash-demo"]).command == "crash-demo"
 
+    def test_engine_flags_parse(self):
+        parser = build_parser()
+        assert parser.parse_args(["demo"]).engine == "tsb"
+        assert parser.parse_args(["demo", "--engine", "wobt"]).engine == "wobt"
+        assert parser.parse_args(["study", "S1", "--engine", "naive"]).engine == "naive"
+        assert parser.parse_args(["figures"]).engine == "all"
+        assert parser.parse_args(["figures", "--engine", "wobt"]).engine == "wobt"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["demo", "--engine", "btree"])
+
     def test_recover_command_parses_its_options(self):
         args = build_parser().parse_args(
             ["recover", "--ops", "30", "--seed", "7", "--batch", "4", "--crash-at", "12"]
@@ -37,6 +47,35 @@ class TestCommands:
         assert "balance=120" in output
         assert "snapshot at T=2" in output
         assert "history of alice" in output
+
+    @pytest.mark.parametrize("engine", ["tsb", "wobt", "naive"])
+    def test_demo_gives_the_same_answers_on_every_engine(self, capsys, engine):
+        assert main(["demo", "--engine", engine]) == 0
+        output = capsys.readouterr().out
+        assert f"engine                 : {engine}" in output
+        assert "current alice          : balance=120" in output
+        assert "as-of   alice at T=3   : balance=50" in output
+        assert "[(1, 'balance=50'), (5, 'balance=120')]" in output
+
+    def test_study_on_another_engine(self, capsys):
+        assert main(["study", "S2", "--ops", "400", "--engine", "naive"]) == 0
+        output = capsys.readouterr().out
+        assert "update=0.90" in output
+        assert "magnetic_bytes" in output
+
+    def test_study_skips_when_engine_lacks_capability(self, capsys):
+        assert main(["study", "S6", "--engine", "wobt"]) == 0
+        output = capsys.readouterr().out
+        assert "S6 skipped" in output
+        assert "transactions" in output
+
+    def test_figures_engine_filter(self, capsys):
+        assert main(["figures", "--engine", "wobt"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 2" in output
+        assert "Figure 5" not in output
+        assert main(["figures", "--engine", "naive"]) == 0
+        assert "No paper figures" in capsys.readouterr().out
 
     def test_figures(self, capsys):
         assert main(["figures"]) == 0

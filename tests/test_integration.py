@@ -149,7 +149,7 @@ class TestCrossStructureConsistency:
         for key in sorted({op.key for op in operations}):
             tsb_value = tsb.search_current(key).value
             assert wobt.search_current(key).value == tsb_value
-            assert naive.search_current(key) == tsb_value
+            assert naive.search_current(key).value == tsb_value
 
     def test_as_of_state_identical(self, loaded_structures):
         operations, tsb, wobt, naive = loaded_structures
@@ -164,14 +164,17 @@ class TestCrossStructureConsistency:
             wobt_record = wobt.search_as_of(key, timestamp)
             wobt_value = None if wobt_record is None else wobt_record.value
             assert tsb_value == wobt_value
-            assert naive.search_as_of(key, timestamp) == tsb_value
+            naive_record = naive.search_as_of(key, timestamp)
+            naive_value = None if naive_record is None else naive_record.value
+            assert naive_value == tsb_value
 
     def test_snapshots_identical(self, loaded_structures):
         operations, tsb, wobt, naive = loaded_structures
         checkpoint = operations[-1].timestamp // 3
         tsb_snapshot = {k: v.value for k, v in tsb.snapshot(checkpoint).items()}
         wobt_snapshot = {k: v.value for k, v in wobt.snapshot(checkpoint).items()}
-        assert tsb_snapshot == wobt_snapshot == naive.snapshot(checkpoint)
+        naive_snapshot = {k: r.value for k, r in naive.snapshot(checkpoint).items()}
+        assert tsb_snapshot == wobt_snapshot == naive_snapshot
 
     def test_space_profiles_differ_as_the_paper_argues(self, loaded_structures):
         _operations, tsb, wobt, naive = loaded_structures

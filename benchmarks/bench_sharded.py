@@ -1,0 +1,98 @@
+"""Sharded write throughput — put_many scaling with shard count.
+
+The scale-out claim behind :class:`~repro.api.ShardedVersionStore`: batched
+writes through N key-range shards outrun the single-store baseline, because
+each shard's tree is shallower (fewer node touches per insert) and each
+shard brings its own buffer pool.  One workload, one ``put_many`` call per
+configuration, shard counts 1/2/4/8 against the plain ``VersionStore``
+baseline — plus an answers-digest check proving the sharded stores return
+the same logical answers they were sped up for.
+"""
+
+import time
+
+from repro.analysis.experiment import answers_digest
+from repro.analysis.metrics import ExperimentRow
+from repro.analysis.report import render_comparison
+from repro.api import ShardSpec, StoreConfig, VersionStore
+from repro.workload import WorkloadSpec, generate
+
+SPEC = WorkloadSpec(operations=12_000, update_fraction=0.5, seed=1989, value_size=40)
+SHARD_COUNTS = (1, 2, 4, 8)
+PAGE_SIZE = 512
+
+
+def open_store(shards: int, key_space: int):
+    config = StoreConfig(engine="tsb", page_size=PAGE_SIZE)
+    if shards:
+        # Partition the *actual* key domain of the workload: sizing the
+        # ranges to the operation count would leave the upper shards empty
+        # (sequential key assignment stops near ops * (1 - update_fraction)).
+        spec = (
+            ShardSpec.for_int_keys(shards, key_space=key_space)
+            if shards > 1
+            else ShardSpec()
+        )
+        config = StoreConfig(engine="tsb", page_size=PAGE_SIZE, shards=spec)
+    return VersionStore.open(config)
+
+
+def run_sweep():
+    operations = generate(SPEC)
+    pairs = [(operation.key, operation.value) for operation in operations]
+    keys = sorted({operation.key for operation in operations})
+    key_space = keys[-1] + 1
+    sample = keys[:: max(1, len(keys) // 40)][:40]
+    final = operations[-1].timestamp
+    probes = [max(1, final // 2), final]
+
+    rows = []
+    digests = {}
+    for label, shards in [("baseline (no shards)", 0)] + [
+        (f"{count} shard{'s' if count > 1 else ''}", count) for count in SHARD_COUNTS
+    ]:
+        store = open_store(shards, key_space)
+        started = time.perf_counter()
+        store.put_many(pairs)
+        elapsed = time.perf_counter() - started
+        throughput = len(pairs) / elapsed
+        digests[label] = answers_digest(store, sample, probes)
+        rows.append(
+            ExperimentRow(
+                label,
+                {
+                    "shards": shards or 1,
+                    "elapsed_s": round(elapsed, 3),
+                    "ops_per_s": round(throughput, 1),
+                    "answers_digest": digests[label],
+                },
+            )
+        )
+        store.close()
+    return rows, digests
+
+
+def test_put_many_throughput_scales_with_shard_count(benchmark):
+    rows, digests = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print("\n" + render_comparison("sharded put_many throughput", rows))
+    benchmark.extra_info["rows"] = [
+        {"label": row.label, **row.metrics} for row in rows
+    ]
+
+    by_label = {row.label: row.metrics for row in rows}
+    baseline = by_label["baseline (no shards)"]["ops_per_s"]
+    one_shard = by_label["1 shard"]["ops_per_s"]
+    eight_shards = by_label["8 shards"]["ops_per_s"]
+
+    # Sharding is why we are here: eight shards must beat both the plain
+    # store and the single-shard store, not merely tie them.
+    assert eight_shards > 1.05 * baseline, by_label
+    assert eight_shards > 1.05 * one_shard, by_label
+    # The trend is monotone-ish: every multi-shard configuration at least
+    # matches the single-shard store (5% tolerance for timer noise).
+    for count in SHARD_COUNTS[1:]:
+        label = f"{count} shards"
+        assert by_label[label]["ops_per_s"] > 0.95 * one_shard, by_label
+    # Same answers everywhere — throughput means nothing if the logical
+    # database diverged.
+    assert len(set(digests.values())) == 1, digests

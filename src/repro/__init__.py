@@ -56,6 +56,8 @@ from repro.api import (
     ENGINE_NAMES,
     ReadView,
     RecordView,
+    ShardSpec,
+    ShardedVersionStore,
     StoreConfig,
     VersionStore,
     VersionedEngine,
@@ -111,6 +113,8 @@ __all__ = [
     "RecoveryManager",
     "RecoveryReport",
     "SecondaryIndex",
+    "ShardSpec",
+    "ShardedVersionStore",
     "SpaceStats",
     "SplitPolicy",
     "StoreConfig",

@@ -13,11 +13,19 @@ functions one-to-one (S1..S7), and EXPERIMENTS.md records a reference run.
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.analysis.metrics import ExperimentRow, QueryCost, query_cost_from_deltas, space_row
-from repro.api import ENGINE_NAMES, Capability, CapabilityError, StoreConfig, VersionStore
+from repro.api import (
+    ENGINE_NAMES,
+    Capability,
+    CapabilityError,
+    ShardSpec,
+    ShardedVersionStore,
+    StoreConfig,
+    VersionStore,
+)
 from repro.core.policy import (
     AlwaysKeySplitPolicy,
     AlwaysTimeSplitPolicy,
@@ -65,15 +73,34 @@ def build_store(
     policy: Union[None, str, SplitPolicy] = None,
     page_size: int = 1024,
     use_jukebox: bool = False,
+    shards: Optional[ShardSpec] = None,
 ) -> VersionStore:
-    """Open a :class:`VersionStore` the way the studies configure engines."""
+    """Open a :class:`VersionStore` the way the studies configure engines.
+
+    Passing a :class:`~repro.api.ShardSpec` routes the study's workload
+    through a key-range-partitioned :class:`~repro.api.ShardedVersionStore`
+    instead of one store.
+    """
     config = StoreConfig(
         engine=engine,
         page_size=page_size,
         split_policy=policy if engine == "tsb" else None,
         historical="jukebox" if (use_jukebox and engine == "tsb") else "worm",
+        shards=shards,
     )
     return VersionStore.open(config)
+
+
+def _store_split_counters(store: VersionStore) -> Dict[str, float]:
+    """The per-policy split counters, rolled up across shards when sharded."""
+    if isinstance(store, ShardedVersionStore):
+        counters = store.tree_counters()
+    else:
+        counters = store.backend.counters
+    return {
+        "data_time_splits": counters.data_time_splits,
+        "data_key_splits": counters.data_key_splits,
+    }
 
 
 def build_tree(policy: SplitPolicy, page_size: int = 1024, use_jukebox: bool = False) -> TSBTree:
@@ -100,33 +127,41 @@ def run_policy_study(
     cost_model: Optional[CostModel] = None,
     page_size: int = 1024,
     engine: str = "tsb",
+    shards: Optional[ShardSpec] = None,
 ) -> StudyResult:
     """Replay one workload under each splitting policy and measure space use.
 
     Splitting policies are a TSB-tree concept; with another ``engine`` the
     same workload runs through the façade once and the study reports that
-    engine's normalized space row instead of a per-policy table.
+    engine's normalized space row instead of a per-policy table.  With
+    ``shards`` the per-policy rows report the normalized cross-shard space
+    summary and the rolled-up split counters.
     """
     spec = spec or WorkloadSpec(operations=8_000, update_fraction=0.5, seed=1989)
     cost_model = cost_model or CostModel()
     operations = generate(spec)
     result = StudyResult(study="S1: space vs splitting policy")
     if engine != "tsb":
-        store = build_store(engine=engine, page_size=page_size)
+        store = build_store(engine=engine, page_size=page_size, shards=shards)
         apply_to(store, operations)
         result.rows.append(_engine_space_row(f"{engine} (no split policies)", store))
         return result
     policies = list(policies) if policies is not None else default_policies(cost_model)
     for policy in policies:
-        store = build_store(engine="tsb", policy=policy, page_size=page_size)
+        store = build_store(
+            engine="tsb", policy=policy, page_size=page_size, shards=shards
+        )
         apply_to(store, operations)
+        if shards is not None:
+            result.rows.append(
+                _engine_space_row(policy.name, store, _store_split_counters(store))
+            )
+            continue
         tree = store.backend
         stats = collect_space_stats(tree, cost_model)
-        extra = {
-            "data_time_splits": tree.counters.data_time_splits,
-            "data_key_splits": tree.counters.data_key_splits,
-        }
-        result.rows.append(space_row(policy.name, stats, extra))
+        result.rows.append(
+            space_row(policy.name, stats, _store_split_counters(store))
+        )
     return result
 
 
@@ -141,18 +176,19 @@ def run_update_ratio_study(
     page_size: int = 1024,
     cost_model: Optional[CostModel] = None,
     engine: str = "tsb",
+    shards: Optional[ShardSpec] = None,
 ) -> StudyResult:
     """Fix the configuration, vary the rate of update versus insertion.
 
     Runs on any engine: the TSB-tree reports the full section 5 space row,
-    the other engines their normalized space summary.
+    the other engines (and any sharded store) their normalized space summary.
     """
     cost_model = cost_model or CostModel()
     result = StudyResult(study="S2: space vs update fraction")
     for fraction in update_fractions:
         spec = WorkloadSpec(operations=operations, update_fraction=fraction, seed=seed)
         if engine != "tsb":
-            store = build_store(engine=engine, page_size=page_size)
+            store = build_store(engine=engine, page_size=page_size, shards=shards)
             apply_to(store, generate(spec))
             result.rows.append(
                 _engine_space_row(
@@ -160,15 +196,17 @@ def run_update_ratio_study(
                 )
             )
             continue
-        store = build_store(engine="tsb", policy=policy_factory(), page_size=page_size)
+        store = build_store(
+            engine="tsb", policy=policy_factory(), page_size=page_size, shards=shards
+        )
         apply_to(store, generate(spec))
-        tree = store.backend
-        stats = collect_space_stats(tree, cost_model)
-        extra = {
-            "update_fraction": fraction,
-            "data_time_splits": tree.counters.data_time_splits,
-            "data_key_splits": tree.counters.data_key_splits,
-        }
+        extra = {"update_fraction": fraction, **_store_split_counters(store)}
+        if shards is not None:
+            result.rows.append(
+                _engine_space_row(f"update={fraction:.2f}", store, extra)
+            )
+            continue
+        stats = collect_space_stats(store.backend, cost_model)
         result.rows.append(space_row(f"update={fraction:.2f}", stats, extra))
     return result
 
@@ -268,6 +306,7 @@ def run_cost_function_study(
     spec: Optional[WorkloadSpec] = None,
     page_size: int = 1024,
     engine: str = "tsb",
+    shards: Optional[ShardSpec] = None,
 ) -> StudyResult:
     """Sweep CM/CO and watch the cost-driven policy shift toward time splits.
 
@@ -278,8 +317,8 @@ def run_cost_function_study(
     spec = spec or WorkloadSpec(operations=6_000, update_fraction=0.5, seed=1989)
     operations = generate(spec)
     result = StudyResult(study="S4: storage cost function sweep")
-    if engine != "tsb":
-        store = build_store(engine=engine, page_size=page_size)
+    if engine != "tsb" or shards is not None:
+        store = build_store(engine=engine, page_size=page_size, shards=shards)
         apply_to(store, operations)
         summary = store.space_summary()
         for ratio in cost_ratios:
@@ -333,6 +372,7 @@ def run_query_io_study(
     use_jukebox: bool = True,
     cost_model: Optional[CostModel] = None,
     engine: str = "tsb",
+    shards: Optional[ShardSpec] = None,
 ) -> StudyResult:
     """Measure device touches per query class (current, as-of, history, snapshot).
 
@@ -341,7 +381,8 @@ def run_query_io_study(
     so the same five query classes are priced on the TSB-tree, the WOBT and
     the naive baseline alike.  (Within a class the engines warm what they
     have: a bounded buffer pool for tsb/naive, the unbounded decoded-view
-    cache for the WOBT.)
+    cache for the WOBT.)  Sharded stores price the scatter-gather fan-out
+    over every shard's devices.
     """
     spec = spec or WorkloadSpec(operations=6_000, update_fraction=0.6, seed=1989)
     cost_model = cost_model or CostModel()
@@ -350,6 +391,7 @@ def run_query_io_study(
         policy=(policy or ThresholdPolicy(0.5)) if engine == "tsb" else None,
         page_size=page_size,
         use_jukebox=use_jukebox,
+        shards=shards,
     )
     operations = generate(spec)
     apply_to(store, operations)
@@ -362,14 +404,15 @@ def run_query_io_study(
         # Start each query class from a small, cold cache so the
         # magnetic-versus-optical access pattern is visible (a warm pool
         # holding the whole current database would report zero device reads)
-        # and no class is measured warm from the previous one.
+        # and no class is measured warm from the previous one.  io_summary
+        # is re-fetched after the queries: a sharded store aggregates its
+        # per-shard counters per call rather than returning live objects.
         store.engine.drop_cache(8)
-        tiers = store.io_summary()
-        magnetic_before = tiers["magnetic"].snapshot()
-        historical_before = tiers["historical"].snapshot()
+        before = {tier: stats.snapshot() for tier, stats in store.io_summary().items()}
         run_queries()
-        magnetic_delta = tiers["magnetic"].delta(magnetic_before)
-        historical_delta = tiers["historical"].delta(historical_before)
+        after = store.io_summary()
+        magnetic_delta = after["magnetic"].delta(before["magnetic"])
+        historical_delta = after["historical"].delta(before["historical"])
         return query_cost_from_deltas(magnetic_delta, historical_delta, cost_model)
 
     sample = keys[:: max(1, len(keys) // query_count)][:query_count]
@@ -585,6 +628,7 @@ def run_engine_matrix(
     page_size: int = 1024,
     sample_keys: int = 50,
     base_config: Optional[StoreConfig] = None,
+    shards: Optional[ShardSpec] = None,
 ) -> StudyResult:
     """One workload, every engine, one table.
 
@@ -594,7 +638,9 @@ def run_engine_matrix(
     rows mean the engines agree on every current, snapshot, history and
     range answer for the workload.  ``base_config`` carries shared knobs
     (page size, cache, ...) across the matrix; engine-specific settings it
-    names are dropped when they do not transfer.
+    names are dropped when they do not transfer.  With ``shards``, one more
+    row runs the workload through a sharded TSB-tree store — its digest must
+    match the single-store engines too.
     """
     spec = spec or WorkloadSpec(operations=2_000, update_fraction=0.5, seed=1989)
     operations = generate(spec)
@@ -610,6 +656,14 @@ def run_engine_matrix(
             metrics = dict(store.space_summary())
             metrics["answers_digest"] = answers_digest(store, sample, probe_times)
             result.rows.append(ExperimentRow(label=engine, metrics=metrics))
+    if shards is not None:
+        with VersionStore.open(replace(base.with_engine("tsb"), shards=shards)) as store:
+            apply_to(store, operations)
+            metrics = dict(store.space_summary())
+            metrics["answers_digest"] = answers_digest(store, sample, probe_times)
+            result.rows.append(
+                ExperimentRow(label=f"sharded-tsb×{store.shard_count}", metrics=metrics)
+            )
     return result
 
 

@@ -8,6 +8,10 @@
   normalized query answers.
 * :class:`Capability` / :exc:`CapabilityError` — explicit, uniform failure
   for operations an engine genuinely does not support.
+* :class:`ShardedVersionStore` + :class:`ShardSpec` — key-range partitioning
+  across N inner stores behind the same surface: routed point queries,
+  scatter-gather range/snapshot/time-slice queries, per-shard batched
+  ``put_many`` and automatic shard splits.
 """
 
 from repro.api.adapters import (
@@ -25,10 +29,17 @@ from repro.api.engine import (
 )
 from repro.api.store import (
     ReadView,
+    ShardSpec,
     StoreClosedError,
     StoreConfig,
     VersionStore,
     resolve_policy,
+)
+from repro.api.sharded import (
+    PutManyReport,
+    ShardBatch,
+    ShardedEngine,
+    ShardedVersionStore,
 )
 
 __all__ = [
@@ -36,8 +47,13 @@ __all__ = [
     "CapabilityError",
     "ENGINE_NAMES",
     "NaiveEngine",
+    "PutManyReport",
     "ReadView",
     "RecordView",
+    "ShardBatch",
+    "ShardSpec",
+    "ShardedEngine",
+    "ShardedVersionStore",
     "StoreClosedError",
     "StoreConfig",
     "TSBEngine",

@@ -84,6 +84,11 @@ class TSBEngine(VersionedEngine):
         high: Optional[Key] = None,
         as_of: Optional[int] = None,
     ) -> List[RecordView]:
+        # An empty or inverted [low, high) holds no keys.  The raw tree
+        # rejects such a KeyRange outright; the other engines answer [] —
+        # normalize to the uniform answer (found by the differential suite).
+        if low is not None and high is not None and not low < high:
+            return []
         views = (
             _view_from_version(version)
             for version in self.tree.range_search(low, high, as_of=as_of)

@@ -1,0 +1,574 @@
+"""Key-range sharding: many independent stores behind one façade.
+
+The paper designs one current/historical device pair; the roadmap's
+production-scale story needs many.  :class:`ShardedVersionStore`
+key-range-partitions the database across N inner
+:class:`~repro.api.store.VersionStore` instances — each with its own
+magnetic disk, historical device, buffer pool and (optionally) WAL — while
+exposing the same query surface as a single store:
+
+* **routing** — point lookups, as-of lookups, key histories and writes go
+  to exactly the one shard whose range contains the key;
+* **scatter-gather** — range scans, snapshots and time-slice queries fan
+  out to the overlapping shards and merge their answers (shards are ordered
+  by key range, so concatenating per-shard range results is already
+  key-sorted);
+* **batching** — :meth:`ShardedVersionStore.put_many` groups a batch of
+  records per shard before applying it, one logged transaction per shard
+  when the inner stores run a WAL (so a batch rides each shard's group
+  commit);
+* **splitting** — when a shard's current-device utilization crosses the
+  :class:`~repro.api.store.ShardSpec` threshold, the shard is split at its
+  median key into two fresh stores, the scale-out analogue of the
+  TSB-tree's own key splits.
+
+Timestamps stay globally consistent: the sharded engine owns the clock,
+stamps auto-timestamped writes itself, and rejects a timestamp that would
+precede the latest global commit — exactly the rule every single-store
+engine enforces — so a workload replayed through a sharded store gives the
+same logical answers as the same workload on one store.
+
+Construction goes through the ordinary front door::
+
+    from repro import ShardSpec, StoreConfig, VersionStore
+
+    spec = ShardSpec.for_int_keys(shards=4, key_space=100_000)
+    config = StoreConfig(engine="tsb", shards=spec)
+    store = VersionStore.open(config)       # a ShardedVersionStore
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.api.engine import (
+    Capability,
+    RecordView,
+    VersionStoreError,
+    VersionedEngine,
+)
+from repro.api.store import (
+    ShardSpec,
+    StoreConfig,
+    VersionStore,
+    distinct_key_run_end,
+)
+from repro.core.tsb_tree import TSBTree, TreeCounters
+from repro.storage.iostats import IOStats
+from repro.storage.serialization import Key
+
+
+@dataclass(frozen=True)
+class ShardBatch:
+    """One shard's slice of a :meth:`ShardedVersionStore.put_many` batch.
+
+    ``shard`` is the shard index *at apply time*: the store whose log the
+    batch actually committed to.  A batch big enough to cross the split
+    threshold renumbers shards before ``put_many`` returns, so under an
+    aggressive :class:`~repro.api.store.ShardSpec` the index may no longer
+    match :attr:`ShardedVersionStore.shard_stores`; re-route a key with
+    :meth:`ShardedVersionStore.shard_for` for the current layout.
+    """
+
+    shard: int
+    keys: Tuple[Key, ...]
+    timestamps: Tuple[int, ...]
+    #: Commit durability at return time: under a WAL, True iff every commit
+    #: record of this batch (one per distinct-key run) is already in the
+    #: forced log prefix; None without a WAL.
+    durable: Optional[bool] = None
+
+    @property
+    def count(self) -> int:
+        return len(self.keys)
+
+
+@dataclass(frozen=True)
+class PutManyReport:
+    """What one ``put_many`` call did: per-item stamps and per-shard batches."""
+
+    timestamps: List[int] = field(default_factory=list)
+    batches: List[ShardBatch] = field(default_factory=list)
+
+
+class ShardedEngine(VersionedEngine):
+    """The :class:`VersionedEngine` protocol over N range-partitioned stores.
+
+    Holds the inner :class:`VersionStore` objects (not just their engines)
+    because shard splits need to build replacement stores from the inner
+    configuration.  Capabilities are the intersection of the inner engines'
+    capabilities minus transactions and secondary indexes, which are
+    single-store concepts the sharded layer does not coordinate.
+    """
+
+    def __init__(
+        self,
+        stores: List[VersionStore],
+        boundaries: List[Key],
+        spec: ShardSpec,
+        inner_config: StoreConfig,
+    ) -> None:
+        if len(stores) != len(boundaries) + 1:
+            raise VersionStoreError(
+                f"{len(stores)} shards need exactly {len(stores) - 1} boundaries"
+            )
+        self.stores = stores
+        self.boundaries = boundaries
+        self.spec = spec
+        self.inner_config = inner_config
+        self.name = f"sharded-{inner_config.engine}"
+        inner_caps = [store.engine.capabilities for store in stores]
+        self.capabilities: FrozenSet[Capability] = frozenset.intersection(
+            frozenset(Capability), *inner_caps
+        ) - {Capability.TRANSACTIONS, Capability.SECONDARY_INDEXES}
+        self._now = max((store.now for store in stores), default=0)
+        #: Every key ever written per shard, including logically deleted
+        #: ones — splits must carry full histories, and range scans hide
+        #: tombstoned keys.
+        self._shard_keys: List[set] = [set() for _ in stores]
+        self._dirty: set = set()
+        self.splits_performed = 0
+
+    @property
+    def backend(self):
+        raise VersionStoreError(
+            "a sharded store has no single backend; iterate "
+            "ShardedVersionStore.shard_stores for the per-shard backends"
+        )
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def shard_index(self, key: Key) -> int:
+        """The shard whose half-open key range contains ``key``."""
+        return bisect_right(self.boundaries, key)
+
+    def shard_range(self, index: int) -> Tuple[Optional[Key], Optional[Key]]:
+        """Shard ``index``'s ``[low, high)`` range (None = unbounded)."""
+        low = self.boundaries[index - 1] if index > 0 else None
+        high = self.boundaries[index] if index < len(self.boundaries) else None
+        return low, high
+
+    def _store_for(self, key: Key) -> VersionStore:
+        return self.stores[self.shard_index(key)]
+
+    def _stamp(self, timestamp: Optional[int]) -> int:
+        if timestamp is None:
+            return self._now + 1
+        if timestamp < self._now:
+            raise VersionStoreError(
+                f"timestamp {timestamp} precedes the latest committed "
+                f"timestamp {self._now}; a sharded store stamps in global "
+                "commit order, like every single-store engine"
+            )
+        return timestamp
+
+    def _record_write(self, index: int, key: Key, timestamp: int) -> None:
+        self._shard_keys[index].add(key)
+        self._dirty.add(index)
+        self._now = max(self._now, timestamp)
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def insert(self, key: Key, value: bytes, timestamp: Optional[int] = None) -> int:
+        timestamp = self._stamp(timestamp)
+        index = self.shard_index(key)
+        stamped = self.stores[index].engine.insert(key, value, timestamp=timestamp)
+        self._record_write(index, key, stamped)
+        return stamped
+
+    def delete(self, key: Key, timestamp: Optional[int] = None) -> int:
+        self.require(Capability.DELETE)
+        timestamp = self._stamp(timestamp)
+        index = self.shard_index(key)
+        stamped = self.stores[index].engine.delete(key, timestamp=timestamp)
+        self._record_write(index, key, stamped)
+        return stamped
+
+    def put_many(self, items: Sequence[Tuple[Key, bytes]]) -> PutManyReport:
+        """Group a batch per shard, then apply each shard's group in one go.
+
+        Without a WAL every item keeps its own timestamp, pre-assigned in
+        input order from the global clock — byte-identical answers to the
+        same items inserted one by one.  With a WAL each shard's group
+        commits as a single logged transaction (one commit timestamp per
+        shard, amortized over the shard's group-commit batch).
+        """
+        items = list(items)
+        if not items:
+            return PutManyReport()
+        groups: Dict[int, List[Tuple[int, Key, bytes]]] = {}
+        for position, (key, value) in enumerate(items):
+            groups.setdefault(self.shard_index(key), []).append((position, key, value))
+
+        timestamps: List[Optional[int]] = [None] * len(items)
+        batches: List[ShardBatch] = []
+        if self.inner_config.wal:
+            for index in sorted(groups):
+                store = self.stores[index]
+                group = groups[index]
+                assert store.txns is not None
+                group_stamps: List[int] = []
+                all_durable = True
+                # One transaction per distinct-key run (the shared batching
+                # rule of distinct_key_run_end): a repeated key starts a new
+                # transaction so no version is silently collapsed.
+                start = 0
+                while start < len(group):
+                    end = distinct_key_run_end(
+                        group, start, key_of=lambda item: item[1]
+                    )
+                    # Each shard owns a TimestampOracle; fast-forward it to
+                    # the global clock so commit stamps stay globally ordered.
+                    store.txns.clock.advance_to(self._now)
+                    txn = store.begin()
+                    for _, key, value in group[start:end]:
+                        txn.write(key, value)
+                    commit_ts = txn.commit()
+                    all_durable = all_durable and store.commit_is_durable(txn)
+                    for position, key, _ in group[start:end]:
+                        timestamps[position] = commit_ts
+                        group_stamps.append(commit_ts)
+                        self._record_write(index, key, commit_ts)
+                    start = end
+                batches.append(
+                    ShardBatch(
+                        shard=index,
+                        keys=tuple(key for _, key, _ in group),
+                        timestamps=tuple(group_stamps),
+                        durable=all_durable,
+                    )
+                )
+        else:
+            start = self._now
+            for position in range(len(items)):
+                timestamps[position] = start + 1 + position
+            for index in sorted(groups):
+                store = self.stores[index]
+                for position, key, value in groups[index]:
+                    store.engine.insert(key, value, timestamp=timestamps[position])
+                    self._record_write(index, key, timestamps[position])
+                batches.append(
+                    ShardBatch(
+                        shard=index,
+                        keys=tuple(key for _, key, _ in groups[index]),
+                        timestamps=tuple(timestamps[p] for p, _, _ in groups[index]),
+                    )
+                )
+        return PutManyReport(timestamps=list(timestamps), batches=batches)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def get(self, key: Key) -> Optional[RecordView]:
+        return self._store_for(key).engine.get(key)
+
+    def get_as_of(self, key: Key, timestamp: int) -> Optional[RecordView]:
+        return self._store_for(key).engine.get_as_of(key, timestamp)
+
+    def range_search(
+        self,
+        low: Optional[Key] = None,
+        high: Optional[Key] = None,
+        as_of: Optional[int] = None,
+    ) -> List[RecordView]:
+        first = 0 if low is None else self.shard_index(low)
+        # bisect_left for the exclusive high bound: when high sits exactly
+        # on a shard boundary, the shard starting at high can never match.
+        last = (
+            len(self.stores) - 1
+            if high is None
+            else bisect_left(self.boundaries, high)
+        )
+        results: List[RecordView] = []
+        for index in range(first, last + 1):
+            results.extend(
+                self.stores[index].engine.range_search(low, high, as_of=as_of)
+            )
+        return results
+
+    def snapshot(self, timestamp: int) -> Dict[Key, RecordView]:
+        merged: Dict[Key, RecordView] = {}
+        for store in self.stores:
+            merged.update(store.engine.snapshot(timestamp))
+        return merged
+
+    def key_history(self, key: Key) -> List[RecordView]:
+        return self._store_for(key).engine.key_history(key)
+
+    def history_between(self, key: Key, start: int, end: int) -> List[RecordView]:
+        return self._store_for(key).engine.history_between(key, start, end)
+
+    def has_version_at(self, key: Key, timestamp: int) -> bool:
+        return self._store_for(key).engine.has_version_at(key, timestamp)
+
+    # ------------------------------------------------------------------
+    # Clock / accounting
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        return self._now
+
+    # The rollup arithmetic lives in repro.analysis.metrics (per-shard ->
+    # store-level aggregation belongs to the measurement layer); the imports
+    # are function-local on purpose — analysis imports repro.api at module
+    # scope, so a top-level import here would be a cycle.
+    def space_summary(self) -> Dict[str, float]:
+        from repro.analysis.metrics import merge_space_summaries
+
+        return merge_space_summaries(store.space_summary() for store in self.stores)
+
+    def io_summary(self) -> Dict[str, IOStats]:
+        """Aggregated per-tier counters, summed across shards.
+
+        Unlike a single store's ``io_summary`` (live, mutating counter
+        objects), the aggregate is a snapshot computed per call; diff two
+        calls to measure a query's cost.
+        """
+        from repro.analysis.metrics import merge_io_summaries
+
+        return merge_io_summaries(store.io_summary() for store in self.stores)
+
+    def tree_counters(self) -> TreeCounters:
+        """Structural-event counters rolled up across TSB-tree shards."""
+        from repro.analysis.metrics import merge_tree_counters
+
+        return merge_tree_counters(
+            store.backend.counters
+            for store in self.stores
+            if isinstance(store.backend, TSBTree)
+        )
+
+    def drop_cache(self, capacity: int = 8) -> None:
+        for store in self.stores:
+            store.engine.drop_cache(capacity)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        self.require(Capability.FLUSH)
+        for store in self.stores:
+            store.flush()
+
+    def checkpoint(self) -> None:
+        self.require(Capability.CHECKPOINT)
+        for store in self.stores:
+            store.checkpoint()
+
+    # ------------------------------------------------------------------
+    # Shard splitting
+    # ------------------------------------------------------------------
+    def utilization(self, index: int) -> float:
+        """Shard ``index``'s current-device pages over its page budget."""
+        return self._current_device_pages(self.stores[index]) / self.spec.shard_page_budget
+
+    @staticmethod
+    def _current_device_pages(store: VersionStore) -> int:
+        backend = store.backend
+        if isinstance(backend, TSBTree):
+            return backend.magnetic.allocated_pages
+        if hasattr(backend, "tree"):  # naive index wraps a magnetic B+-tree
+            return backend.tree.magnetic.allocated_pages
+        # WOBT: everything is "current" on the write-once device.  One node
+        # extent spans node_sectors sectors; count extents so the page
+        # budget means roughly the same data volume on every engine.
+        sectors = getattr(backend.worm, "sectors_burned", 0)
+        return sectors // max(1, backend.node_sectors)
+
+    def maybe_split(self) -> int:
+        """Split any written-to shard whose utilization crossed the threshold.
+
+        Returns how many splits were performed.  Newly created halves are
+        re-checked, so one call converges even when a batch landed entirely
+        in one range (bounded by ``ShardSpec.max_shards``).
+        """
+        worklist = sorted(self._dirty)
+        self._dirty.clear()
+        performed = 0
+        while worklist:
+            index = worklist.pop()
+            if len(self.stores) >= self.spec.max_shards:
+                break
+            if self.utilization(index) < self.spec.split_utilization:
+                continue
+            if self._split_shard(index):
+                performed += 1
+                # Shifted positions: everything right of `index` moved by
+                # one; re-examine both halves of the split.
+                worklist = [i if i < index else i + 1 for i in worklist]
+                worklist.extend([index, index + 1])
+                worklist.sort()
+        return performed
+
+    def _split_shard(self, index: int) -> bool:
+        keys = sorted(self._shard_keys[index])
+        if len(keys) < 2:
+            return False  # nothing to partition
+        median = keys[len(keys) // 2]
+        low, high = self.shard_range(index)
+        if (low is not None and not low < median) or (
+            high is not None and not median < high
+        ):
+            return False
+        old = self.stores[index]
+        left = VersionStore.open(self.inner_config)
+        right = VersionStore.open(self.inner_config)
+        for timestamp, key, is_tombstone, value in self._raw_events(old, keys):
+            target = left if key < median else right
+            if is_tombstone:
+                target.engine.delete(key, timestamp=timestamp)
+            else:
+                target.engine.insert(key, value, timestamp=timestamp)
+        if self.inner_config.wal:
+            left.checkpoint()
+            right.checkpoint()
+        old.close()
+        self.stores[index : index + 1] = [left, right]
+        self.boundaries.insert(index, median)
+        left_keys = {key for key in keys if key < median}
+        self._shard_keys[index : index + 1] = [left_keys, set(keys) - left_keys]
+        self.splits_performed += 1
+        return True
+
+    @staticmethod
+    def _raw_events(
+        store: VersionStore, keys: Iterable[Key]
+    ) -> List[Tuple[int, Key, bool, bytes]]:
+        """Every committed write in the shard, globally time-ordered.
+
+        Replaying a shard into its split halves must preserve tombstones
+        (which normalized reads hide) and must apply writes in timestamp
+        order, because every engine rejects backdated commits.
+        """
+        backend = store.backend
+        events: List[Tuple[int, Key, bool, bytes]] = []
+        for key in keys:
+            if isinstance(backend, TSBTree):
+                for version in backend.key_history(key):
+                    events.append(
+                        (version.timestamp, key, version.is_tombstone, version.value)
+                    )
+            else:
+                for record in store.engine.key_history(key):
+                    events.append((record.timestamp, key, False, record.value))
+        events.sort(key=lambda event: event[0])
+        return events
+
+
+class ShardedVersionStore(VersionStore):
+    """A :class:`VersionStore` whose engine scatter-gathers over key ranges.
+
+    Inherits the whole façade surface — normalized reads, read views, the
+    one-version-per-(key, timestamp) guard, space/I-O accounting — and adds
+    batched :meth:`put_many`, automatic shard splitting after writes, and
+    shard introspection.  Cross-shard transactions are not coordinated:
+    :meth:`begin` raises :exc:`~repro.api.engine.CapabilityError` like any
+    other unsupported capability.
+    """
+
+    def __init__(self, engine: ShardedEngine, config: StoreConfig) -> None:
+        super().__init__(engine, config)
+
+    @classmethod
+    def open_sharded(cls, config: StoreConfig) -> "ShardedVersionStore":
+        """Open one inner store per shard range described by ``config``."""
+        spec = config.shards
+        if spec is None:
+            raise VersionStoreError("StoreConfig.shards is required for a sharded store")
+        inner_config = replace(config, shards=None)
+        boundaries = list(spec.boundaries or ())
+        stores = [VersionStore.open(inner_config) for _ in range(len(boundaries) + 1)]
+        return cls(ShardedEngine(stores, boundaries, spec, inner_config), config)
+
+    # ------------------------------------------------------------------
+    # Shard introspection
+    # ------------------------------------------------------------------
+    @property
+    def sharded_engine(self) -> ShardedEngine:
+        return self._engine  # type: ignore[return-value]
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.sharded_engine.stores)
+
+    @property
+    def shard_stores(self) -> List[VersionStore]:
+        """The inner stores, ordered by key range."""
+        return list(self.sharded_engine.stores)
+
+    def shard_for(self, key: Key) -> int:
+        return self.sharded_engine.shard_index(key)
+
+    def tree_counters(self) -> TreeCounters:
+        """Merged :class:`TreeCounters` across all TSB-tree shards."""
+        return self.sharded_engine.tree_counters()
+
+    def describe_shards(self) -> List[Dict[str, object]]:
+        """One row per shard: key range, keys ever written (tombstoned keys
+        included — they still occupy history), pages, local clock."""
+        engine = self.sharded_engine
+        rows: List[Dict[str, object]] = []
+        for index, store in enumerate(engine.stores):
+            low, high = engine.shard_range(index)
+            low_text = "-inf" if low is None else repr(low)
+            high_text = "+inf" if high is None else repr(high)
+            rows.append(
+                {
+                    "shard": index,
+                    "range": f"[{low_text}, {high_text})",
+                    "keys_written": len(engine._shard_keys[index]),
+                    "current_pages": engine._current_device_pages(store),
+                    "utilization": round(engine.utilization(index), 4),
+                    "now": store.now,
+                }
+            )
+        return rows
+
+    # ------------------------------------------------------------------
+    # Writes (split check after every write)
+    # ------------------------------------------------------------------
+    def insert(self, key: Key, value: bytes, timestamp: Optional[int] = None) -> int:
+        stamped = super().insert(key, value, timestamp=timestamp)
+        self.sharded_engine.maybe_split()
+        return stamped
+
+    def delete(self, key: Key, timestamp: Optional[int] = None) -> int:
+        stamped = super().delete(key, timestamp=timestamp)
+        self.sharded_engine.maybe_split()
+        return stamped
+
+    def put_many(self, items: Sequence[Tuple[Key, bytes]]) -> List[int]:
+        return self.put_many_detailed(items).timestamps
+
+    def put_many_detailed(self, items: Sequence[Tuple[Key, bytes]]) -> PutManyReport:
+        """Like :meth:`put_many` but returns the per-shard batch report."""
+        self._ensure_open()
+        report = self.sharded_engine.put_many(items)
+        self.sharded_engine.maybe_split()
+        return report
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> None:
+        self._ensure_open()
+        self.sharded_engine.checkpoint()
+
+    def close(self) -> None:
+        """Close every shard (each flushes/checkpoints per its own config)."""
+        if self._closed:
+            return
+        for store in self.sharded_engine.stores:
+            store.close()
+        self._closed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else f"now={self._engine.now}"
+        return (
+            f"ShardedVersionStore(engine={self._engine.name!r}, "
+            f"shards={self.shard_count}, {state})"
+        )

@@ -32,7 +32,7 @@ against a different access method.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterator, List, Optional, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.api.adapters import (
     ENGINE_NAMES,
@@ -93,6 +93,119 @@ def resolve_policy(spec: Union[None, str, SplitPolicy]) -> Optional[SplitPolicy]
     raise ValueError(f"unknown split policy spec {spec!r}")
 
 
+def distinct_key_run_end(items: Sequence, start: int, key_of=lambda item: item[0]) -> int:
+    """End (exclusive) of the longest run from ``start`` with no repeated key.
+
+    The transactional batching rule shared by ``VersionStore.put_many`` and
+    the sharded store's per-shard groups: a transaction's write set keeps
+    one value per key, so a batch must start a new transaction at the first
+    repeated key or earlier duplicate-key versions would silently collapse.
+    """
+    seen = set()
+    end = start
+    while end < len(items):
+        key = key_of(items[end])
+        if key in seen:
+            break
+        seen.add(key)
+        end += 1
+    return end
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Declarative description of a key-range partitioning.
+
+    A :class:`StoreConfig` carrying a ``ShardSpec`` opens as a
+    :class:`~repro.api.sharded.ShardedVersionStore`: ``len(boundaries) + 1``
+    inner stores, shard ``i`` owning the half-open key range
+    ``[boundaries[i-1], boundaries[i])`` (the first and last ranges are
+    unbounded below and above).  Boundaries must be strictly increasing and
+    mutually comparable with every key the store will ever see.
+
+    Parameters
+    ----------
+    boundaries:
+        The split keys.  ``None`` (with ``shards == 1``) means a single
+        shard owning the whole key space; it can still grow by splitting.
+    shards:
+        Initial shard count; redundant when ``boundaries`` is given (it is
+        validated against ``len(boundaries) + 1``).
+    split_utilization:
+        When a shard's current-device utilization (allocated pages over
+        ``shard_page_budget``) crosses this fraction, the shard is split at
+        its median key into two shards — the scale-out analogue of the
+        TSB-tree's own node splits.
+    shard_page_budget:
+        Current-device pages one shard is budgeted to hold; the denominator
+        of the utilization test.
+    max_shards:
+        Hard ceiling on automatic splitting.
+    """
+
+    boundaries: Optional[Tuple[Key, ...]] = None
+    shards: int = 1
+    split_utilization: float = 0.85
+    shard_page_budget: int = 4096
+    max_shards: int = 64
+
+    def __post_init__(self) -> None:
+        if self.boundaries is not None:
+            boundaries = tuple(self.boundaries)
+            object.__setattr__(self, "boundaries", boundaries)
+            for left, right in zip(boundaries, boundaries[1:]):
+                if not left < right:
+                    raise ValueError("shard boundaries must be strictly increasing")
+            expected = len(boundaries) + 1
+            if self.shards not in (1, expected):
+                raise ValueError(
+                    f"shards={self.shards} disagrees with {len(boundaries)} "
+                    f"boundaries (which imply {expected} shards)"
+                )
+            object.__setattr__(self, "shards", expected)
+        elif self.shards != 1:
+            raise ValueError(
+                "shards > 1 needs explicit boundaries; build them with "
+                "ShardSpec.for_int_keys / ShardSpec.for_string_keys"
+            )
+        if self.shards < 1:
+            raise ValueError("a sharded store needs at least one shard")
+        if not 0.0 < self.split_utilization <= 1.0:
+            raise ValueError("split_utilization must lie in (0, 1]")
+        if self.shard_page_budget < 1:
+            raise ValueError("shard_page_budget must be positive")
+        if self.max_shards < self.shards:
+            raise ValueError("max_shards must be at least the initial shard count")
+
+    @classmethod
+    def for_int_keys(cls, shards: int, key_space: int, **overrides) -> "ShardSpec":
+        """Evenly partition the integer key domain ``[0, key_space)``."""
+        if shards < 1:
+            raise ValueError("shards must be positive")
+        if shards == 1:
+            return cls(**overrides)
+        if key_space < shards:
+            raise ValueError("key_space must be at least the shard count")
+        boundaries = tuple(
+            sorted({(index * key_space) // shards for index in range(1, shards)})
+        )
+        return cls(boundaries=boundaries, **overrides)
+
+    @classmethod
+    def for_string_keys(cls, shards: int, **overrides) -> "ShardSpec":
+        """Evenly partition lowercase string keys by first letter."""
+        if shards < 1:
+            raise ValueError("shards must be positive")
+        if shards == 1:
+            return cls(**overrides)
+        if shards > 26:
+            raise ValueError("for_string_keys supports at most 26 shards")
+        boundaries = tuple(
+            sorted({chr(ord("a") + (index * 26) // shards) for index in range(1, shards)})
+        )
+        return cls(boundaries=boundaries, **overrides)
+
+
 @dataclass(frozen=True)
 class StoreConfig:
     """Declarative description of a :class:`VersionStore`.
@@ -124,6 +237,11 @@ class StoreConfig:
         checkpoint.
     group_commit_size:
         Commit records per log force when ``wal=True``.
+    shards:
+        A :class:`ShardSpec` to key-range-partition the store across several
+        independent inner stores (each with its own devices, cache and WAL);
+        ``VersionStore.open`` then returns a
+        :class:`~repro.api.sharded.ShardedVersionStore`.
     """
 
     engine: str = "tsb"
@@ -135,6 +253,7 @@ class StoreConfig:
     platter_capacity_sectors: int = 4096
     wal: bool = False
     group_commit_size: int = 1
+    shards: Optional[ShardSpec] = None
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINE_NAMES:
@@ -167,6 +286,8 @@ class StoreConfig:
             raise ValueError("node_sectors only applies to the 'wobt' engine")
         if self.engine == "wobt" and self.cache_pages != 128:
             raise ValueError("cache_pages does not apply to the 'wobt' engine")
+        if self.shards is not None and not isinstance(self.shards, ShardSpec):
+            raise ValueError("shards must be a ShardSpec (or None)")
         resolve_policy(self.split_policy)  # fail fast on malformed specs
 
     def with_engine(self, engine: str) -> "StoreConfig":
@@ -280,6 +401,15 @@ class VersionStore:
         elif overrides:
             config = replace(config, **overrides)
 
+        if config.shards is not None:
+            from repro.api.sharded import ShardedVersionStore
+
+            if magnetic is not None or historical is not None:
+                raise VersionStoreError(
+                    "a sharded store owns one device pair per shard and "
+                    "cannot be reopened from a single device pair"
+                )
+            return ShardedVersionStore.open_sharded(config)
         if config.engine == "tsb":
             return cls._open_tsb(config, magnetic, historical)
         if magnetic is not None or historical is not None:
@@ -430,6 +560,48 @@ class VersionStore:
         self._ensure_open()
         self._reject_timestamp_conflict(key, timestamp)
         return self._engine.delete(key, timestamp=timestamp)
+
+    def put_many(self, items: Sequence[Tuple[Key, bytes]]) -> List[int]:
+        """Write a batch of ``(key, value)`` pairs; return their timestamps.
+
+        Without a WAL this is sequential auto-stamped inserts (each item gets
+        its own timestamp).  With ``wal=True`` each distinct-key run commits
+        as one logged transaction riding group commit: items in a run share
+        its commit timestamp, and a repeated key starts a new transaction so
+        every version survives.  The sharded store overrides this with a
+        per-shard grouped implementation with the same two modes.
+        """
+        self._ensure_open()
+        items = list(items)
+        if not items:
+            return []
+        if self._config.wal and self._txns is not None:
+            return self._put_many_transactional(self._txns, items)
+        return [self.insert(key, value) for key, value in items]
+
+    @staticmethod
+    def _put_many_transactional(txns: TransactionManager, items) -> List[int]:
+        """Apply a batch as transactions, never two writes to one key per txn.
+
+        A transaction's write set keeps one value per key (the final write
+        wins), so packing a whole batch into one transaction would silently
+        drop earlier duplicate-key versions — diverging from the non-WAL
+        path, where every item becomes its own version.  Chunking at the
+        first repeated key (:func:`distinct_key_run_end`) preserves every
+        version while still batching distinct-key runs into one commit.
+        """
+        timestamps: List[Optional[int]] = [None] * len(items)
+        start = 0
+        while start < len(items):
+            end = distinct_key_run_end(items, start)
+            txn = txns.begin()
+            for key, value in items[start:end]:
+                txn.write(key, value)
+            commit_timestamp = txn.commit()
+            for position in range(start, end):
+                timestamps[position] = commit_timestamp
+            start = end
+        return timestamps  # type: ignore[return-value]
 
     def _reject_timestamp_conflict(self, key: Key, timestamp: Optional[int]) -> None:
         if timestamp is not None and timestamp <= self._engine.now:

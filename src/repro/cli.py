@@ -46,25 +46,56 @@ from repro.analysis.experiment import (
 )
 from repro.analysis.figures import run_all_figures
 from repro.analysis.report import render_comparison
-from repro.api import ENGINE_NAMES, CapabilityError, StoreConfig, VersionStore
+from repro.api import (
+    ENGINE_NAMES,
+    CapabilityError,
+    ShardSpec,
+    ShardedVersionStore,
+    StoreConfig,
+    VersionStore,
+)
 from repro.recovery import RecoverableSystem, ScriptRunner, generate_script
 from repro.workload import WorkloadSpec
 
+#: Studies that configure their own fixed store set; --shards cannot reroute them.
+_UNSHARDED_STUDIES = {"S3", "S6", "S7"}
 
-def _study_runners(operations: int, engine: str = "tsb") -> Dict[str, Callable[[], StudyResult]]:
+
+def _study_runners(
+    operations: int,
+    engine: str = "tsb",
+    shards: Optional[ShardSpec] = None,
+) -> Dict[str, Callable[[], StudyResult]]:
     spec = WorkloadSpec(operations=operations, update_fraction=0.5, seed=1989)
     query_spec = WorkloadSpec(operations=operations, update_fraction=0.6, seed=1989)
     return {
-        "S1": lambda: run_policy_study(spec=spec, engine=engine),
-        "S2": lambda: run_update_ratio_study(operations=operations, engine=engine),
+        "S1": lambda: run_policy_study(spec=spec, engine=engine, shards=shards),
+        "S2": lambda: run_update_ratio_study(
+            operations=operations, engine=engine, shards=shards
+        ),
         "S3": lambda: run_tsb_vs_wobt(
             spec=WorkloadSpec(operations=min(operations, 4_000), update_fraction=0.5, seed=1989)
         ),
-        "S4": lambda: run_cost_function_study(spec=spec, engine=engine),
-        "S5": lambda: run_query_io_study(spec=query_spec, engine=engine),
+        "S4": lambda: run_cost_function_study(spec=spec, engine=engine, shards=shards),
+        "S5": lambda: run_query_io_study(spec=query_spec, engine=engine, shards=shards),
         "S6": lambda: run_txn_study(engine=engine),
         "S7": lambda: run_secondary_study(engine=engine),
     }
+
+
+def _shard_spec(shard_count: int, operations: int) -> Optional[ShardSpec]:
+    """The key-range spec behind ``--shards N``.
+
+    The study workloads assign sequential integer keys, so with update
+    fraction ``f`` an ``operations``-step run creates roughly
+    ``operations * (1 - f)`` distinct keys.  The studies run near f=0.5;
+    sizing the partition to ``operations`` itself would leave the upper
+    shards provably empty.
+    """
+    if shard_count <= 1:
+        return None
+    expected_keys = max(shard_count, operations // 2)
+    return ShardSpec.for_int_keys(shard_count, key_space=expected_keys)
 
 
 def command_figures(args: argparse.Namespace) -> int:
@@ -86,7 +117,8 @@ def command_figures(args: argparse.Namespace) -> int:
 
 
 def command_study(args: argparse.Namespace) -> int:
-    runners = _study_runners(args.ops, engine=args.engine)
+    shards = _shard_spec(args.shards, operations=args.ops)
+    runners = _study_runners(args.ops, engine=args.engine, shards=shards)
     names: List[str]
     if args.name.lower() == "all":
         names = list(runners)
@@ -102,6 +134,11 @@ def command_study(args: argparse.Namespace) -> int:
                 "S3 note: this study always compares every engine "
                 f"(tsb/wobt/naive); --engine {args.engine} does not change it"
             )
+        if shards is not None and name in _UNSHARDED_STUDIES:
+            print(
+                f"{name} note: this study builds its own fixed store set; "
+                f"--shards {args.shards} does not change it"
+            )
         try:
             result = runners[name]()
         except CapabilityError as exc:
@@ -112,13 +149,25 @@ def command_study(args: argparse.Namespace) -> int:
 
 
 def command_demo(args: argparse.Namespace) -> int:
+    try:
+        shards = ShardSpec.for_string_keys(args.shards) if args.shards > 1 else None
+    except ValueError as exc:
+        print(f"--shards: {exc}")
+        return 2
     config = StoreConfig(
         engine=args.engine,
         page_size=1024,
         split_policy="threshold:0.5" if args.engine == "tsb" else None,
+        shards=shards,
     )
     with VersionStore.open(config) as store:
-        print(f"engine                 : {args.engine} ({type(store.backend).__name__})")
+        if isinstance(store, ShardedVersionStore):
+            print(
+                f"engine                 : {args.engine} "
+                f"(ShardedVersionStore, {store.shard_count} shards)"
+            )
+        else:
+            print(f"engine                 : {args.engine} ({type(store.backend).__name__})")
         print("insert  alice -> balance=50   @ T=1")
         store.insert("alice", b"balance=50", timestamp=1)
         print("insert  bob   -> balance=200  @ T=2")
@@ -137,6 +186,14 @@ def command_demo(args: argparse.Namespace) -> int:
             f"storage                : {space['magnetic_bytes']} B magnetic, "
             f"{space['historical_bytes']} B historical"
         )
+        if isinstance(store, ShardedVersionStore):
+            print()
+            print("shard layout (scatter-gather answers merged the rows above):")
+            for row in store.describe_shards():
+                print(
+                    f"  shard {row['shard']} {row['range']:<16} "
+                    f"keys_written={row['keys_written']} pages={row['current_pages']}"
+                )
     return 0
 
 
@@ -257,6 +314,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="tsb",
         help="access method the workload runs on, via VersionStore (default: tsb)",
     )
+    study.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="key-range-partition the store across N shards (default: 1)",
+    )
     study.set_defaults(handler=command_study)
 
     demo = subparsers.add_parser("demo", help="a one-minute end-to-end demonstration")
@@ -265,6 +328,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=ENGINE_NAMES,
         default="tsb",
         help="access method to demonstrate, via VersionStore (default: tsb)",
+    )
+    demo.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="key-range-partition the demo store across N shards (default: 1)",
     )
     demo.set_defaults(handler=command_demo)
 

@@ -116,6 +116,15 @@ class TreeCounters:
         """Counter values in declaration order (the superblock wire order)."""
         return [getattr(self, spec.name) for spec in fields(self)]
 
+    def combined(self, other: "TreeCounters") -> "TreeCounters":
+        """Element-wise sum of two counter sets (shard/experiment rollups)."""
+        return TreeCounters(
+            **{
+                spec.name: getattr(self, spec.name) + getattr(other, spec.name)
+                for spec in fields(self)
+            }
+        )
+
     @classmethod
     def from_field_values(cls, values: Sequence[int]) -> "TreeCounters":
         """Rebuild counters from :meth:`field_values` output.
@@ -828,12 +837,11 @@ class TSBTree:
         historical_address = self._append_historical(historical_node.encode())
         node.entries = list(split.current)
         node.region = current_region
-        self._store_node(node)
         self.counters.index_time_splits += 1
         self.counters.redundant_index_entries_written += len(split.copied)
         return [
             IndexEntry(child=historical_address, region=historical_region),
-            IndexEntry(child=node.address, region=current_region),
+            *self._store_or_resplit_index(node),
         ]
 
     def _perform_index_key_split(self, node: IndexNode, split_key: Key) -> List[IndexEntry]:
@@ -844,20 +852,32 @@ class TSBTree:
         right_address = self.magnetic.allocate_page()
         node.entries = list(split.left)
         node.region = left_region
-        self._store_node(node)
         right_node = IndexNode(
             address=right_address,
             region=right_region,
             entries=list(split.right),
             level=node.level,
         )
-        self._store_node(right_node)
         self.counters.index_key_splits += 1
         self.counters.redundant_index_entries_written += len(split.copied)
         return [
-            IndexEntry(child=node.address, region=left_region),
-            IndexEntry(child=right_address, region=right_region),
+            *self._store_or_resplit_index(node),
+            *self._store_or_resplit_index(right_node),
         ]
+
+    def _store_or_resplit_index(self, node: IndexNode) -> List[IndexEntry]:
+        """Store one split half, or split it again if it still overflows.
+
+        A key split copies straddling entries into both halves and a time
+        split keeps every still-alive entry on the current side, so on small
+        pages a single split does not guarantee both halves fit.  Splitting
+        the oversized half again (strictly narrowing its region each round)
+        converges; ``_store_node`` would refuse the oversized page image.
+        """
+        if node.fits(self.page_size):
+            self._store_node(node)
+            return [IndexEntry(child=node.address, region=node.region)]
+        return self._perform_index_split(node)
 
     # ------------------------------------------------------------------
     # Helpers

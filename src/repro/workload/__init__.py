@@ -20,6 +20,7 @@ from repro.workload.scenarios import (
     Scenario,
     ScenarioEvent,
     bank_accounts,
+    concurrent_clients,
     engineering_designs,
     personnel_records,
 )
@@ -36,6 +37,7 @@ __all__ = [
     "ZipfianDistribution",
     "apply_to",
     "bank_accounts",
+    "concurrent_clients",
     "engineering_designs",
     "generate",
     "iter_operations",

@@ -174,6 +174,62 @@ def engineering_designs(
     return Scenario(name="engineering-designs", events=events, history=history)
 
 
+def concurrent_clients(
+    clients: int = 8,
+    operations_per_client: int = 250,
+    keys_per_client: int = 12,
+    seed: int = 17,
+) -> Scenario:
+    """Many independent clients hammering one logical store at once.
+
+    The scale-out workload behind the sharded-store studies: each client
+    owns a namespaced slice of the key space (``c03-k007``) and issues its
+    own insert/update stream, and the streams are interleaved randomly into
+    one globally timestamped sequence — the arrival order a server sees
+    when serving many sessions.  Because client key ranges are disjoint and
+    lexicographically clustered, a key-range-partitioned store spreads the
+    clients across shards.
+    """
+    if clients < 1:
+        raise ValueError("clients must be positive")
+    rng = random.Random(seed)
+    # One independent generator per client, then a random interleave.
+    per_client: List[List[Tuple[str, bytes]]] = []
+    for client in range(clients):
+        client_rng = random.Random(seed * 1_000 + client)
+        stream: List[Tuple[str, bytes]] = []
+        revision: Dict[str, int] = {}
+        for _ in range(operations_per_client):
+            key = f"c{client:02d}-k{client_rng.randrange(keys_per_client):03d}"
+            revision[key] = revision.get(key, 0) + 1
+            payload = f"{key};rev={revision[key]}".encode()
+            stream.append((key, payload))
+        per_client.append(stream)
+
+    events: List[ScenarioEvent] = []
+    history: Dict[str, List[Tuple[int, bytes]]] = {}
+    pending = [list(reversed(stream)) for stream in per_client]
+    live = [index for index, stream in enumerate(pending) if stream]
+    timestamp = 0
+    while live:
+        slot = rng.randrange(len(live))
+        client = live[slot]
+        entity, payload = pending[client].pop()
+        timestamp += 1
+        events.append(
+            ScenarioEvent(
+                timestamp=timestamp,
+                entity=entity,
+                payload=payload,
+                attribute=f"client-{client:02d}",
+            )
+        )
+        history.setdefault(entity, []).append((timestamp, payload))
+        if not pending[client]:
+            live.pop(slot)
+    return Scenario(name="concurrent-clients", events=events, history=history)
+
+
 # ----------------------------------------------------------------------
 # Payload helpers
 # ----------------------------------------------------------------------

@@ -5,12 +5,16 @@ import pytest
 from repro.analysis.metrics import (
     ExperimentRow,
     QueryCost,
+    merge_io_summaries,
+    merge_space_summaries,
+    merge_tree_counters,
     query_cost_from_deltas,
     space_row,
     summarize_rows,
 )
 from repro.analysis.report import format_value, render_comparison, render_table, rows_to_dicts
 from repro.core import ThresholdPolicy, TSBTree, collect_space_stats
+from repro.core.tsb_tree import TreeCounters
 from repro.storage.costmodel import CostModel
 from repro.storage.iostats import IOStats
 
@@ -61,6 +65,70 @@ class TestRows:
         rows = [ExperimentRow("p1", {"m": 1}), ExperimentRow("p2", {"m": 5})]
         assert summarize_rows(rows, "m") == {"p1": 1, "p2": 5}
         assert summarize_rows(rows, "absent") == {}
+
+
+class TestShardRollups:
+    """Aggregation of per-shard accounting into one store-level summary."""
+
+    def test_merge_io_summaries_sums_per_tier(self):
+        merged = merge_io_summaries(
+            [
+                {"magnetic": IOStats(reads=3, bytes_read=300), "historical": IOStats(mounts=1)},
+                {"magnetic": IOStats(reads=5, writes=2), "historical": IOStats(reads=4)},
+            ]
+        )
+        assert merged["magnetic"].reads == 8
+        assert merged["magnetic"].writes == 2
+        assert merged["magnetic"].bytes_read == 300
+        assert merged["historical"].reads == 4
+        assert merged["historical"].mounts == 1
+
+    def test_merge_io_summaries_copies_rather_than_aliases(self):
+        live = IOStats(reads=1)
+        merged = merge_io_summaries([{"magnetic": live, "historical": IOStats()}])
+        live.record_read(100)
+        assert merged["magnetic"].reads == 1  # a snapshot, not the live object
+
+    def test_merge_tree_counters_sums_every_field(self):
+        merged = merge_tree_counters(
+            [
+                TreeCounters(inserts=10, data_key_splits=2, commits=1),
+                TreeCounters(inserts=5, data_time_splits=3, commits=4),
+            ]
+        )
+        assert merged.inserts == 15
+        assert merged.data_key_splits == 2
+        assert merged.data_time_splits == 3
+        assert merged.commits == 5
+        assert merged.total_splits == 5
+
+    def test_merge_space_summaries_recomputes_the_ratio(self):
+        # Shard A: 100 stored / 100 unique (ratio 1); shard B: 300 / 200
+        # (ratio 1.5).  Aggregate: 400 / 300, not the mean of the ratios.
+        merged = merge_space_summaries(
+            [
+                {
+                    "magnetic_bytes": 1000,
+                    "historical_bytes": 0,
+                    "total_bytes": 1000,
+                    "versions_stored": 100,
+                    "redundancy_ratio": 1.0,
+                },
+                {
+                    "magnetic_bytes": 500,
+                    "historical_bytes": 2000,
+                    "total_bytes": 2500,
+                    "versions_stored": 300,
+                    "redundancy_ratio": 1.5,
+                },
+            ]
+        )
+        assert merged["magnetic_bytes"] == 1500
+        assert merged["historical_bytes"] == 2000
+        assert merged["total_bytes"] == 3500
+        assert merged["versions_stored"] == 400
+        assert merged["redundancy_ratio"] == pytest.approx(400 / 300, abs=1e-3)
+        assert merged["shards"] == 2
 
 
 class TestReportRendering:

@@ -189,6 +189,24 @@ class TestTransactions:
         assert store.commit_is_durable(txn)
         store.close()  # logged checkpoint
 
+    def test_put_many_matches_sequential_inserts_with_and_without_wal(self):
+        # The batched write path must not change the logical database: the
+        # WAL path chunks at repeated keys (a transaction keeps one value
+        # per key) so duplicate-key batches keep every version, exactly
+        # like the non-WAL sequential path.
+        items = [("a", b"1"), ("b", b"2"), ("a", b"3")]
+        plain = VersionStore.open(StoreConfig(engine="tsb", page_size=512))
+        plain.put_many(items)
+        walled = VersionStore.open(
+            StoreConfig(engine="tsb", page_size=512, wal=True, group_commit_size=1)
+        )
+        stamps = walled.put_many(items)
+        for store in (plain, walled):
+            assert [r.value for r in store.key_history("a")] == [b"1", b"3"]
+            assert store.get("b").value == b"2"
+        assert stamps[0] == stamps[1] < stamps[2]  # chunk boundary at the dup
+        assert walled.put_many([]) == []
+
     def test_commit_is_durable_requires_wal(self):
         store = VersionStore.open(StoreConfig(engine="tsb"))
         txn = store.begin()

@@ -4,10 +4,10 @@ import random
 
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.baselines.bplus_tree import BPlusTree, BPlusTreeError
 from repro.storage.magnetic import MagneticDisk
+from tests.strategies import key_value_pairs
 
 
 class TestBasicOperations:
@@ -116,12 +116,7 @@ class TestAgainstDict:
             assert tree.search(key) == value
         assert dict(tree.items()) == model
 
-    @given(
-        pairs=st.lists(
-            st.tuples(st.integers(0, 200), st.binary(min_size=0, max_size=20)),
-            max_size=150,
-        )
-    )
+    @given(pairs=key_value_pairs)
     @settings(max_examples=50, deadline=None)
     def test_hypothesis_matches_dict(self, pairs):
         tree = BPlusTree(page_size=256)

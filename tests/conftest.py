@@ -8,11 +8,27 @@ the oracle and a tree disagree, the tree is wrong.
 
 from __future__ import annotations
 
+import os
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import pytest
+from hypothesis import settings
+
+# Example budgets for the Hypothesis suites.  Tier-1 runs the default "ci"
+# profile; the nightly CI job exports HYPOTHESIS_PROFILE=nightly to give the
+# differential state machines a 500+-example budget (tests that pin their
+# own @settings(max_examples=...) keep their explicit numbers either way).
+settings.register_profile("ci", deadline=None, print_blob=True)
+settings.register_profile(
+    "nightly",
+    deadline=None,
+    print_blob=True,
+    max_examples=500,
+    stateful_step_count=30,
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 
 
 @dataclass

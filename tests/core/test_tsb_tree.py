@@ -190,6 +190,28 @@ class TestSplittingBehaviour:
             assert tree.search_current(key).value == b"abcdefgh"
         assert_tree_valid(tree)
 
+    def test_index_key_split_resplits_oversized_halves(self):
+        """Regression, found by the cross-engine differential harness.
+
+        An index key split copies straddling (historical) entries into both
+        halves and a time split keeps every live entry on the current side,
+        so on a small page one split does not guarantee both halves fit; the
+        oversized half must be split again, not stored (which raised
+        NodeError "split bookkeeping is broken").  Heavy tombstone churn on
+        a handful of keys at page_size=256 reproduced it deterministically.
+        """
+        import random
+
+        rng = random.Random(5)
+        tree = make_tree(page_size=256)
+        for timestamp in range(1, 1_501):
+            key = rng.randrange(8)
+            if rng.random() < 0.4:
+                tree.delete(key, timestamp=timestamp)
+            else:
+                tree.insert(key, bytes(rng.randrange(4)), timestamp=timestamp)
+        assert_tree_valid(tree)
+
 
 class TestProvisionalVersions:
     def test_provisional_invisible_until_committed(self):

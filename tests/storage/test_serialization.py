@@ -2,7 +2,6 @@
 
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.storage.device import Address
 from repro.storage.serialization import (
@@ -22,22 +21,7 @@ from repro.storage.serialization import (
     write_timestamp,
     write_value,
 )
-
-keys = st.one_of(
-    st.integers(min_value=-(2**62), max_value=2**62),
-    st.text(min_size=0, max_size=40),
-)
-timestamps = st.one_of(st.none(), st.integers(min_value=0, max_value=2**62))
-values = st.binary(min_size=0, max_size=200)
-addresses = st.one_of(
-    st.integers(min_value=0, max_value=2**32).map(Address.magnetic),
-    st.tuples(
-        st.integers(min_value=0, max_value=2**31),
-        st.integers(min_value=0, max_value=2**31),
-        st.integers(min_value=0, max_value=2**31),
-        st.integers(min_value=0, max_value=16),
-    ).map(lambda parts: Address.historical(*parts)),
-)
+from tests.strategies import addresses, keys, timestamps, values
 
 
 class TestByteWriterReader:

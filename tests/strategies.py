@@ -1,0 +1,47 @@
+"""Shared Hypothesis strategies for the repository's property suites.
+
+One home for the key/timestamp/value/address generators that were
+previously duplicated across ``tests/baselines/test_bplus_tree.py`` and
+``tests/storage/test_serialization.py``; the cross-engine differential
+suite (``tests/api/test_differential.py``) reuses the payload strategy and
+layers its own small closed key pool on top so writes, deletes and queries
+collide often.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.storage.device import Address
+
+#: Keys the serialization codecs must round-trip (the full wire domain).
+keys = st.one_of(
+    st.integers(min_value=-(2**62), max_value=2**62),
+    st.text(min_size=0, max_size=40),
+)
+
+#: Timestamps as stored on pages: None marks a provisional version.
+timestamps = st.one_of(st.none(), st.integers(min_value=0, max_value=2**62))
+
+#: Record payloads.
+values = st.binary(min_size=0, max_size=200)
+
+#: Small payloads for workload-shaped property tests.
+small_values = st.binary(min_size=0, max_size=20)
+
+#: Device addresses, magnetic and historical alike.
+addresses = st.one_of(
+    st.integers(min_value=0, max_value=2**32).map(Address.magnetic),
+    st.tuples(
+        st.integers(min_value=0, max_value=2**31),
+        st.integers(min_value=0, max_value=2**31),
+        st.integers(min_value=0, max_value=2**31),
+        st.integers(min_value=0, max_value=16),
+    ).map(lambda parts: Address.historical(*parts)),
+)
+
+#: (key, value) pairs for map-shaped property tests (B+-tree vs dict).
+key_value_pairs = st.lists(
+    st.tuples(st.integers(0, 200), small_values),
+    max_size=150,
+)

@@ -29,6 +29,7 @@ def test_s4_cost_function_sweep(benchmark):
         benchmark,
         lambda: run_cost_function_study(cost_ratios=(1.0, 2.0, 5.0, 10.0, 20.0), spec=SPEC),
         columns=COLUMNS,
+        results_name="cost_function",
     )
     rows = {row.label: row.metrics for row in result.rows}
     lowest = rows["cost-driven CM/CO=1"]

@@ -26,7 +26,10 @@ COLUMNS = [
 
 def test_engine_matrix(benchmark):
     result = run_study_once(
-        benchmark, lambda: run_engine_matrix(spec=SPEC), columns=COLUMNS
+        benchmark,
+        lambda: run_engine_matrix(spec=SPEC),
+        columns=COLUMNS,
+        results_name="engine_matrix",
     )
     rows = {row.label: row.metrics for row in result.rows}
     assert set(rows) == {"tsb", "wobt", "naive"}

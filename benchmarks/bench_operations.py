@@ -14,8 +14,23 @@ from repro.core import ThresholdPolicy, TSBTree
 from repro.wobt import WOBT
 from repro.workload import WorkloadSpec, generate
 
+from .harness import emit_results
+
 SPEC = WorkloadSpec(operations=1_500, update_fraction=0.6, seed=7)
 OPERATIONS = generate(SPEC)
+
+
+@pytest.fixture(autouse=True)
+def _record_timing(request, benchmark):
+    """After each micro-benchmark, append its mean latency to BENCH_operations.json."""
+    yield
+    stats = getattr(getattr(benchmark, "stats", None), "stats", None)
+    mean = getattr(stats, "mean", None)
+    if mean is not None:
+        emit_results(
+            "operations",
+            [{"label": request.node.name, "mean_s": mean, "operations": len(OPERATIONS)}],
+        )
 
 
 def loaded_tsb_tree() -> TSBTree:

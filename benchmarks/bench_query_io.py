@@ -17,7 +17,9 @@ SPEC = WorkloadSpec(operations=5_000, update_fraction=0.6, seed=1989)
 
 def test_s5_query_io_by_class(benchmark):
     result = run_study_once(
-        benchmark, lambda: run_query_io_study(spec=SPEC, query_count=150)
+        benchmark,
+        lambda: run_query_io_study(spec=SPEC, query_count=150),
+        results_name="query_io",
     )
     rows = {row.label: row.metrics for row in result.rows}
     assert rows["current lookups"]["historical_reads"] == 0

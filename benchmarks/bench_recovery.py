@@ -20,7 +20,9 @@ LOG_LENGTHS = (100, 300, 900)
 
 def test_group_commit_throughput(benchmark):
     result = run_study_once(
-        benchmark, lambda: run_group_commit_study(batch_sizes=BATCH_SIZES)
+        benchmark,
+        lambda: run_group_commit_study(batch_sizes=BATCH_SIZES),
+        results_name="recovery",
     )
     rows = {row.label: row.metrics for row in result.rows}
     forces = [rows[f"batch={batch}"]["log_forces"] for batch in BATCH_SIZES]
@@ -35,7 +37,9 @@ def test_group_commit_throughput(benchmark):
 
 def test_recovery_time_vs_log_length(benchmark):
     result = run_study_once(
-        benchmark, lambda: run_recovery_time_study(log_lengths=LOG_LENGTHS)
+        benchmark,
+        lambda: run_recovery_time_study(log_lengths=LOG_LENGTHS),
+        results_name="recovery",
     )
     rows = {row.label: row.metrics for row in result.rows}
     replayed = [rows[f"ops={n}"]["ops_replayed"] for n in LOG_LENGTHS]

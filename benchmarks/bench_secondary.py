@@ -11,7 +11,9 @@ from .harness import run_study_once
 
 
 def test_s7_secondary_index_queries(benchmark):
-    result = run_study_once(benchmark, run_secondary_study)
+    result = run_study_once(
+        benchmark, run_secondary_study, results_name="secondary"
+    )
     for row in result.rows:
         if "oracle_count" in row.metrics:
             assert row.metrics["secondary_count"] == row.metrics["oracle_count"], row.label

@@ -17,6 +17,8 @@ from repro.analysis.report import render_comparison
 from repro.api import ShardSpec, StoreConfig, VersionStore
 from repro.workload import WorkloadSpec, generate
 
+from .harness import emit_results
+
 SPEC = WorkloadSpec(operations=12_000, update_fraction=0.5, seed=1989, value_size=40)
 SHARD_COUNTS = (1, 2, 4, 8)
 PAGE_SIZE = 512
@@ -78,6 +80,11 @@ def test_put_many_throughput_scales_with_shard_count(benchmark):
     benchmark.extra_info["rows"] = [
         {"label": row.label, **row.metrics} for row in rows
     ]
+    emit_results(
+        "sharded",
+        [{"label": row.label, **row.metrics} for row in rows],
+        study="sharded put_many throughput",
+    )
 
     by_label = {row.label: row.metrics for row in rows}
     baseline = by_label["baseline (no shards)"]["ops_per_s"]

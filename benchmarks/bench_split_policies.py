@@ -29,7 +29,10 @@ COLUMNS = [
 
 def test_s1_space_by_splitting_policy(benchmark):
     result = run_study_once(
-        benchmark, lambda: run_policy_study(spec=SPEC), columns=COLUMNS
+        benchmark,
+        lambda: run_policy_study(spec=SPEC),
+        columns=COLUMNS,
+        results_name="split_policies",
     )
     rows = {row.label: row.metrics for row in result.rows}
     # Sanity-check the headline shape so a silently broken run fails loudly.

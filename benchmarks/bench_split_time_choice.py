@@ -57,7 +57,12 @@ def run_split_time_ablation() -> StudyResult:
 
 
 def test_ablation_split_time_choice(benchmark):
-    result = run_study_once(benchmark, run_split_time_ablation, columns=COLUMNS)
+    result = run_study_once(
+        benchmark,
+        run_split_time_ablation,
+        columns=COLUMNS,
+        results_name="split_time_choice",
+    )
     rows = {row.label: row.metrics for row in result.rows}
     # Splitting at the last update writes no more redundancy than splitting
     # at the current time on this workload (the paper's section 3.3 argument).

@@ -25,7 +25,12 @@ COLUMNS = [
 
 
 def test_s3_tsb_vs_wobt(benchmark):
-    result = run_study_once(benchmark, lambda: run_tsb_vs_wobt(spec=SPEC), columns=COLUMNS)
+    result = run_study_once(
+        benchmark,
+        lambda: run_tsb_vs_wobt(spec=SPEC),
+        columns=COLUMNS,
+        results_name="tsb_vs_wobt",
+    )
     rows = {row.label: row.metrics for row in result.rows}
     # Headline shapes: the WOBT burns many more WORM sectors at much lower
     # utilisation and duplicates far more data than the TSB-tree.

@@ -11,7 +11,7 @@ from .harness import run_study_once
 
 
 def test_s6_transaction_support(benchmark):
-    result = run_study_once(benchmark, run_txn_study)
+    result = run_study_once(benchmark, run_txn_study, results_name="txn")
     rows = {row.label: row.metrics for row in result.rows}
     assert rows["read-only snapshot stability"]["changed_under_reader"] == 0
     assert rows["read-only snapshot stability"]["locks_taken_by_reader"] == 0

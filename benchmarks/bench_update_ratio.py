@@ -28,6 +28,7 @@ def test_s2_space_by_update_fraction(benchmark):
             update_fractions=(0.0, 0.25, 0.5, 0.75, 0.9), operations=5_000
         ),
         columns=COLUMNS,
+        results_name="update_ratio",
     )
     rows = {row.label: row.metrics for row in result.rows}
     assert rows["update=0.00"]["historical_bytes"] == 0

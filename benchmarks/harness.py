@@ -7,6 +7,14 @@ whole-workload measurements rather than microsecond-scale hot loops; the
 interesting output is the result table attached to ``benchmark.extra_info``
 and printed to stdout, not the timing statistics.
 
+Every benchmark additionally emits its result rows as machine-readable JSON
+to ``BENCH_<name>.json`` (via :func:`emit_results`), so the repository's
+perf trajectory is recorded per run instead of scrolling away in stdout.
+Results land in the current working directory unless ``BENCH_RESULTS_DIR``
+points elsewhere.  Within one pytest session, repeated :func:`emit_results`
+calls for the same name accumulate rows and rewrite the file, so
+multi-test benchmark modules produce one consolidated file.
+
 Run with::
 
     pytest benchmarks/ --benchmark-only
@@ -14,19 +22,76 @@ Run with::
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.report import render_comparison
 from repro.analysis.experiment import StudyResult
 
+#: Per-process accumulator: benchmark name -> payload written so far.
+_COLLECTED: Dict[str, dict] = {}
 
-def run_study_once(benchmark, study_callable, *, columns: Optional[Sequence[str]] = None):
-    """Run a study exactly once under the benchmark timer and report its table."""
+
+def results_path(name: str, directory: Optional[str] = None) -> Path:
+    """Where ``BENCH_<name>.json`` goes (cwd unless BENCH_RESULTS_DIR is set)."""
+    base = Path(directory or os.environ.get("BENCH_RESULTS_DIR", "."))
+    return base / f"BENCH_{name}.json"
+
+
+def emit_results(
+    name: str,
+    rows: Sequence[dict],
+    *,
+    study: Optional[str] = None,
+    extra: Optional[dict] = None,
+    directory: Optional[str] = None,
+) -> Path:
+    """Append ``rows`` to the named benchmark's JSON file and rewrite it.
+
+    ``rows`` are plain dicts (one per configuration/measurement).  ``study``
+    labels the section the rows belong to; ``extra`` merges free-form
+    metadata (digests, workload sizes) into the payload.
+    """
+    payload = _COLLECTED.setdefault(
+        name, {"benchmark": name, "sections": [], "extra": {}}
+    )
+    payload["sections"].append(
+        {"study": study or name, "rows": [dict(row) for row in rows]}
+    )
+    if extra:
+        payload["extra"].update(extra)
+    path = results_path(name, directory)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n"
+    )
+    return path
+
+
+def rows_from_study(result: StudyResult) -> List[dict]:
+    """Flatten a StudyResult's rows to JSON-ready dicts."""
+    return [{"label": row.label, **row.metrics} for row in result.rows]
+
+
+def run_study_once(
+    benchmark,
+    study_callable,
+    *,
+    columns: Optional[Sequence[str]] = None,
+    results_name: Optional[str] = None,
+):
+    """Run a study exactly once under the benchmark timer and report its table.
+
+    With ``results_name`` the study's rows are also written to
+    ``BENCH_<results_name>.json`` through :func:`emit_results`.
+    """
     result: StudyResult = benchmark.pedantic(study_callable, rounds=1, iterations=1)
     table = render_comparison(result.study, result.rows, columns=columns)
     print("\n" + table)
     benchmark.extra_info["study"] = result.study
-    benchmark.extra_info["rows"] = [
-        {"label": row.label, **row.metrics} for row in result.rows
-    ]
+    benchmark.extra_info["rows"] = rows_from_study(result)
+    if results_name:
+        emit_results(results_name, rows_from_study(result), study=result.study)
     return result

@@ -85,12 +85,17 @@ from repro.recovery import (
     RecoveryReport,
 )
 from repro.storage import Address, CostModel, MagneticDisk, OpticalLibrary, WormDisk
+from repro.storage.latches import ReadWriteLatch
 from repro.txn import (
+    LockConflictError,
+    LockManager,
+    LockMode,
     ReadOnlyTransaction,
     TimestampOracle,
     Transaction,
     TransactionManager,
 )
+from repro.workload.concurrent import ConcurrentRunResult, run_concurrent
 
 __version__ = "1.1.0"
 
@@ -100,13 +105,18 @@ __all__ = [
     "AlwaysTimeSplitPolicy",
     "Capability",
     "CapabilityError",
+    "ConcurrentRunResult",
     "CostDrivenPolicy",
     "CostModel",
     "ENGINE_NAMES",
+    "LockConflictError",
+    "LockManager",
+    "LockMode",
     "LogManager",
     "MagneticDisk",
     "OpticalLibrary",
     "ReadOnlyTransaction",
+    "ReadWriteLatch",
     "ReadView",
     "RecordView",
     "RecoverableSystem",
@@ -133,4 +143,5 @@ __all__ = [
     "check_tree",
     "collect_space_stats",
     "make_policy",
+    "run_concurrent",
 ]

@@ -146,9 +146,11 @@ class TSBEngine(VersionedEngine):
     def checkpoint(self) -> None:
         self.tree.checkpoint()
 
-    def drop_cache(self, capacity: int = 8) -> None:
-        """Replace the buffer pool with a small cold one (query-I/O studies)."""
+    def drop_cache(self, capacity: Optional[int] = None) -> None:
+        """Replace the buffer pool with a cold one (same size unless told)."""
         self.tree.flush()
+        if capacity is None:
+            capacity = self.tree.cache.capacity
         self.tree.cache = PageCache(self.tree.magnetic, capacity=capacity)
 
 
@@ -228,7 +230,7 @@ class WOBTEngine(VersionedEngine):
     def io_summary(self) -> Dict[str, IOStats]:
         return {"magnetic": self._zero_io, "historical": self.wobt.worm.stats}
 
-    def drop_cache(self, capacity: int = 8) -> None:
+    def drop_cache(self, capacity: Optional[int] = None) -> None:
         """Drop the decoded-node views so reads hit the WORM sectors again.
 
         The WOBT's only volatile state is the unbounded dict of decoded
@@ -317,9 +319,11 @@ class NaiveEngine(VersionedEngine):
     def flush(self) -> None:
         self.index.tree.cache.flush()
 
-    def drop_cache(self, capacity: int = 8) -> None:
-        """Replace the B+-tree buffer pool with a small cold one."""
+    def drop_cache(self, capacity: Optional[int] = None) -> None:
+        """Replace the B+-tree buffer pool with a cold one (same size unless told)."""
         self.index.tree.cache.flush()
+        if capacity is None:
+            capacity = self.index.tree.cache.capacity
         self.index.tree.cache = PageCache(self.index.tree.magnetic, capacity=capacity)
 
 

@@ -203,11 +203,14 @@ class VersionedEngine(abc.ABC):
         works uniformly.
         """
 
-    def drop_cache(self, capacity: int = 8) -> None:
+    def drop_cache(self, capacity: Optional[int] = None) -> None:
         """Discard volatile read caches so queries hit the devices again.
 
-        Used by the query-I/O studies to measure cold-cache access patterns;
-        engines without a cache treat this as a no-op.
+        ``capacity`` resizes the replacement cache; ``None`` (the default)
+        preserves each cache's configured capacity — dropping a cache makes
+        it cold, not small.  The query-I/O studies pass an explicit small
+        capacity to price cold-cache access patterns.  Engines without a
+        cache treat this as a no-op.
         """
 
     # ------------------------------------------------------------------

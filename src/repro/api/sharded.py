@@ -20,7 +20,19 @@ exposing the same query surface as a single store:
 * **splitting** — when a shard's current-device utilization crosses the
   :class:`~repro.api.store.ShardSpec` threshold, the shard is split at its
   median key into two fresh stores, the scale-out analogue of the
-  TSB-tree's own key splits.
+  TSB-tree's own key splits.  With ``ShardSpec.maintenance_interval > 0``
+  the split check leaves the write hot path entirely and runs on an opt-in
+  background maintenance thread instead.
+
+With ``ShardSpec.scatter_threads > 1`` the fan-outs run on a
+:class:`~concurrent.futures.ThreadPoolExecutor`: scatter-gather queries
+(``range_search`` / ``snapshot`` / ``time_slice`` / ``io_summary``) visit
+their shards concurrently — results are gathered in shard order, so the
+key-sorted merge is unchanged — and ``put_many`` applies its per-shard
+groups concurrently.  Parallel ``put_many`` pre-assigns each shard the very
+commit stamps the sequential walk would have produced (a contiguous block
+per shard, in shard order, carved from the global clock), so the observable
+history is byte-identical whichever mode ran it.
 
 Timestamps stay globally consistent: the sharded engine owns the clock,
 stamps auto-timestamped writes itself, and rejects a timestamp that would
@@ -39,9 +51,13 @@ Construction goes through the ordinary front door::
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left, bisect_right
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+_T = TypeVar("_T")
 
 from repro.api.engine import (
     Capability,
@@ -130,6 +146,72 @@ class ShardedEngine(VersionedEngine):
         self._shard_keys: List[set] = [set() for _ in stores]
         self._dirty: set = set()
         self.splits_performed = 0
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self.configure_scatter(spec.scatter_threads)
+
+    # ------------------------------------------------------------------
+    # Scatter-gather execution
+    # ------------------------------------------------------------------
+    def configure_scatter(self, threads: int) -> None:
+        """Resize (or disable, with ``threads == 1``) the fan-out pool."""
+        if threads < 1:
+            raise VersionStoreError("scatter_threads must be at least 1")
+        old = self._executor
+        self._scatter_threads = threads
+        self._executor = (
+            ThreadPoolExecutor(
+                max_workers=threads, thread_name_prefix="shard-scatter"
+            )
+            if threads > 1
+            else None
+        )
+        if old is not None:
+            old.shutdown(wait=True)
+
+    @property
+    def scatter_threads(self) -> int:
+        return self._scatter_threads
+
+    def _gather(self, tasks: Sequence[Callable[[], _T]]) -> List[_T]:
+        """Run the per-shard tasks, preserving task order in the results.
+
+        Sequential without an executor (or for a single task); otherwise the
+        tasks run concurrently and the gather waits for all of them.  Order
+        preservation is what keeps concatenated range results key-sorted.
+        """
+        if self._executor is None or len(tasks) <= 1:
+            return [task() for task in tasks]
+        futures = [self._executor.submit(task) for task in tasks]
+        return [future.result() for future in futures]
+
+    def shutdown(self) -> None:
+        """Stop the fan-out pool (store close)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def _apply_shard_groups(self, shard_order, apply_shard, error_of):
+        """Run per-shard apply tasks with mode-appropriate failure semantics.
+
+        Sequential mode is fail-stop, like applying the batch by hand: the
+        first failing shard ends the walk and later shards are never
+        reached (the sharded-recovery suite relies on this).  Parallel mode
+        has no ordering to stop on — every shard's task runs; the caller
+        records what landed everywhere and re-raises the first error.
+        Either way each task *settles* (returns its error rather than
+        raising) so the caller's bookkeeping always covers committed work.
+        """
+        if self._executor is None or len(shard_order) <= 1:
+            results = []
+            for index in shard_order:
+                outcome = apply_shard(index)
+                results.append(outcome)
+                if error_of(outcome) is not None:
+                    break
+            return results
+        return self._gather(
+            [lambda index=index: apply_shard(index) for index in shard_order]
+        )
 
     @property
     def backend(self):
@@ -203,61 +285,129 @@ class ShardedEngine(VersionedEngine):
         groups: Dict[int, List[Tuple[int, Key, bytes]]] = {}
         for position, (key, value) in enumerate(items):
             groups.setdefault(self.shard_index(key), []).append((position, key, value))
+        shard_order = sorted(groups)
 
         timestamps: List[Optional[int]] = [None] * len(items)
         batches: List[ShardBatch] = []
         if self.inner_config.wal:
-            for index in sorted(groups):
-                store = self.stores[index]
+            # One transaction per distinct-key run (the shared batching rule
+            # of distinct_key_run_end): a repeated key starts a new
+            # transaction so no version is silently collapsed.  Every run's
+            # commit stamp is pre-assigned here — shard i gets the
+            # contiguous block after shard i-1's, exactly the stamps the
+            # sequential walk produces — so the shard groups can be applied
+            # concurrently without perturbing the global commit history.
+            runs_per_shard: Dict[int, List[Tuple[int, int]]] = {}
+            clock_base: Dict[int, int] = {}
+            consumed = 0
+            for index in shard_order:
                 group = groups[index]
-                assert store.txns is not None
-                group_stamps: List[int] = []
-                all_durable = True
-                # One transaction per distinct-key run (the shared batching
-                # rule of distinct_key_run_end): a repeated key starts a new
-                # transaction so no version is silently collapsed.
+                runs: List[Tuple[int, int]] = []
                 start = 0
                 while start < len(group):
                     end = distinct_key_run_end(
                         group, start, key_of=lambda item: item[1]
                     )
+                    runs.append((start, end))
+                    start = end
+                runs_per_shard[index] = runs
+                clock_base[index] = self._now + consumed
+                consumed += len(runs)
+
+            def apply_wal_shard(
+                index: int,
+            ) -> Tuple[List[Tuple[int, int, int]], bool, Optional[Exception]]:
+                """Apply one shard's runs; on failure return the runs that
+                *did* commit plus the error, so the caller's bookkeeping can
+                record every committed write before re-raising."""
+                store = self.stores[index]
+                group = groups[index]
+                assert store.txns is not None
+                stamped_runs: List[Tuple[int, int, int]] = []
+                all_durable = True
+                try:
                     # Each shard owns a TimestampOracle; fast-forward it to
-                    # the global clock so commit stamps stay globally ordered.
-                    store.txns.clock.advance_to(self._now)
-                    txn = store.begin()
-                    for _, key, value in group[start:end]:
-                        txn.write(key, value)
-                    commit_ts = txn.commit()
-                    all_durable = all_durable and store.commit_is_durable(txn)
+                    # this shard's stamp block so commits land on the
+                    # pre-assigned globally ordered timestamps.
+                    store.txns.clock.advance_to(clock_base[index])
+                    for start, end in runs_per_shard[index]:
+                        txn = store.begin()
+                        for _, key, value in group[start:end]:
+                            txn.write(key, value)
+                        commit_ts = txn.commit()
+                        all_durable = all_durable and store.commit_is_durable(txn)
+                        stamped_runs.append((start, end, commit_ts))
+                except Exception as exc:  # noqa: BLE001 - re-raised after bookkeeping
+                    return stamped_runs, all_durable, exc
+                return stamped_runs, all_durable, None
+
+            results = self._apply_shard_groups(
+                shard_order, apply_wal_shard, error_of=lambda outcome: outcome[2]
+            )
+            first_error: Optional[Exception] = None
+            for index, (stamped_runs, all_durable, error) in zip(shard_order, results):
+                group = groups[index]
+                group_stamps: List[int] = []
+                recorded_keys: List[Key] = []
+                for start, end, commit_ts in stamped_runs:
                     for position, key, _ in group[start:end]:
                         timestamps[position] = commit_ts
                         group_stamps.append(commit_ts)
+                        recorded_keys.append(key)
                         self._record_write(index, key, commit_ts)
-                    start = end
-                batches.append(
-                    ShardBatch(
-                        shard=index,
-                        keys=tuple(key for _, key, _ in group),
-                        timestamps=tuple(group_stamps),
-                        durable=all_durable,
+                if group_stamps:
+                    batches.append(
+                        ShardBatch(
+                            shard=index,
+                            keys=tuple(recorded_keys),
+                            timestamps=tuple(group_stamps),
+                            durable=all_durable,
+                        )
                     )
-                )
+                if error is not None and first_error is None:
+                    first_error = error
+            if first_error is not None:
+                # Every committed run above is recorded (clock advanced,
+                # shard keys tracked) even though the batch failed partway.
+                raise first_error
         else:
             start = self._now
             for position in range(len(items)):
                 timestamps[position] = start + 1 + position
-            for index in sorted(groups):
+
+            def apply_plain_shard(index: int) -> Tuple[int, Optional[Exception]]:
+                """Apply one shard's group; on failure return how many items
+                landed plus the error, so every applied write is recorded."""
                 store = self.stores[index]
-                for position, key, value in groups[index]:
-                    store.engine.insert(key, value, timestamp=timestamps[position])
+                applied = 0
+                try:
+                    for position, key, value in groups[index]:
+                        store.engine.insert(key, value, timestamp=timestamps[position])
+                        applied += 1
+                except Exception as exc:  # noqa: BLE001 - re-raised after bookkeeping
+                    return applied, exc
+                return applied, None
+
+            results = self._apply_shard_groups(
+                shard_order, apply_plain_shard, error_of=lambda outcome: outcome[1]
+            )
+            first_error = None
+            for index, (applied, error) in zip(shard_order, results):
+                landed = groups[index][:applied]
+                for position, key, _ in landed:
                     self._record_write(index, key, timestamps[position])
-                batches.append(
-                    ShardBatch(
-                        shard=index,
-                        keys=tuple(key for _, key, _ in groups[index]),
-                        timestamps=tuple(timestamps[p] for p, _, _ in groups[index]),
+                if landed:
+                    batches.append(
+                        ShardBatch(
+                            shard=index,
+                            keys=tuple(key for _, key, _ in landed),
+                            timestamps=tuple(timestamps[p] for p, _, _ in landed),
+                        )
                     )
-                )
+                if error is not None and first_error is None:
+                    first_error = error
+            if first_error is not None:
+                raise first_error
         return PutManyReport(timestamps=list(timestamps), batches=batches)
 
     # ------------------------------------------------------------------
@@ -283,17 +433,66 @@ class ShardedEngine(VersionedEngine):
             if high is None
             else bisect_left(self.boundaries, high)
         )
+        per_shard = self._gather(
+            [
+                lambda index=index: self.stores[index].engine.range_search(
+                    low, high, as_of=as_of
+                )
+                for index in range(first, last + 1)
+            ]
+        )
         results: List[RecordView] = []
-        for index in range(first, last + 1):
-            results.extend(
-                self.stores[index].engine.range_search(low, high, as_of=as_of)
-            )
+        for rows in per_shard:
+            results.extend(rows)
         return results
 
     def snapshot(self, timestamp: int) -> Dict[Key, RecordView]:
+        per_shard = self._gather(
+            [
+                lambda store=store: store.engine.snapshot(timestamp)
+                for store in self.stores
+            ]
+        )
         merged: Dict[Key, RecordView] = {}
-        for store in self.stores:
-            merged.update(store.engine.snapshot(timestamp))
+        for piece in per_shard:
+            merged.update(piece)
+        return merged
+
+    def time_slice(
+        self,
+        start: int,
+        end: int,
+        low: Optional[Key] = None,
+        high: Optional[Key] = None,
+    ) -> Dict[Key, List[RecordView]]:
+        """Every key in ``[low, high)`` with its versions valid in ``[start, end)``.
+
+        The cross-key time-slice query: one scatter-gather computes, per
+        shard, the per-key :meth:`history_between` answers for the keys that
+        shard has ever seen, and the merge (in shard order) yields a
+        key-sorted dict of non-empty histories.
+        """
+
+        def slice_shard(index: int) -> List[Tuple[Key, List[RecordView]]]:
+            store = self.stores[index]
+            rows: List[Tuple[Key, List[RecordView]]] = []
+            for key in sorted(self._shard_keys[index]):
+                if low is not None and key < low:
+                    continue
+                if high is not None and not key < high:
+                    continue
+                records = store.engine.history_between(key, start, end)
+                if records:
+                    rows.append((key, records))
+            return rows
+
+        per_shard = self._gather(
+            [lambda index=index: slice_shard(index) for index in range(len(self.stores))]
+        )
+        merged: Dict[Key, List[RecordView]] = {}
+        for rows in per_shard:
+            for key, records in rows:
+                merged[key] = records
         return merged
 
     def key_history(self, key: Key) -> List[RecordView]:
@@ -319,7 +518,11 @@ class ShardedEngine(VersionedEngine):
     def space_summary(self) -> Dict[str, float]:
         from repro.analysis.metrics import merge_space_summaries
 
-        return merge_space_summaries(store.space_summary() for store in self.stores)
+        return merge_space_summaries(
+            self._gather(
+                [lambda store=store: store.space_summary() for store in self.stores]
+            )
+        )
 
     def io_summary(self) -> Dict[str, IOStats]:
         """Aggregated per-tier counters, summed across shards.
@@ -330,7 +533,11 @@ class ShardedEngine(VersionedEngine):
         """
         from repro.analysis.metrics import merge_io_summaries
 
-        return merge_io_summaries(store.io_summary() for store in self.stores)
+        return merge_io_summaries(
+            self._gather(
+                [lambda store=store: store.io_summary() for store in self.stores]
+            )
+        )
 
     def tree_counters(self) -> TreeCounters:
         """Structural-event counters rolled up across TSB-tree shards."""
@@ -342,7 +549,14 @@ class ShardedEngine(VersionedEngine):
             if isinstance(store.backend, TSBTree)
         )
 
-    def drop_cache(self, capacity: int = 8) -> None:
+    def drop_cache(self, capacity: Optional[int] = None) -> None:
+        """Drop every shard's cache.
+
+        ``None`` preserves each shard's configured
+        :attr:`~repro.api.store.StoreConfig.cache_pages` capacity (the old
+        hard-coded default silently shrank every shard to 8 frames); pass an
+        explicit capacity to resize, as the cold-cache studies do.
+        """
         for store in self.stores:
             store.engine.drop_cache(capacity)
 
@@ -463,8 +677,10 @@ class ShardedVersionStore(VersionStore):
     """A :class:`VersionStore` whose engine scatter-gathers over key ranges.
 
     Inherits the whole façade surface — normalized reads, read views, the
-    one-version-per-(key, timestamp) guard, space/I-O accounting — and adds
-    batched :meth:`put_many`, automatic shard splitting after writes, and
+    one-version-per-(key, timestamp) guard, space/I-O accounting, the
+    reader-writer latch — and adds batched :meth:`put_many`, automatic shard
+    splitting after writes (inline by default, or on the opt-in background
+    maintenance thread when ``ShardSpec.maintenance_interval > 0``), and
     shard introspection.  Cross-shard transactions are not coordinated:
     :meth:`begin` raises :exc:`~repro.api.engine.CapabilityError` like any
     other unsupported capability.
@@ -472,6 +688,13 @@ class ShardedVersionStore(VersionStore):
 
     def __init__(self, engine: ShardedEngine, config: StoreConfig) -> None:
         super().__init__(engine, config)
+        self._maintenance_stop = threading.Event()
+        self._maintenance_thread: Optional[threading.Thread] = None
+        #: Once maintenance is opted into, split checks never return to the
+        #: write hot path — a stopped thread leaves them to run_maintenance().
+        self._splits_deferred = engine.spec.maintenance_interval > 0
+        if engine.spec.maintenance_interval > 0:
+            self.start_maintenance(engine.spec.maintenance_interval)
 
     @classmethod
     def open_sharded(cls, config: StoreConfig) -> "ShardedVersionStore":
@@ -507,9 +730,26 @@ class ShardedVersionStore(VersionStore):
         """Merged :class:`TreeCounters` across all TSB-tree shards."""
         return self.sharded_engine.tree_counters()
 
+    def time_slice(
+        self,
+        start: int,
+        end: int,
+        low: Optional[Key] = None,
+        high: Optional[Key] = None,
+    ) -> Dict[Key, List[RecordView]]:
+        """Scatter-gather cross-key time slice (see :meth:`ShardedEngine.time_slice`)."""
+        with self._latch.read():
+            self._ensure_open()
+            return self.sharded_engine.time_slice(start, end, low=low, high=high)
+
     def describe_shards(self) -> List[Dict[str, object]]:
         """One row per shard: key range, keys ever written (tombstoned keys
         included — they still occupy history), pages, local clock."""
+        with self._latch.read():
+            self._ensure_open()
+            return self._describe_shards_locked()
+
+    def _describe_shards_locked(self) -> List[Dict[str, object]]:
         engine = self.sharded_engine
         rows: List[Dict[str, object]] = []
         for index, store in enumerate(engine.stores):
@@ -529,16 +769,24 @@ class ShardedVersionStore(VersionStore):
         return rows
 
     # ------------------------------------------------------------------
-    # Writes (split check after every write)
+    # Writes (split check after every write, unless maintenance owns it)
     # ------------------------------------------------------------------
+    @property
+    def _inline_splits(self) -> bool:
+        return not self._splits_deferred
+
     def insert(self, key: Key, value: bytes, timestamp: Optional[int] = None) -> int:
-        stamped = super().insert(key, value, timestamp=timestamp)
-        self.sharded_engine.maybe_split()
+        with self._latch.write():
+            stamped = super().insert(key, value, timestamp=timestamp)
+            if self._inline_splits:
+                self.sharded_engine.maybe_split()
         return stamped
 
     def delete(self, key: Key, timestamp: Optional[int] = None) -> int:
-        stamped = super().delete(key, timestamp=timestamp)
-        self.sharded_engine.maybe_split()
+        with self._latch.write():
+            stamped = super().delete(key, timestamp=timestamp)
+            if self._inline_splits:
+                self.sharded_engine.maybe_split()
         return stamped
 
     def put_many(self, items: Sequence[Tuple[Key, bytes]]) -> List[int]:
@@ -546,25 +794,82 @@ class ShardedVersionStore(VersionStore):
 
     def put_many_detailed(self, items: Sequence[Tuple[Key, bytes]]) -> PutManyReport:
         """Like :meth:`put_many` but returns the per-shard batch report."""
-        self._ensure_open()
-        report = self.sharded_engine.put_many(items)
-        self.sharded_engine.maybe_split()
+        with self._latch.write():
+            self._ensure_open()
+            report = self.sharded_engine.put_many(items)
+            if self._inline_splits:
+                self.sharded_engine.maybe_split()
         return report
+
+    # ------------------------------------------------------------------
+    # Background maintenance (opt-in: ShardSpec.maintenance_interval > 0)
+    # ------------------------------------------------------------------
+    def start_maintenance(self, interval: float) -> None:
+        """Move shard-split checks to a daemon thread waking every ``interval`` s."""
+        if interval <= 0:
+            raise VersionStoreError("maintenance interval must be positive")
+        self._splits_deferred = True
+        if self._maintenance_thread is not None:
+            return
+        self._maintenance_stop.clear()
+
+        def loop() -> None:
+            while not self._maintenance_stop.wait(interval):
+                if self._closed:
+                    return
+                self.run_maintenance()
+
+        self._maintenance_thread = threading.Thread(
+            target=loop, name="shard-maintenance", daemon=True
+        )
+        self._maintenance_thread.start()
+
+    def stop_maintenance(self) -> None:
+        """Stop the maintenance thread.
+
+        Split checks do *not* return to the write path: a store that opted
+        into background maintenance keeps its hot path split-free, and an
+        operator who stopped the thread drives splits via
+        :meth:`run_maintenance`.
+        """
+        thread = self._maintenance_thread
+        if thread is None:
+            return
+        self._maintenance_stop.set()
+        thread.join(timeout=5.0)
+        self._maintenance_thread = None
+
+    def run_maintenance(self) -> int:
+        """One split pass, under the write latch; returns splits performed.
+
+        The maintenance thread calls this on its schedule; tests and
+        operators can call it directly for a deterministic pass.
+        """
+        if self._closed:
+            return 0
+        with self._latch.write():
+            if self._closed:
+                return 0
+            return self.sharded_engine.maybe_split()
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def checkpoint(self) -> None:
         self._ensure_open()
-        self.sharded_engine.checkpoint()
+        with self._latch.write():
+            self.sharded_engine.checkpoint()
 
     def close(self) -> None:
         """Close every shard (each flushes/checkpoints per its own config)."""
         if self._closed:
             return
-        for store in self.sharded_engine.stores:
-            store.close()
-        self._closed = True
+        self.stop_maintenance()
+        with self._latch.write():
+            for store in self.sharded_engine.stores:
+                store.close()
+            self._closed = True
+        self.sharded_engine.shutdown()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "closed" if self._closed else f"now={self._engine.now}"

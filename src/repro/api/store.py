@@ -31,6 +31,7 @@ against a different access method.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
@@ -54,6 +55,7 @@ from repro.core.policy import (
 from repro.core.tsb_tree import _SUPERBLOCK_MAGIC, TSBTree
 from repro.storage.device import Address, StorageError
 from repro.storage.iostats import IOStats
+from repro.storage.latches import ReadWriteLatch
 from repro.storage.logdevice import LogDevice
 from repro.storage.magnetic import MagneticDisk
 from repro.storage.optical_library import OpticalLibrary
@@ -141,6 +143,15 @@ class ShardSpec:
         of the utilization test.
     max_shards:
         Hard ceiling on automatic splitting.
+    scatter_threads:
+        Size of the :class:`~concurrent.futures.ThreadPoolExecutor` the
+        sharded engine fans scatter-gather queries and ``put_many`` groups
+        out on.  ``1`` (the default) keeps every fan-out sequential.
+    maintenance_interval:
+        Seconds between background shard-split checks.  ``0.0`` (the
+        default) keeps splits inline after each write; a positive value
+        moves them to an opt-in maintenance thread so the write hot path
+        never pays for a split.
     """
 
     boundaries: Optional[Tuple[Key, ...]] = None
@@ -148,6 +159,8 @@ class ShardSpec:
     split_utilization: float = 0.85
     shard_page_budget: int = 4096
     max_shards: int = 64
+    scatter_threads: int = 1
+    maintenance_interval: float = 0.0
 
     def __post_init__(self) -> None:
         if self.boundaries is not None:
@@ -176,6 +189,10 @@ class ShardSpec:
             raise ValueError("shard_page_budget must be positive")
         if self.max_shards < self.shards:
             raise ValueError("max_shards must be at least the initial shard count")
+        if self.scatter_threads < 1:
+            raise ValueError("scatter_threads must be at least 1")
+        if self.maintenance_interval < 0:
+            raise ValueError("maintenance_interval cannot be negative")
 
     @classmethod
     def for_int_keys(cls, shards: int, key_space: int, **overrides) -> "ShardSpec":
@@ -237,6 +254,13 @@ class StoreConfig:
         checkpoint.
     group_commit_size:
         Commit records per log force when ``wal=True``.
+    group_commit_interval:
+        ``0.0`` (the default) keeps group commit synchronous: the committer
+        that fills a batch forces the log inline.  A positive value starts
+        the :class:`~repro.recovery.log_manager.LogManager`'s background
+        flusher thread with that batching window, so concurrent committers
+        are batched by arrival rather than by any one caller; requires
+        ``wal=True``.
     shards:
         A :class:`ShardSpec` to key-range-partition the store across several
         independent inner stores (each with its own devices, cache and WAL);
@@ -253,6 +277,7 @@ class StoreConfig:
     platter_capacity_sectors: int = 4096
     wal: bool = False
     group_commit_size: int = 1
+    group_commit_interval: float = 0.0
     shards: Optional[ShardSpec] = None
 
     def __post_init__(self) -> None:
@@ -270,6 +295,10 @@ class StoreConfig:
             raise ValueError("historical must be 'worm' or 'jukebox'")
         if self.group_commit_size < 1:
             raise ValueError("group_commit_size must be positive")
+        if self.group_commit_interval < 0:
+            raise ValueError("group_commit_interval cannot be negative")
+        if self.group_commit_interval > 0 and not self.wal:
+            raise ValueError("group_commit_interval requires wal=True")
         if self.wal and self.engine != "tsb":
             raise ValueError("wal=True requires the 'tsb' engine")
         if self.split_policy is not None and self.engine != "tsb":
@@ -304,6 +333,7 @@ class StoreConfig:
             updates.update(
                 split_policy=None,
                 wal=False,
+                group_commit_interval=0.0,
                 historical="worm",
                 platter_capacity_sectors=4096,
             )
@@ -334,24 +364,33 @@ class ReadView:
         if self.store is not None:
             self.store._ensure_open()
 
+    def _shared(self):
+        # Queries through a store-attached view hold the store's latch in
+        # read mode, like every other read surface.
+        return nullcontext() if self.store is None else self.store.read_latched()
+
     def get(self, key: Key) -> Optional[RecordView]:
-        self._ensure_usable()
-        return self.engine.get_as_of(key, self.timestamp)
+        with self._shared():
+            self._ensure_usable()
+            return self.engine.get_as_of(key, self.timestamp)
 
     def range(
         self, low: Optional[Key] = None, high: Optional[Key] = None
     ) -> Iterator[RecordView]:
-        self._ensure_usable()
-        return iter(self.engine.range_search(low, high, as_of=self.timestamp))
+        with self._shared():
+            self._ensure_usable()
+            return iter(self.engine.range_search(low, high, as_of=self.timestamp))
 
     def snapshot(self) -> Dict[Key, RecordView]:
-        self._ensure_usable()
-        return self.engine.snapshot(self.timestamp)
+        with self._shared():
+            self._ensure_usable()
+            return self.engine.snapshot(self.timestamp)
 
     def history_between(self, key: Key, start: int) -> List[RecordView]:
         """Versions of ``key`` valid between ``start`` and this view's time."""
-        self._ensure_usable()
-        return self.engine.history_between(key, start, self.timestamp + 1)
+        with self._shared():
+            self._ensure_usable()
+            return self.engine.history_between(key, start, self.timestamp + 1)
 
 
 class VersionStore:
@@ -368,6 +407,7 @@ class VersionStore:
         txns: Optional[TransactionManager] = None,
         log_manager: Optional[object] = None,
         log_device: Optional[LogDevice] = None,
+        latch: Optional[ReadWriteLatch] = None,
     ) -> None:
         self._engine = engine
         self._config = config
@@ -375,6 +415,12 @@ class VersionStore:
         self._log = log_manager
         self._log_device = log_device
         self._closed = False
+        #: The store's reader-writer latch: every query holds it shared,
+        #: every write exclusive, so any number of client threads can read
+        #: concurrently while writers are serialized.  The TSB transaction
+        #: manager shares this very latch, so transactional writes and
+        #: façade reads coordinate too.
+        self._latch = latch or ReadWriteLatch()
 
     # ------------------------------------------------------------------
     # Construction
@@ -480,9 +526,16 @@ class VersionStore:
 
             log_device = LogDevice()
             log_manager = LogManager(
-                log_device, group_commit_size=config.group_commit_size
+                log_device,
+                group_commit_size=config.group_commit_size,
+                flush_interval=(
+                    config.group_commit_interval
+                    if config.group_commit_interval > 0
+                    else None
+                ),
             )
-        txns = TransactionManager(tree, log=log_manager)
+        latch = ReadWriteLatch()
+        txns = TransactionManager(tree, log=log_manager, latch=latch)
         if log_manager is not None:
             log_manager.checkpoint(tree, txns)
         return cls(
@@ -491,6 +544,7 @@ class VersionStore:
             txns=txns,
             log_manager=log_manager,
             log_device=log_device,
+            latch=latch,
         )
 
     @staticmethod
@@ -543,23 +597,43 @@ class VersionStore:
             raise StoreClosedError("this VersionStore has been closed")
 
     # ------------------------------------------------------------------
+    # Latching
+    # ------------------------------------------------------------------
+    @property
+    def latch(self) -> ReadWriteLatch:
+        """The store's reader-writer latch (shared reads, exclusive writes)."""
+        return self._latch
+
+    def read_latched(self):
+        """Context manager: hold the latch shared for a compound read."""
+        return self._latch.read()
+
+    def write_latched(self):
+        """Context manager: hold the latch exclusive for a compound write."""
+        return self._latch.write()
+
+    # ------------------------------------------------------------------
     # Writes
     # ------------------------------------------------------------------
     def insert(self, key: Key, value: bytes, timestamp: Optional[int] = None) -> int:
-        self._ensure_open()
         # One version per (key, timestamp), uniformly: the backends disagree
         # on equal-timestamp re-inserts (the TSB-tree keeps the first version,
         # the WOBT and the naive index overwrite), which would break the
         # identical-answers guarantee and mutate pinned ReadViews.  Only a
         # backdated-or-equal timestamp can conflict, so the common strictly
-        # increasing path pays nothing.
-        self._reject_timestamp_conflict(key, timestamp)
-        return self._engine.insert(key, value, timestamp=timestamp)
+        # increasing path pays nothing.  (The open check sits inside the
+        # latch hold, here and on every latched surface: a thread that
+        # blocked on the latch while close() ran must observe _closed.)
+        with self._latch.write():
+            self._ensure_open()
+            self._reject_timestamp_conflict(key, timestamp)
+            return self._engine.insert(key, value, timestamp=timestamp)
 
     def delete(self, key: Key, timestamp: Optional[int] = None) -> int:
-        self._ensure_open()
-        self._reject_timestamp_conflict(key, timestamp)
-        return self._engine.delete(key, timestamp=timestamp)
+        with self._latch.write():
+            self._ensure_open()
+            self._reject_timestamp_conflict(key, timestamp)
+            return self._engine.delete(key, timestamp=timestamp)
 
     def put_many(self, items: Sequence[Tuple[Key, bytes]]) -> List[int]:
         """Write a batch of ``(key, value)`` pairs; return their timestamps.
@@ -575,6 +649,12 @@ class VersionStore:
         items = list(items)
         if not items:
             return []
+        # No batch-wide latch hold here: each insert (and each transactional
+        # operation inside _put_many_transactional) latches individually,
+        # with record locks acquired *before* the latch.  Wrapping the whole
+        # batch in the write latch would invert that order — a concurrent
+        # begin() transaction holding a record lock would deadlock against
+        # the batch until the lock timeout.
         if self._config.wal and self._txns is not None:
             return self._put_many_transactional(self._txns, items)
         return [self.insert(key, value) for key, value in items]
@@ -614,12 +694,14 @@ class VersionStore:
     # Reads
     # ------------------------------------------------------------------
     def get(self, key: Key) -> Optional[RecordView]:
-        self._ensure_open()
-        return self._engine.get(key)
+        with self._latch.read():
+            self._ensure_open()
+            return self._engine.get(key)
 
     def get_as_of(self, key: Key, timestamp: int) -> Optional[RecordView]:
-        self._ensure_open()
-        return self._engine.get_as_of(key, timestamp)
+        with self._latch.read():
+            self._ensure_open()
+            return self._engine.get_as_of(key, timestamp)
 
     def range_search(
         self,
@@ -627,20 +709,24 @@ class VersionStore:
         high: Optional[Key] = None,
         as_of: Optional[int] = None,
     ) -> List[RecordView]:
-        self._ensure_open()
-        return self._engine.range_search(low, high, as_of=as_of)
+        with self._latch.read():
+            self._ensure_open()
+            return self._engine.range_search(low, high, as_of=as_of)
 
     def snapshot(self, timestamp: int) -> Dict[Key, RecordView]:
-        self._ensure_open()
-        return self._engine.snapshot(timestamp)
+        with self._latch.read():
+            self._ensure_open()
+            return self._engine.snapshot(timestamp)
 
     def key_history(self, key: Key) -> List[RecordView]:
-        self._ensure_open()
-        return self._engine.key_history(key)
+        with self._latch.read():
+            self._ensure_open()
+            return self._engine.key_history(key)
 
     def history_between(self, key: Key, start: int, end: int) -> List[RecordView]:
-        self._ensure_open()
-        return self._engine.history_between(key, start, end)
+        with self._latch.read():
+            self._ensure_open()
+            return self._engine.history_between(key, start, end)
 
     def read_view(self, as_of: Optional[int] = None) -> ReadView:
         """An immutable view pinned at ``as_of`` (default: the current time)."""
@@ -676,27 +762,31 @@ class VersionStore:
     # Accounting
     # ------------------------------------------------------------------
     def space_summary(self) -> Dict[str, float]:
-        self._ensure_open()
-        return self._engine.space_summary()
+        with self._latch.read():
+            self._ensure_open()
+            return self._engine.space_summary()
 
     def io_summary(self) -> Dict[str, IOStats]:
-        self._ensure_open()
-        return self._engine.io_summary()
+        with self._latch.read():
+            self._ensure_open()
+            return self._engine.io_summary()
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def flush(self) -> None:
-        self._ensure_open()
-        self._engine.flush()
+        with self._latch.write():
+            self._ensure_open()
+            self._engine.flush()
 
     def checkpoint(self) -> None:
         """Checkpoint through the WAL when attached, else the bare engine."""
-        self._ensure_open()
-        if self._log is not None and self._txns is not None:
-            self._log.checkpoint(self.backend, self._txns)
-        else:
-            self._engine.checkpoint()
+        with self._latch.write():
+            self._ensure_open()
+            if self._log is not None and self._txns is not None:
+                self._log.checkpoint(self.backend, self._txns)
+            else:
+                self._engine.checkpoint()
 
     def close(self) -> None:
         """Flush and checkpoint (where supported), then refuse further use.
@@ -710,7 +800,10 @@ class VersionStore:
         if self._engine.supports(Capability.CHECKPOINT):
             self.checkpoint()
         elif self._engine.supports(Capability.FLUSH):
-            self._engine.flush()
+            with self._latch.write():
+                self._engine.flush()
+        if self._log is not None and hasattr(self._log, "close"):
+            self._log.close()  # stop the background flusher after a final force
         self._closed = True
 
     def __enter__(self) -> "VersionStore":

@@ -55,7 +55,7 @@ from repro.api import (
     VersionStore,
 )
 from repro.recovery import RecoverableSystem, ScriptRunner, generate_script
-from repro.workload import WorkloadSpec
+from repro.workload import WorkloadSpec, run_concurrent
 
 #: Studies that configure their own fixed store set; --shards cannot reroute them.
 _UNSHARDED_STUDIES = {"S3", "S6", "S7"}
@@ -83,19 +83,24 @@ def _study_runners(
     }
 
 
-def _shard_spec(shard_count: int, operations: int) -> Optional[ShardSpec]:
-    """The key-range spec behind ``--shards N``.
+def _shard_spec(
+    shard_count: int, operations: int, threads: int = 1
+) -> Optional[ShardSpec]:
+    """The key-range spec behind ``--shards N`` (and ``--threads T``).
 
     The study workloads assign sequential integer keys, so with update
     fraction ``f`` an ``operations``-step run creates roughly
     ``operations * (1 - f)`` distinct keys.  The studies run near f=0.5;
     sizing the partition to ``operations`` itself would leave the upper
-    shards provably empty.
+    shards provably empty.  ``threads`` sizes the scatter-gather pool the
+    sharded store fans queries and batches out on.
     """
     if shard_count <= 1:
         return None
     expected_keys = max(shard_count, operations // 2)
-    return ShardSpec.for_int_keys(shard_count, key_space=expected_keys)
+    return ShardSpec.for_int_keys(
+        shard_count, key_space=expected_keys, scatter_threads=max(1, threads)
+    )
 
 
 def command_figures(args: argparse.Namespace) -> int:
@@ -117,7 +122,12 @@ def command_figures(args: argparse.Namespace) -> int:
 
 
 def command_study(args: argparse.Namespace) -> int:
-    shards = _shard_spec(args.shards, operations=args.ops)
+    if args.threads > 1 and args.shards <= 1:
+        print(
+            f"note: --threads {args.threads} parallelizes scatter-gather over "
+            "shards; without --shards > 1 it has nothing to fan out"
+        )
+    shards = _shard_spec(args.shards, operations=args.ops, threads=args.threads)
     runners = _study_runners(args.ops, engine=args.engine, shards=shards)
     names: List[str]
     if args.name.lower() == "all":
@@ -150,7 +160,13 @@ def command_study(args: argparse.Namespace) -> int:
 
 def command_demo(args: argparse.Namespace) -> int:
     try:
-        shards = ShardSpec.for_string_keys(args.shards) if args.shards > 1 else None
+        shards = (
+            ShardSpec.for_string_keys(
+                args.shards, scatter_threads=max(1, args.threads)
+            )
+            if args.shards > 1
+            else None
+        )
     except ValueError as exc:
         print(f"--shards: {exc}")
         return 2
@@ -194,6 +210,34 @@ def command_demo(args: argparse.Namespace) -> int:
                     f"  shard {row['shard']} {row['range']:<16} "
                     f"keys_written={row['keys_written']} pages={row['current_pages']}"
                 )
+        if args.threads > 1:
+            pairs = [
+                (f"{chr(ord('a') + index % 26)}-client-{index:03d}", f"payload-{index}".encode())
+                for index in range(240)
+            ]
+            result = run_concurrent(
+                store, pairs, threads=args.threads, reader_threads=args.threads
+            )
+            print()
+            print(
+                f"concurrent clients     : {result.writer_threads} writers + "
+                f"{result.reader_threads} readers"
+            )
+            print(
+                f"                         {result.writes} writes "
+                f"({result.writes_per_s:,.0f}/s) and {result.reads} reads "
+                f"({result.reads_per_s:,.0f}/s) in {result.elapsed_s:.3f}s"
+            )
+            consistent = all(
+                [(r.timestamp, r.value) for r in store.key_history(key)] == versions
+                for key, versions in result.history().items()
+            )
+            print(
+                "                         histories oracle-consistent: "
+                f"{'yes' if consistent and not result.errors else 'NO'}"
+            )
+            if result.errors or not consistent:
+                return 1
     return 0
 
 
@@ -320,6 +364,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="key-range-partition the store across N shards (default: 1)",
     )
+    study.add_argument(
+        "--threads",
+        type=int,
+        default=1,
+        help="scatter-gather thread-pool size for sharded stores (default: 1)",
+    )
     study.set_defaults(handler=command_study)
 
     demo = subparsers.add_parser("demo", help="a one-minute end-to-end demonstration")
@@ -334,6 +384,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="key-range-partition the demo store across N shards (default: 1)",
+    )
+    demo.add_argument(
+        "--threads",
+        type=int,
+        default=1,
+        help="also run N concurrent writer + N reader client threads "
+        "(and size the sharded scatter-gather pool; default: 1)",
     )
     demo.set_defaults(handler=command_demo)
 

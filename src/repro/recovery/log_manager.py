@@ -18,6 +18,18 @@ of the last ``< N`` commits being vulnerable until the next force.  This is
 the classic throughput lever the benchmark suite measures
 (``benchmarks/bench_recovery.py``).
 
+With ``flush_interval`` set, group commit additionally runs a *background
+flusher thread*: committers append their commit record, wake the flusher
+and return; the flusher forces once per batching window, covering every
+commit that arrived meanwhile — so concurrent committers are batched by
+**arrival**, not by any single caller filling a batch.  ``force()`` stays
+synchronous (an explicit force always makes everything durable before it
+returns), and with ``group_commit_size == 1`` a committer still waits for
+its record to become durable, preserving the strict-durability contract at
+the cost of one batching-window latency.  The manager's public surface is
+thread-safe in both modes: LSN assignment, appends and forces are
+serialized by one internal lock.
+
 **Checkpoints.**  :meth:`checkpoint` writes a CHECKPOINT record carrying the
 timestamp-oracle high-water mark, the next transaction id and the
 active-transaction table, then forces the log.  A *full* checkpoint
@@ -37,6 +49,8 @@ is the durable base restart recovery rebuilds from.
 
 from __future__ import annotations
 
+import threading
+import time
 from typing import TYPE_CHECKING, Optional
 
 from repro.recovery.log_records import (
@@ -79,6 +93,13 @@ class LogManager:
     next_lsn:
         First LSN to assign.  After restart recovery, a new manager on the
         same device continues the sequence so LSNs stay unique log-wide.
+    flush_interval:
+        ``None`` (the default) keeps the original synchronous policy: the
+        committer that fills a batch forces inline.  A non-negative float
+        starts a daemon flusher thread instead; the value is the batching
+        window in seconds (how long the flusher lingers after being woken,
+        letting concurrent committers pile into the same force).  ``0.0``
+        forces as soon as the flusher wakes.
     """
 
     def __init__(
@@ -86,18 +107,30 @@ class LogManager:
         device: Optional[LogDevice] = None,
         group_commit_size: int = 1,
         next_lsn: int = 1,
+        flush_interval: Optional[float] = None,
     ) -> None:
         if group_commit_size <= 0:
             raise ValueError("group_commit_size must be positive")
         if next_lsn <= 0:
             raise ValueError("LSNs start at 1")
+        if flush_interval is not None and flush_interval < 0:
+            raise ValueError("flush_interval cannot be negative")
         self.device = device or LogDevice()
         self.group_commit_size = group_commit_size
+        self.flush_interval = flush_interval
         self._next_lsn = next_lsn
         self._last_lsn = next_lsn - 1
         self._flushed_lsn = next_lsn - 1
         self._last_append_offset = 0
         self._pending_commits = 0
+        self._cond = threading.Condition()
+        self._stop_flusher = False
+        self._flusher: Optional[threading.Thread] = None
+        if flush_interval is not None:
+            self._flusher = threading.Thread(
+                target=self._flush_loop, name="wal-group-commit", daemon=True
+            )
+            self._flusher.start()
 
     # ------------------------------------------------------------------
     # LSN bookkeeping
@@ -125,36 +158,114 @@ class LogManager:
     # Record appends
     # ------------------------------------------------------------------
     def log_begin(self, txn_id: int) -> int:
-        return self._append(LogRecord.begin(self._take_lsn(), txn_id))
+        with self._cond:
+            return self._append(LogRecord.begin(self._take_lsn(), txn_id))
 
     def log_insert(self, txn_id: int, key: Key, value: bytes) -> int:
-        return self._append(LogRecord.insert(self._take_lsn(), txn_id, key, value))
+        with self._cond:
+            return self._append(LogRecord.insert(self._take_lsn(), txn_id, key, value))
 
     def log_delete(self, txn_id: int, key: Key) -> int:
-        return self._append(LogRecord.delete(self._take_lsn(), txn_id, key))
+        with self._cond:
+            return self._append(LogRecord.delete(self._take_lsn(), txn_id, key))
 
     def log_abort(self, txn_id: int) -> int:
-        return self._append(LogRecord.abort(self._take_lsn(), txn_id))
+        with self._cond:
+            return self._append(LogRecord.abort(self._take_lsn(), txn_id))
 
-    def log_commit(self, txn_id: int, commit_timestamp: int) -> int:
+    def log_commit(
+        self, txn_id: int, commit_timestamp: int, wait_for_durability: bool = True
+    ) -> int:
         """Append a commit record; force when the group-commit batch is full.
 
         Returns the commit record's LSN.  The commit is durable once
         ``flushed_lsn`` reaches that LSN — immediately when
         ``group_commit_size == 1``, at the batch-filling (or next explicit)
-        force otherwise.
+        force otherwise.  With a background flusher the batch-filling force
+        happens on the flusher thread; a strict-durability committer
+        (``group_commit_size == 1``) waits for it instead of forcing inline,
+        so simultaneous committers still share one force.  Callers that
+        hold latches readers need (the transaction manager) pass
+        ``wait_for_durability=False`` and do the strict-durability wait via
+        :meth:`wait_durable` after releasing them.
         """
-        lsn = self._append(LogRecord.commit(self._take_lsn(), txn_id, commit_timestamp))
-        self._pending_commits += 1
-        if self._pending_commits >= self.group_commit_size:
-            self.force()
+        with self._cond:
+            lsn = self._append(LogRecord.commit(self._take_lsn(), txn_id, commit_timestamp))
+            self._pending_commits += 1
+            if self._flusher is None:
+                if self._pending_commits >= self.group_commit_size:
+                    self._force_locked()
+            else:
+                self._cond.notify_all()  # wake the flusher (and any waiters)
+                if self.group_commit_size == 1 and wait_for_durability:
+                    while self._flushed_lsn < lsn and self._flusher_alive():
+                        self._cond.wait(0.05)
+                    if self._flushed_lsn < lsn:  # flusher died: force inline
+                        self._force_locked()
         return lsn
 
     def force(self) -> None:
-        """Force the log: every appended record becomes durable."""
+        """Force the log synchronously: every appended record becomes durable."""
+        with self._cond:
+            self._force_locked()
+
+    def _force_locked(self) -> None:
         self.device.force()
         self._flushed_lsn = self._last_lsn
         self._pending_commits = 0
+        self._cond.notify_all()
+
+    def wait_durable(self, lsn: int, timeout: Optional[float] = None) -> bool:
+        """Block until the record at ``lsn`` is durable (or ``timeout`` expires).
+
+        Loops to the deadline: appends notify this condition too (to wake
+        the flusher), so a single wait could be woken early and give up
+        with most of its budget unspent.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while self._flushed_lsn < lsn:
+                if deadline is None:
+                    self._cond.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                    self._cond.wait(remaining)
+            return True
+
+    # ------------------------------------------------------------------
+    # Background flusher
+    # ------------------------------------------------------------------
+    def _flusher_alive(self) -> bool:
+        return self._flusher is not None and self._flusher.is_alive()
+
+    def _flush_loop(self) -> None:
+        with self._cond:
+            while True:
+                while not self._stop_flusher and self._pending_commits == 0:
+                    self._cond.wait()
+                if self._stop_flusher and self._pending_commits == 0:
+                    return
+                if self.flush_interval and not self._stop_flusher:
+                    # The batching window: sleep with the lock released so
+                    # concurrent committers append into this very batch.
+                    # Skipped once stop is signalled — drain immediately.
+                    self._cond.wait(self.flush_interval)
+                self._force_locked()
+
+    def close(self) -> None:
+        """Stop the background flusher (if any) after a final force."""
+        flusher = self._flusher
+        if flusher is None:
+            self.force()
+            return
+        with self._cond:
+            self._stop_flusher = True
+            self._cond.notify_all()
+        flusher.join(timeout=5.0)
+        self._flusher = None
+        self.force()  # anything appended after the flusher drained
 
     # ------------------------------------------------------------------
     # Checkpoints
@@ -200,16 +311,17 @@ class LogManager:
             )
             high_water = max(high_water, txn_manager.clock.latest)
             next_txn_id = txn_manager.next_txn_id
-        lsn = self._append(
-            LogRecord.checkpoint(
-                self._take_lsn(),
-                high_water=high_water,
-                next_txn_id=next_txn_id,
-                active=active,
-                fuzzy=fuzzy,
+        with self._cond:
+            lsn = self._append(
+                LogRecord.checkpoint(
+                    self._take_lsn(),
+                    high_water=high_water,
+                    next_txn_id=next_txn_id,
+                    active=active,
+                    fuzzy=fuzzy,
+                )
             )
-        )
-        anchor_offset = self._last_append_offset
+            anchor_offset = self._last_append_offset
         self.force()
         if not fuzzy:
             tree.checkpoint(log_anchor=lsn, log_anchor_offset=anchor_offset)

@@ -1,0 +1,164 @@
+"""Reader-writer latches for the concurrent store surfaces.
+
+The paper's concurrency story (section 4) is logical — record locks for
+updaters, lock-free timestamped reads — and says nothing about protecting
+the physical structures themselves, because any real implementation latches
+its pages and its tree root as a matter of course.  This module supplies
+that physical layer for the Python reproduction:
+
+:class:`ReadWriteLatch`
+    A reentrant many-readers / single-writer latch.  The
+    :class:`~repro.api.store.VersionStore` façade takes it shared around
+    every query and exclusive around every write, so any number of client
+    threads can read one store concurrently while writers are serialized —
+    mirroring the paper's "read-only transactions proceed without blocking
+    updaters" at the structure level.
+
+Latches are *short-term* and physical: they protect in-memory structures
+for the duration of one operation.  They are unrelated to the transaction
+layer's :class:`~repro.txn.locks.LockManager`, whose record locks are held
+to commit and participate in deadlock detection.  Latch acquisition order
+is fixed (record locks are never requested while a latch is held), so
+latches themselves can never deadlock with the lock manager.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+
+class LatchError(RuntimeError):
+    """Invalid latch usage (releasing an unheld latch, upgrading, ...)."""
+
+
+class ReadWriteLatch:
+    """A reentrant many-readers / single-writer latch.
+
+    Semantics:
+
+    * any number of threads may hold the latch in *read* mode concurrently;
+    * *write* mode is exclusive against both readers and other writers;
+    * a thread may re-acquire a mode it already holds (nested context
+      managers on the façade call stack are the norm: ``put_many`` →
+      ``insert`` both latch for writing);
+    * a thread holding the latch in write mode may also acquire read mode
+      (a writer is already exclusive, so reading under it is free);
+    * upgrading — requesting write mode while holding only read mode — is
+      refused with :class:`LatchError` rather than risking the classic
+      two-upgraders deadlock.  Callers decide the mode at entry.
+
+    Writers are preferred: once a writer is waiting, new first-time readers
+    queue behind it, so a steady read stream cannot starve writes.  Threads
+    that already hold the latch are exempt (reentrancy beats preference).
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        #: thread ident -> read-mode re-entry depth
+        self._readers: Dict[int, int] = {}
+        self._writer: Optional[int] = None
+        self._writer_depth = 0
+        self._writers_waiting = 0
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+    def acquire_read(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me or me in self._readers:
+                # Reentrant: a thread already inside (either mode) may nest
+                # a read without waiting — waiting would self-deadlock.
+                self._readers[me] = self._readers.get(me, 0) + 1
+                return
+            while self._writer is not None or self._writers_waiting:
+                self._cond.wait()
+            self._readers[me] = 1
+
+    def release_read(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            depth = self._readers.get(me, 0)
+            if depth == 0:
+                raise LatchError("release_read without a matching acquire_read")
+            if depth == 1:
+                del self._readers[me]
+                self._cond.notify_all()
+            else:
+                self._readers[me] = depth - 1
+
+    # ------------------------------------------------------------------
+    # Write side
+    # ------------------------------------------------------------------
+    def acquire_write(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._writer_depth += 1
+                return
+            if me in self._readers:
+                raise LatchError(
+                    "cannot upgrade a read latch to a write latch; acquire "
+                    "write mode before the first read"
+                )
+            self._writers_waiting += 1
+            try:
+                while self._writer is not None or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = me
+            self._writer_depth = 1
+
+    def release_write(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer != me:
+                raise LatchError("release_write by a thread that is not the writer")
+            self._writer_depth -= 1
+            if self._writer_depth == 0:
+                self._writer = None
+                self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Context managers
+    # ------------------------------------------------------------------
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        """Hold the latch in shared (read) mode for the ``with`` body."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        """Hold the latch in exclusive (write) mode for the ``with`` body."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    # ------------------------------------------------------------------
+    # Introspection (tests and diagnostics)
+    # ------------------------------------------------------------------
+    @property
+    def active_readers(self) -> int:
+        """Number of distinct threads currently holding read mode."""
+        with self._cond:
+            return len(self._readers)
+
+    def held_by_current_thread(self) -> bool:
+        me = threading.get_ident()
+        with self._cond:
+            return self._writer == me or me in self._readers
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ReadWriteLatch(readers={len(self._readers)}, "
+            f"writer={self._writer}, waiting_writers={self._writers_waiting})"
+        )

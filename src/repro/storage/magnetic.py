@@ -21,6 +21,7 @@ operation-level fidelity, not persistence.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Optional
 
 from repro.storage.device import (
@@ -48,6 +49,12 @@ class MagneticDisk(Device):
         used by fault-injection tests).
     name:
         Device name used in I/O reports.
+    access_latency_s:
+        Simulated wall-clock seconds each page read or write sleeps.  The
+        default ``0.0`` keeps the simulator purely logical (the cost model
+        prices accesses after the fact); a positive value makes device time
+        real so concurrency benchmarks observe genuine overlap when several
+        threads touch independent devices.
     """
 
     def __init__(
@@ -55,14 +62,18 @@ class MagneticDisk(Device):
         page_size: int = 4096,
         capacity_pages: Optional[int] = None,
         name: str = "magnetic",
+        access_latency_s: float = 0.0,
     ) -> None:
         if page_size <= 0:
             raise ValueError("page_size must be positive")
         if capacity_pages is not None and capacity_pages <= 0:
             raise ValueError("capacity_pages must be positive when given")
+        if access_latency_s < 0:
+            raise ValueError("access_latency_s cannot be negative")
         self.page_size = page_size
         self.capacity_pages = capacity_pages
         self.name = name
+        self.access_latency_s = access_latency_s
         self.stats = IOStats()
         self._pages: Dict[int, bytes] = {}
         self._free_pages: list[int] = []
@@ -109,15 +120,21 @@ class MagneticDisk(Device):
             raise PageOverflowError(
                 f"page image of {len(data)} bytes exceeds page size {self.page_size}"
             )
+        self._sleep_for_access()
         self._pages[address.page_id] = bytes(data)
         self.stats.record_write(len(data))
 
     def read(self, address: Address) -> bytes:
         """Return the current contents of the page at ``address``."""
         self._check_address(address)
+        self._sleep_for_access()
         data = self._pages[address.page_id]
         self.stats.record_read(len(data))
         return data
+
+    def _sleep_for_access(self) -> None:
+        if self.access_latency_s > 0:
+            time.sleep(self.access_latency_s)
 
     # ------------------------------------------------------------------
     # Occupancy accounting

@@ -11,6 +11,16 @@ accesses" separately (Study S5) requires distinguishing hits from misses.
   the default) or immediately (write-through);
 * frames can be pinned while a node object built from them is being mutated.
 
+The cache is *latch-safe*: every frame-table mutation — installation,
+LRU reordering, pin counts, dirty flags, eviction decisions — happens under
+one internal lock, so concurrent readers scattered across threads (the
+sharded store's parallel scatter-gather, multiple client read views) can
+share one pool without corrupting it.  Device reads for cache misses run
+*outside* the lock: a miss never blocks concurrent hits, and two threads
+faulting the same page concurrently simply install the same image (the
+extra device read is counted honestly).  Eviction is atomic: the victim is
+chosen, flushed and removed without the lock being released.
+
 Historical (WORM) reads are deliberately *not* cached here: the tree caches
 nothing for the historical database, matching the paper's assumption that
 historical accesses are rare and may pay full optical latency.
@@ -18,6 +28,7 @@ historical accesses are rare and may pay full optical latency.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional
@@ -84,21 +95,63 @@ class PageCache:
         self.write_through = write_through
         self.stats = CacheStats()
         self._frames: "OrderedDict[int, _Frame]" = OrderedDict()
+        self._lock = threading.RLock()
+        # Fault guards: while one or more misses for a page are between
+        # their (lock-free) device read and their install, the page carries
+        # a refcount and a write generation.  A cache write bumps the
+        # generation so the faulting thread detects the race and retries
+        # instead of installing the pre-write image as a clean frame.  Both
+        # dicts empty out as faults complete — no per-page residue.
+        self._fault_refs: Dict[int, int] = {}
+        self._fault_generations: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Read / write
     # ------------------------------------------------------------------
     def read(self, address: Address) -> bytes:
         """Return the page image at ``address`` (faulting it in on a miss)."""
-        frame = self._frames.get(address.page_id)
-        if frame is not None:
-            self.stats.hits += 1
-            self._frames.move_to_end(address.page_id)
-            return frame.data
-        self.stats.misses += 1
-        data = self.disk.read(address)
-        self._install(address.page_id, _Frame(data=data, dirty=False))
-        return data
+        page_id = address.page_id
+        while True:
+            with self._lock:
+                frame = self._frames.get(page_id)
+                if frame is not None:
+                    self.stats.hits += 1
+                    self._frames.move_to_end(page_id)
+                    return frame.data
+                self.stats.misses += 1
+                self._fault_refs[page_id] = self._fault_refs.get(page_id, 0) + 1
+                generation = self._fault_generations.get(page_id, 0)
+            # Fault the page in without holding the latch: a slow device
+            # read must not serialize concurrent cache hits on other pages.
+            try:
+                data = self.disk.read(address)
+            except BaseException:
+                with self._lock:
+                    self._drop_fault_guard(page_id)
+                raise
+            with self._lock:
+                raced = self._fault_generations.get(page_id, 0) != generation
+                self._drop_fault_guard(page_id)
+                frame = self._frames.get(page_id)
+                if frame is not None:
+                    # Another thread faulted (or wrote) the page meanwhile;
+                    # its frame may be dirtier than our device image.
+                    self._frames.move_to_end(page_id)
+                    return frame.data
+                if raced:
+                    # A write raced our device read and its frame is already
+                    # gone (evicted); our image predates it — fault again.
+                    continue
+                self._install(page_id, _Frame(data=data, dirty=False))
+                return data
+
+    def _drop_fault_guard(self, page_id: int) -> None:
+        refs = self._fault_refs.get(page_id, 1) - 1
+        if refs > 0:
+            self._fault_refs[page_id] = refs
+        else:
+            self._fault_refs.pop(page_id, None)
+            self._fault_generations.pop(page_id, None)
 
     def write(self, address: Address, data: bytes) -> None:
         """Store a new page image for ``address`` in the cache."""
@@ -107,50 +160,67 @@ class PageCache:
             # rather than deferring it to an eviction-time flush.
             self.disk.write(address, data)
             return
-        frame = self._frames.get(address.page_id)
-        if frame is None:
-            frame = _Frame(data=b"", dirty=False)
-            self._install(address.page_id, frame)
-        else:
-            self._frames.move_to_end(address.page_id)
-        frame.data = bytes(data)
-        if self.write_through:
-            self.disk.write(address, data)
-            frame.dirty = False
-        else:
-            frame.dirty = True
+        with self._lock:
+            page_id = address.page_id
+            if page_id in self._fault_refs:
+                # A miss for this page is mid-fault; make it retry rather
+                # than install the image it read before this write.
+                self._fault_generations[page_id] = (
+                    self._fault_generations.get(page_id, 0) + 1
+                )
+            frame = self._frames.get(page_id)
+            if frame is None:
+                frame = _Frame(data=b"", dirty=False)
+                self._install(page_id, frame)
+            else:
+                self._frames.move_to_end(page_id)
+            frame.data = bytes(data)
+            if self.write_through:
+                self.disk.write(address, data)
+                frame.dirty = False
+            else:
+                frame.dirty = True
 
     # ------------------------------------------------------------------
     # Pinning
     # ------------------------------------------------------------------
     def pin(self, address: Address) -> None:
         """Prevent the frame for ``address`` from being evicted."""
-        self.read(address)
-        self._frames[address.page_id].pins += 1
+        while True:
+            self.read(address)
+            with self._lock:
+                frame = self._frames.get(address.page_id)
+                if frame is not None:
+                    # Pin under the same latch hold that observed the frame;
+                    # re-fault if an eviction won the race in between.
+                    frame.pins += 1
+                    return
 
     def unpin(self, address: Address) -> None:
-        frame = self._frames.get(address.page_id)
-        if frame is None or frame.pins == 0:
-            raise StorageError(f"page {address.page_id} is not pinned")
-        frame.pins -= 1
+        with self._lock:
+            frame = self._frames.get(address.page_id)
+            if frame is None or frame.pins == 0:
+                raise StorageError(f"page {address.page_id} is not pinned")
+            frame.pins -= 1
 
     # ------------------------------------------------------------------
     # Flushing / invalidation
     # ------------------------------------------------------------------
     def flush(self, address: Optional[Address] = None) -> None:
         """Write dirty frames back to disk (all of them when no address given)."""
-        if address is not None:
-            frame = self._frames.get(address.page_id)
-            if frame is not None and frame.dirty:
-                self.disk.write(address, frame.data)
-                frame.dirty = False
-                self.stats.flushes += 1
-            return
-        for page_id, frame in self._frames.items():
-            if frame.dirty:
-                self.disk.write(Address.magnetic(page_id), frame.data)
-                frame.dirty = False
-                self.stats.flushes += 1
+        with self._lock:
+            if address is not None:
+                frame = self._frames.get(address.page_id)
+                if frame is not None and frame.dirty:
+                    self.disk.write(address, frame.data)
+                    frame.dirty = False
+                    self.stats.flushes += 1
+                return
+            for page_id, frame in self._frames.items():
+                if frame.dirty:
+                    self.disk.write(Address.magnetic(page_id), frame.data)
+                    frame.dirty = False
+                    self.stats.flushes += 1
 
     def invalidate(self, address: Address) -> None:
         """Drop the frame for ``address`` without writing it back.
@@ -159,14 +229,16 @@ class PageCache:
         to the historical database, or an aborted transaction's page is
         discarded).
         """
-        self._frames.pop(address.page_id, None)
+        with self._lock:
+            self._frames.pop(address.page_id, None)
 
     def resident_pages(self) -> Dict[int, bool]:
         """Map of resident page id -> dirty flag (for tests and debugging)."""
-        return {page_id: frame.dirty for page_id, frame in self._frames.items()}
+        with self._lock:
+            return {page_id: frame.dirty for page_id, frame in self._frames.items()}
 
     # ------------------------------------------------------------------
-    # Internal helpers
+    # Internal helpers (called with self._lock held)
     # ------------------------------------------------------------------
     def _install(self, page_id: int, frame: _Frame) -> None:
         while len(self._frames) >= self.capacity:

@@ -1,7 +1,7 @@
 """Transaction-processing support for the TSB-tree (paper section 4)."""
 
 from repro.txn.clock import TimestampOracle
-from repro.txn.locks import LockConflictError, LockManager
+from repro.txn.locks import LockConflictError, LockManager, LockMode
 from repro.txn.manager import (
     Transaction,
     TransactionError,
@@ -13,6 +13,7 @@ from repro.txn.readonly import ReadOnlyTransaction
 __all__ = [
     "LockConflictError",
     "LockManager",
+    "LockMode",
     "ReadOnlyTransaction",
     "TimestampOracle",
     "Transaction",

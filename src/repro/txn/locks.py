@@ -1,66 +1,322 @@
-"""Record locks for updating transactions.
+"""Record locks for updating transactions (paper section 4).
 
 The paper's section 4 only requires locks for *updaters*; read-only
 transactions run entirely without them (section 4.1).  This module provides
-the minimal exclusive record-lock manager the transaction manager needs: an
-updater takes an exclusive lock on every key it writes and holds it until
-commit or abort (strict two-phase locking on write sets).
+the record-lock manager the transaction manager needs, grown from the
+original fail-fast stub into a real concurrent lock manager:
 
-The simulation is single-threaded, so "blocking" is modelled as an immediate
-:class:`LockConflictError`; tests use it to demonstrate that concurrent
-updaters conflict on the same key while read-only transactions never touch
-the lock table at all.
+* **Modes.**  :attr:`LockMode.SHARED` is compatible with other shared
+  holders; :attr:`LockMode.EXCLUSIVE` is compatible with nothing.  The
+  transaction manager takes exclusive locks on every key an updater writes
+  and holds them until commit or abort (strict two-phase locking on write
+  sets); shared locks are available for updaters that want repeatable reads
+  of keys they do not write.  An exclusive holder may re-request either
+  mode for free, and a transaction that is the *sole* shared holder may
+  upgrade to exclusive.
+
+* **Blocking with timeout.**  A conflicting request blocks until the
+  holders release, the per-call (or manager-default) timeout expires, or a
+  deadlock is detected.  Timeouts raise :class:`LockConflictError` with
+  ``reason="timeout"``.
+
+* **Deadlock detection.**  While blocked, a transaction registers
+  wait-for edges to the current incompatible holders.  Each new waiter runs
+  a depth-first search over the wait-for graph; if the search returns to
+  the requester, the requester is the victim and its
+  :class:`LockConflictError` carries the cycle (``reason="deadlock"``,
+  ``cycle=(requester, ..., last)``).  Sleeping waiters refresh their edges
+  and re-run their own cycle check on every wake-up — grants notify the
+  sleepers, and waits are sliced so a refresh happens within
+  ``EDGE_REFRESH_INTERVAL`` regardless — so a cycle closed *through a
+  holder granted after a waiter went to sleep* is still found.  The victim
+  is whichever transaction in the cycle checks first: the newcomer in the
+  common case, a refreshing sleeper otherwise; either way exactly one
+  victim is chosen (detection is serialized on the manager's condition)
+  and the survivors proceed once the victim's locks are released.
+
+* **Same-thread fail-fast.**  When the blocking holder's lock was taken by
+  the *same OS thread* as the requester, blocking can never resolve — the
+  thread cannot release a lock while it is asleep waiting for it.  This is
+  a genuine (thread-level) deadlock, detected immediately, and it is also
+  exactly the situation single-threaded simulations create, so the
+  original stub's fail-fast behaviour is preserved where it was correct.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Set
+import enum
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.storage.serialization import Key
 
+#: Upper bound on how long a sleeping waiter goes without refreshing its
+#: wait-for edges and re-running its cycle check.  Grants notify sleepers
+#: immediately; the slice is the backstop for notify/schedule races.
+EDGE_REFRESH_INTERVAL = 0.05
+
+
+class LockMode(enum.Enum):
+    """Lock modes, ordered by strength."""
+
+    SHARED = "shared"
+    EXCLUSIVE = "exclusive"
+
+    def covers(self, other: "LockMode") -> bool:
+        """Whether holding this mode already satisfies a request for ``other``."""
+        return self is LockMode.EXCLUSIVE or other is LockMode.SHARED
+
 
 class LockConflictError(Exception):
-    """Another transaction already holds an exclusive lock on the key."""
+    """A lock request failed: conflict, timeout or deadlock.
 
-    def __init__(self, key: Key, holder: int, requester: int) -> None:
+    Attributes
+    ----------
+    key, holder, requester:
+        The contested key, one blocking holder and the requesting
+        transaction (the original stub's fields, kept for compatibility).
+    holders:
+        Every transaction that was blocking the request.
+    cycle:
+        For ``reason="deadlock"``, the wait-for cycle as a tuple of
+        transaction ids starting with the victim (the requester); empty
+        otherwise.
+    reason:
+        ``"conflict"`` (same-thread fail-fast), ``"timeout"`` or
+        ``"deadlock"``.
+    """
+
+    def __init__(
+        self,
+        key: Key,
+        holder: Optional[int],
+        requester: int,
+        holders: Sequence[int] = (),
+        cycle: Sequence[int] = (),
+        reason: str = "conflict",
+    ) -> None:
+        detail = {
+            "conflict": f"held by transaction {holder}",
+            "timeout": f"timed out waiting for transaction {holder}",
+            "deadlock": "deadlock cycle "
+            + " -> ".join(str(txn) for txn in tuple(cycle) + tuple(cycle[:1])),
+        }.get(reason, f"held by transaction {holder}")
         super().__init__(
-            f"transaction {requester} cannot lock key {key!r}: "
-            f"held exclusively by transaction {holder}"
+            f"transaction {requester} cannot lock key {key!r}: {detail}"
         )
         self.key = key
         self.holder = holder
         self.requester = requester
+        self.holders = tuple(holders) if holders else ((holder,) if holder is not None else ())
+        self.cycle = tuple(cycle)
+        self.reason = reason
 
 
-@dataclass
 class LockManager:
-    """Exclusive per-key locks keyed by transaction id."""
+    """Shared/exclusive per-key locks with blocking, timeout and deadlock
+    detection.
 
-    _holders: Dict[Key, int] = field(default_factory=dict)
-    _held_by_txn: Dict[int, Set[Key]] = field(default_factory=dict)
+    Parameters
+    ----------
+    timeout:
+        Default seconds a conflicting :meth:`acquire` waits before raising
+        :class:`LockConflictError` (``reason="timeout"``).  Per-call
+        ``timeout=`` overrides it; ``None`` means wait forever (deadlock
+        detection still applies).
+    """
 
-    def acquire_exclusive(self, txn_id: int, key: Key) -> None:
+    def __init__(self, timeout: Optional[float] = 5.0) -> None:
+        self.timeout = timeout
+        self._cond = threading.Condition()
+        #: key -> {txn_id: strongest mode held}
+        self._holders: Dict[Key, Dict[int, LockMode]] = {}
+        self._held_by_txn: Dict[int, Set[Key]] = {}
+        #: txn_id -> txns it is currently blocked on (wait-for graph edges)
+        self._waits_for: Dict[int, Set[int]] = {}
+        #: txn_id -> ident of the OS thread that last acquired for it
+        self._txn_thread: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Acquisition
+    # ------------------------------------------------------------------
+    def acquire(
+        self,
+        txn_id: int,
+        key: Key,
+        mode: LockMode = LockMode.EXCLUSIVE,
+        timeout: Optional[float] = ...,  # type: ignore[assignment]
+    ) -> None:
+        """Take (or strengthen) the lock on ``key`` for ``txn_id``.
+
+        Blocks while incompatible holders exist; raises
+        :class:`LockConflictError` on timeout, on a wait-for-graph cycle
+        (the requester is the victim and the error carries the cycle), or
+        immediately when a blocking holder was acquired by this very
+        thread, which could therefore never be released.
+        """
+        if timeout is ...:
+            timeout = self.timeout
+        me = threading.get_ident()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            self._txn_thread[txn_id] = me
+            try:
+                while True:
+                    blockers = self._blockers(txn_id, key, mode)
+                    if not blockers:
+                        self._grant(txn_id, key, mode)
+                        return
+                    first = blockers[0]
+                    same_thread = [
+                        blocker
+                        for blocker in blockers
+                        if self._txn_thread.get(blocker) == me
+                    ]
+                    if same_thread:
+                        raise LockConflictError(
+                            key=key,
+                            holder=same_thread[0],
+                            requester=txn_id,
+                            holders=blockers,
+                            reason="conflict",
+                        )
+                    self._waits_for[txn_id] = set(blockers)
+                    cycle = self._find_cycle(txn_id)
+                    if cycle is not None:
+                        raise LockConflictError(
+                            key=key,
+                            holder=first,
+                            requester=txn_id,
+                            holders=blockers,
+                            cycle=cycle,
+                            reason="deadlock",
+                        )
+                    # Sliced waits: wake at least every EDGE_REFRESH_INTERVAL
+                    # to refresh the wait-for edges against holders granted
+                    # while asleep and re-run the cycle check above.  Only
+                    # the caller's deadline — never a slice expiry — times
+                    # the request out.
+                    if deadline is None:
+                        self._cond.wait(EDGE_REFRESH_INTERVAL)
+                    else:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            raise LockConflictError(
+                                key=key,
+                                holder=first,
+                                requester=txn_id,
+                                holders=blockers,
+                                reason="timeout",
+                            )
+                        self._cond.wait(min(remaining, EDGE_REFRESH_INTERVAL))
+            finally:
+                self._waits_for.pop(txn_id, None)
+
+    def acquire_exclusive(
+        self, txn_id: int, key: Key, timeout: Optional[float] = ...  # type: ignore[assignment]
+    ) -> None:
         """Take (or re-take) the exclusive lock on ``key`` for ``txn_id``."""
-        holder = self._holders.get(key)
-        if holder is not None and holder != txn_id:
-            raise LockConflictError(key=key, holder=holder, requester=txn_id)
-        self._holders[key] = txn_id
-        self._held_by_txn.setdefault(txn_id, set()).add(key)
+        self.acquire(txn_id, key, LockMode.EXCLUSIVE, timeout=timeout)
 
+    def acquire_shared(
+        self, txn_id: int, key: Key, timeout: Optional[float] = ...  # type: ignore[assignment]
+    ) -> None:
+        """Take a shared lock on ``key`` for ``txn_id``."""
+        self.acquire(txn_id, key, LockMode.SHARED, timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Release
+    # ------------------------------------------------------------------
     def release_all(self, txn_id: int) -> None:
         """Drop every lock held by ``txn_id`` (commit or abort)."""
-        for key in self._held_by_txn.pop(txn_id, set()):
-            if self._holders.get(key) == txn_id:
-                del self._holders[key]
+        with self._cond:
+            for key in self._held_by_txn.pop(txn_id, set()):
+                holders = self._holders.get(key)
+                if holders is not None and holders.pop(txn_id, None) is not None:
+                    if not holders:
+                        del self._holders[key]
+            self._waits_for.pop(txn_id, None)
+            self._txn_thread.pop(txn_id, None)
+            self._cond.notify_all()
 
-    def holder_of(self, key: Key) -> int | None:
-        """The transaction currently holding ``key``, if any."""
-        return self._holders.get(key)
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def holder_of(self, key: Key) -> Optional[int]:
+        """The transaction holding ``key`` exclusively, if any."""
+        with self._cond:
+            for txn_id, mode in self._holders.get(key, {}).items():
+                if mode is LockMode.EXCLUSIVE:
+                    return txn_id
+            return None
+
+    def holders_of(self, key: Key) -> Dict[int, LockMode]:
+        """Every holder of ``key`` and the mode it holds."""
+        with self._cond:
+            return dict(self._holders.get(key, {}))
+
+    def mode_held(self, txn_id: int, key: Key) -> Optional[LockMode]:
+        with self._cond:
+            return self._holders.get(key, {}).get(txn_id)
 
     def locks_held(self, txn_id: int) -> Set[Key]:
-        return set(self._held_by_txn.get(txn_id, set()))
+        with self._cond:
+            return set(self._held_by_txn.get(txn_id, set()))
 
     @property
     def locked_key_count(self) -> int:
-        return len(self._holders)
+        with self._cond:
+            return len(self._holders)
+
+    def waiting_transactions(self) -> Dict[int, Set[int]]:
+        """A snapshot of the wait-for graph (tests and diagnostics)."""
+        with self._cond:
+            return {txn: set(edges) for txn, edges in self._waits_for.items()}
+
+    # ------------------------------------------------------------------
+    # Internal helpers (all called with self._cond held)
+    # ------------------------------------------------------------------
+    def _blockers(self, txn_id: int, key: Key, mode: LockMode) -> List[int]:
+        """Holders (other than the requester) incompatible with ``mode``."""
+        holders = self._holders.get(key, {})
+        if mode is LockMode.SHARED:
+            return sorted(
+                other
+                for other, held in holders.items()
+                if other != txn_id and held is LockMode.EXCLUSIVE
+            )
+        return sorted(other for other in holders if other != txn_id)
+
+    def _grant(self, txn_id: int, key: Key, mode: LockMode) -> None:
+        holders = self._holders.setdefault(key, {})
+        current = holders.get(txn_id)
+        if current is None or not current.covers(mode):
+            holders[txn_id] = mode
+        self._held_by_txn.setdefault(txn_id, set()).add(key)
+        if self._waits_for:
+            # Wake sleeping waiters so they refresh their wait-for edges:
+            # this grant may have closed a cycle through the new holder.
+            self._cond.notify_all()
+
+    def _find_cycle(self, start: int) -> Optional[Tuple[int, ...]]:
+        """DFS over the wait-for graph; the cycle through ``start``, if any."""
+        path: List[int] = [start]
+        on_path = {start}
+
+        def visit(txn: int) -> Optional[Tuple[int, ...]]:
+            for successor in sorted(self._waits_for.get(txn, ())):
+                if successor == start:
+                    return tuple(path)
+                if successor in on_path:
+                    continue  # a cycle not through the requester; its own victim will see it
+                path.append(successor)
+                on_path.add(successor)
+                found = visit(successor)
+                if found is not None:
+                    return found
+                on_path.discard(successor)
+                path.pop()
+            return None
+
+        return visit(start)

@@ -22,15 +22,32 @@ appended (and, per the group-commit policy, forced) *before* the versions
 are stamped.  A transaction is then durably committed exactly when its
 commit record lies inside the forced log prefix — which is what restart
 recovery (:mod:`repro.recovery`) reconstructs after a crash.
+
+The manager is safe for concurrent clients, with three coordination layers
+that mirror a real system's:
+
+* **record locks** (:class:`~repro.txn.locks.LockManager`) resolve logical
+  write-write conflicts — blocking, with timeout and deadlock detection;
+  they are always requested *before* the structure latch so a blocked
+  transaction never holds the tree hostage;
+* a **reader-writer latch** (shared with the owning
+  :class:`~repro.api.store.VersionStore`, when there is one) protects the
+  tree structure itself: every mutation runs exclusive, lock-free reads run
+  shared — so read-only transactions still never wait on record locks, per
+  section 4.1;
+* a small registry mutex makes transaction-id assignment and the
+  active-transaction table safe.
 """
 
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Set
 
 from repro.core.tsb_tree import RecordTooLargeError, TSBTree
+from repro.storage.latches import ReadWriteLatch
 from repro.storage.serialization import Key
 from repro.txn.clock import TimestampOracle
 from repro.txn.locks import LockManager
@@ -99,6 +116,7 @@ class TransactionManager:
         clock: Optional[TimestampOracle] = None,
         log: Optional["LogManager"] = None,
         next_txn_id: int = 1,
+        latch: Optional[ReadWriteLatch] = None,
     ) -> None:
         if next_txn_id <= 0:
             raise ValueError("transaction ids start at 1")
@@ -106,6 +124,10 @@ class TransactionManager:
         self.clock = clock or TimestampOracle(start=tree.now)
         self.locks = LockManager()
         self.log = log
+        #: The structure latch: exclusive around every tree mutation, shared
+        #: around reads.  A VersionStore passes its own latch in so façade
+        #: queries and transactional writes coordinate on one latch.
+        self.latch = latch or ReadWriteLatch()
         #: Set when a logged operation died mid-structure-modification and
         #: may have left the in-memory tree inconsistent.  Durability
         #: operations (full checkpoints) refuse while this is set; the cure
@@ -113,6 +135,7 @@ class TransactionManager:
         self.requires_recovery = False
         self._next_txn_id = next_txn_id
         self._transactions: Dict[int, Transaction] = {}
+        self._registry_lock = threading.Lock()
 
     @property
     def next_txn_id(self) -> int:
@@ -124,16 +147,19 @@ class TransactionManager:
     # ------------------------------------------------------------------
     def begin(self) -> Transaction:
         """Start an updating transaction."""
-        txn = Transaction(txn_id=self._next_txn_id, manager=self)
-        self._next_txn_id += 1
-        self._transactions[txn.txn_id] = txn
+        with self._registry_lock:
+            txn = Transaction(txn_id=self._next_txn_id, manager=self)
+            self._next_txn_id += 1
+            self._transactions[txn.txn_id] = txn
         if self.log is not None:
             self.log.log_begin(txn.txn_id)
         return txn
 
     def begin_readonly(self) -> ReadOnlyTransaction:
         """Start a lock-free read-only transaction stamped at its start time."""
-        return ReadOnlyTransaction(tree=self.tree, timestamp=self.clock.read_timestamp())
+        return ReadOnlyTransaction(
+            tree=self.tree, timestamp=self.clock.read_timestamp(), latch=self.latch
+        )
 
     def commit(self, txn_id: int) -> int:
         """Stamp the transaction's versions with a fresh commit timestamp.
@@ -143,39 +169,59 @@ class TransactionManager:
         never leave stamped versions whose commit is not in the log.
         """
         txn = self._active(txn_id)
-        commit_timestamp = self.clock.next_commit_timestamp()
-        if self.log is not None:
-            txn.commit_lsn = self.log.log_commit(txn_id, commit_timestamp)
-        if txn.write_set:
-            try:
-                self.tree.commit_provisional(
-                    txn_id, sorted(txn.write_set), commit_timestamp
+        # The commit timestamp is drawn inside the exclusive latch hold so
+        # stamping order equals timestamp order: a later stamp can never
+        # reach the tree before an earlier one.  The strict-durability wait
+        # (group_commit_size == 1 with a background flusher) happens after
+        # the latch is released, so readers are never stalled on log I/O.
+        with self.latch.write():
+            commit_timestamp = self.clock.next_commit_timestamp()
+            if self.log is not None:
+                txn.commit_lsn = self.log.log_commit(
+                    txn_id, commit_timestamp, wait_for_durability=False
                 )
-            except Exception:
-                if self.log is not None:
-                    # The durable commit record is authoritative: the
-                    # transaction *is* committed even though in-memory
-                    # stamping failed.  Marking it committed here blocks a
-                    # contradictory abort(); restart recovery will replay
-                    # the stamping from the log.
-                    txn.state = TransactionState.COMMITTED
-                    txn.commit_timestamp = commit_timestamp
-                    self.locks.release_all(txn_id)
-                    self.requires_recovery = True
-                raise
-        txn.state = TransactionState.COMMITTED
-        txn.commit_timestamp = commit_timestamp
+            if txn.write_set:
+                try:
+                    self.tree.commit_provisional(
+                        txn_id, sorted(txn.write_set), commit_timestamp
+                    )
+                except Exception:
+                    if self.log is not None:
+                        # The durable commit record is authoritative: the
+                        # transaction *is* committed even though in-memory
+                        # stamping failed.  Marking it committed here blocks a
+                        # contradictory abort(); restart recovery will replay
+                        # the stamping from the log.
+                        txn.state = TransactionState.COMMITTED
+                        txn.commit_timestamp = commit_timestamp
+                        self.locks.release_all(txn_id)
+                        self.requires_recovery = True
+                    raise
+            txn.state = TransactionState.COMMITTED
+            txn.commit_timestamp = commit_timestamp
         self.locks.release_all(txn_id)
+        if (
+            self.log is not None
+            and self.log.group_commit_size == 1
+            and txn.commit_lsn is not None
+        ):
+            # Strict durability preserved, latch-free: with synchronous
+            # group commit this returns immediately (the append forced
+            # inline); with a background flusher it blocks only this
+            # committer until its record is in the forced prefix.
+            if not self.log.wait_durable(txn.commit_lsn, timeout=5.0):
+                self.log.force()  # flusher wedged or died: force inline
         return commit_timestamp
 
     def abort(self, txn_id: int) -> None:
         """Erase every provisional version the transaction wrote."""
         txn = self._active(txn_id)
-        if self.log is not None:
-            self.log.log_abort(txn_id)
-        if txn.write_set:
-            self.tree.abort_provisional(txn_id, sorted(txn.write_set))
-        txn.state = TransactionState.ABORTED
+        with self.latch.write():
+            if self.log is not None:
+                self.log.log_abort(txn_id)
+            if txn.write_set:
+                self.tree.abort_provisional(txn_id, sorted(txn.write_set))
+            txn.state = TransactionState.ABORTED
         self.locks.release_all(txn_id)
 
     # ------------------------------------------------------------------
@@ -183,27 +229,32 @@ class TransactionManager:
     # ------------------------------------------------------------------
     def write(self, txn_id: int, key: Key, value: bytes) -> None:
         txn = self._active(txn_id)
+        # Record lock first, latch second, always: a transaction blocked on
+        # a record lock holds no latch, so readers and other writers keep
+        # flowing while it waits (and latches stay deadlock-free).
         self.locks.acquire_exclusive(txn_id, key)
-        if self.log is not None:
-            self.log.log_insert(txn_id, key, value)
-        try:
-            self.tree.insert_provisional(key, value, txn_id)
-        except Exception as exc:
-            self._fail_logged(txn, exc)
-            raise
-        txn.write_set.add(key)
+        with self.latch.write():
+            if self.log is not None:
+                self.log.log_insert(txn_id, key, value)
+            try:
+                self.tree.insert_provisional(key, value, txn_id)
+            except Exception as exc:
+                self._fail_logged(txn, exc)
+                raise
+            txn.write_set.add(key)
 
     def delete(self, txn_id: int, key: Key) -> None:
         txn = self._active(txn_id)
         self.locks.acquire_exclusive(txn_id, key)
-        if self.log is not None:
-            self.log.log_delete(txn_id, key)
-        try:
-            self.tree.delete_provisional(key, txn_id)
-        except Exception as exc:
-            self._fail_logged(txn, exc)
-            raise
-        txn.write_set.add(key)
+        with self.latch.write():
+            if self.log is not None:
+                self.log.log_delete(txn_id, key)
+            try:
+                self.tree.delete_provisional(key, txn_id)
+            except Exception as exc:
+                self._fail_logged(txn, exc)
+                raise
+            txn.write_set.add(key)
 
     def _fail_logged(self, txn: Transaction, exc: Exception) -> None:
         """Doom a logged transaction whose tree write blew up mid-operation.
@@ -236,24 +287,27 @@ class TransactionManager:
     def read(self, txn_id: int, key: Key) -> Optional[bytes]:
         """Read inside an updating transaction (sees its own provisional writes)."""
         self._active(txn_id)
-        version = self.tree.search_current(key, txn_id=txn_id)
+        with self.latch.read():
+            version = self.tree.search_current(key, txn_id=txn_id)
         return None if version is None else version.value
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def transaction(self, txn_id: int) -> Transaction:
-        try:
-            return self._transactions[txn_id]
-        except KeyError as exc:
-            raise TransactionError(f"unknown transaction {txn_id}") from exc
+        with self._registry_lock:
+            try:
+                return self._transactions[txn_id]
+            except KeyError as exc:
+                raise TransactionError(f"unknown transaction {txn_id}") from exc
 
     def active_transactions(self) -> List[Transaction]:
-        return [
-            txn
-            for txn in self._transactions.values()
-            if txn.state is TransactionState.ACTIVE
-        ]
+        with self._registry_lock:
+            return [
+                txn
+                for txn in self._transactions.values()
+                if txn.state is TransactionState.ACTIVE
+            ]
 
     def _active(self, txn_id: int) -> Transaction:
         txn = self.transaction(txn_id)

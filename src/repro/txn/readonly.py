@@ -16,33 +16,53 @@ the versions valid at that timestamp:
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Dict, List, Optional
 
 from repro.core.records import Version
 from repro.core.tsb_tree import TSBTree
+from repro.storage.latches import ReadWriteLatch
 from repro.storage.serialization import Key
 
 
 class ReadOnlyTransaction:
-    """A consistent, lock-free view of the database at a fixed timestamp."""
+    """A consistent, lock-free view of the database at a fixed timestamp.
 
-    def __init__(self, tree: TSBTree, timestamp: int) -> None:
+    "Lock-free" is the paper's logical guarantee: no *record locks*, so no
+    waiting on updaters' write sets.  Under concurrent clients each read
+    still briefly holds the structure latch in shared mode (when the owning
+    manager passed one in) — a physical protection that readers share with
+    each other and that never involves the lock manager.
+    """
+
+    def __init__(
+        self,
+        tree: TSBTree,
+        timestamp: int,
+        latch: Optional[ReadWriteLatch] = None,
+    ) -> None:
         self.tree = tree
         self.timestamp = timestamp
+        self._latch = latch
+
+    def _shared(self):
+        return self._latch.read() if self._latch is not None else nullcontext()
 
     def read(self, key: Key) -> Optional[bytes]:
         """Value of ``key`` as of the transaction's read timestamp."""
-        version = self.tree.search_as_of(key, self.timestamp)
+        version = self.read_version(key)
         return None if version is None else version.value
 
     def read_version(self, key: Key) -> Optional[Version]:
-        return self.tree.search_as_of(key, self.timestamp)
+        with self._shared():
+            return self.tree.search_as_of(key, self.timestamp)
 
     def range_read(
         self, low: Optional[Key] = None, high: Optional[Key] = None
     ) -> List[Version]:
         """Every live record in ``[low, high)`` as of the read timestamp."""
-        return self.tree.range_search(low, high, as_of=self.timestamp)
+        with self._shared():
+            return self.tree.range_search(low, high, as_of=self.timestamp)
 
     def snapshot(self) -> Dict[Key, Version]:
         """The full database state as of the read timestamp.
@@ -51,7 +71,8 @@ class ReadOnlyTransaction:
         it sees only committed versions no newer than the read timestamp and
         never blocks an updater or is blocked by one.
         """
-        return self.tree.snapshot(self.timestamp)
+        with self._shared():
+            return self.tree.snapshot(self.timestamp)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ReadOnlyTransaction(timestamp={self.timestamp})"

@@ -1,5 +1,11 @@
 """Workload generators: stepwise-constant update/insert streams and domain scenarios."""
 
+from repro.workload.concurrent import (
+    AppliedWrite,
+    ConcurrentRunResult,
+    ThreadReport,
+    run_concurrent,
+)
 from repro.workload.distributions import (
     KeyDistribution,
     LatestDistribution,
@@ -26,12 +32,15 @@ from repro.workload.scenarios import (
 )
 
 __all__ = [
+    "AppliedWrite",
+    "ConcurrentRunResult",
     "KeyDistribution",
     "LatestDistribution",
     "Operation",
     "OperationKind",
     "Scenario",
     "ScenarioEvent",
+    "ThreadReport",
     "UniformDistribution",
     "WorkloadSpec",
     "ZipfianDistribution",
@@ -43,5 +52,6 @@ __all__ = [
     "iter_operations",
     "make_distribution",
     "personnel_records",
+    "run_concurrent",
     "sequential_keys",
 ]

@@ -1,0 +1,230 @@
+"""Multi-threaded client driver: N writers and M readers on one store.
+
+The single-threaded workload generator (:mod:`repro.workload.generator`)
+replays a deterministic operation stream; this module drives the *same*
+store from many client threads at once, which is what the thread-safe
+façade exists for.  :func:`run_concurrent`:
+
+* splits a batch of ``(key, value)`` writes round-robin across
+  ``threads`` writer threads (each applies them through ``store.insert``,
+  or through ``store.put_many`` in chunks when ``batch_size > 1`` — the
+  logged, group-commit-riding path on a WAL store);
+* runs ``reader_threads`` readers concurrently, each issuing point
+  lookups, as-of lookups and small range scans until the writers finish;
+* starts everyone on a barrier, joins everyone, and returns a
+  :class:`ConcurrentRunResult` carrying throughput numbers **and** every
+  applied ``(key, timestamp, value)`` triple — exactly what a
+  dict-of-sorted-version-lists oracle needs to verify that the concurrent
+  interleaving produced a consistent history.
+
+Timestamps are assigned by the store (writes race, so pre-assigned stamps
+would be meaningless); the oracle therefore checks the history the store
+*chose*, not a predetermined one.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class AppliedWrite:
+    """One write as the store actually stamped it."""
+
+    thread: int
+    key: object
+    timestamp: int
+    value: bytes
+
+
+@dataclass
+class ThreadReport:
+    """Per-client-thread accounting."""
+
+    thread: int
+    role: str  # "writer" or "reader"
+    operations: int = 0
+    errors: List[str] = field(default_factory=list)
+
+
+@dataclass
+class ConcurrentRunResult:
+    """What a :func:`run_concurrent` call did, with oracle-ready evidence."""
+
+    writer_threads: int
+    reader_threads: int
+    elapsed_s: float
+    writes: int
+    reads: int
+    applied: List[AppliedWrite]
+    per_thread: List[ThreadReport]
+
+    @property
+    def writes_per_s(self) -> float:
+        return self.writes / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def reads_per_s(self) -> float:
+        return self.reads / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def errors(self) -> List[str]:
+        """Every error any client thread hit (empty on a clean run)."""
+        return [error for report in self.per_thread for error in report.errors]
+
+    def history(self) -> dict:
+        """The applied writes as a dict of per-key sorted version lists.
+
+        This is the PR 3 differential-oracle shape: ``{key: [(timestamp,
+        value), ...]}`` sorted by timestamp — compare it against
+        ``store.key_history`` per key to verify the concurrent run.
+        """
+        oracle: dict = {}
+        for write in self.applied:
+            oracle.setdefault(write.key, []).append((write.timestamp, write.value))
+        for versions in oracle.values():
+            versions.sort(key=lambda item: item[0])
+        return oracle
+
+
+def _normalize(items: Sequence) -> List[Tuple[object, bytes]]:
+    pairs: List[Tuple[object, bytes]] = []
+    for item in items:
+        if hasattr(item, "key") and hasattr(item, "value"):
+            pairs.append((item.key, item.value))
+        else:
+            key, value = item
+            pairs.append((key, value))
+    return pairs
+
+
+def run_concurrent(
+    store,
+    items: Sequence,
+    *,
+    threads: int = 4,
+    reader_threads: int = 0,
+    batch_size: int = 1,
+    read_keys: Optional[Sequence] = None,
+    seed: int = 1989,
+) -> ConcurrentRunResult:
+    """Apply ``items`` from ``threads`` writers with ``reader_threads`` readers.
+
+    ``items`` are ``(key, value)`` pairs (or objects with ``key``/``value``
+    attributes, e.g. generated :class:`~repro.workload.generator.Operation`
+    streams — their scripted timestamps are ignored; the store stamps).
+    ``batch_size > 1`` makes writers call ``store.put_many`` on chunks of
+    that size instead of per-item ``insert`` — on a WAL store that is the
+    logged transactional path riding group commit.  Readers pick keys from
+    ``read_keys`` (default: the written keys) and stop when writers finish.
+
+    Client errors are captured per thread, never swallowed silently:
+    inspect ``result.errors`` (tests assert it is empty).
+    """
+    if threads < 1:
+        raise ValueError("at least one writer thread is required")
+    if reader_threads < 0:
+        raise ValueError("reader_threads cannot be negative")
+    pairs = _normalize(items)
+    if not pairs:
+        # Nothing to write means nothing for readers to key on either —
+        # a clean no-op beats reader threads crashing on an empty choice.
+        return ConcurrentRunResult(
+            writer_threads=threads,
+            reader_threads=reader_threads,
+            elapsed_s=0.0,
+            writes=0,
+            reads=0,
+            applied=[],
+            per_thread=[],
+        )
+    slices = [pairs[index::threads] for index in range(threads)]
+    keys_for_readers = list(read_keys) if read_keys else sorted({k for k, _ in pairs})
+
+    reports = [
+        ThreadReport(thread=index, role="writer") for index in range(threads)
+    ] + [
+        ThreadReport(thread=threads + index, role="reader")
+        for index in range(reader_threads)
+    ]
+    applied: List[AppliedWrite] = []
+    applied_lock = threading.Lock()
+    barrier = threading.Barrier(threads + reader_threads + 1)
+    writers_done = threading.Event()
+
+    def writer(index: int) -> None:
+        report = reports[index]
+        mine = slices[index]
+        barrier.wait()
+        try:
+            position = 0
+            while position < len(mine):
+                chunk = mine[position : position + max(1, batch_size)]
+                if batch_size > 1:
+                    stamps = store.put_many(chunk)
+                else:
+                    stamps = [store.insert(key, value) for key, value in chunk]
+                with applied_lock:
+                    for (key, value), stamp in zip(chunk, stamps):
+                        applied.append(
+                            AppliedWrite(
+                                thread=index, key=key, timestamp=stamp, value=value
+                            )
+                        )
+                report.operations += len(chunk)
+                position += len(chunk)
+        except Exception as exc:  # noqa: BLE001 - reported, asserted on by callers
+            report.errors.append(f"{type(exc).__name__}: {exc}")
+
+    def reader(index: int) -> None:
+        report = reports[threads + index]
+        rng = random.Random(seed + index)
+        barrier.wait()
+        try:
+            while not writers_done.is_set():
+                key = rng.choice(keys_for_readers)
+                choice = rng.random()
+                if choice < 0.5:
+                    store.get(key)
+                elif choice < 0.8:
+                    now = store.now
+                    store.get_as_of(key, rng.randint(0, max(1, now)))
+                else:
+                    window = keys_for_readers[: max(1, len(keys_for_readers) // 8)]
+                    low = rng.choice(window)
+                    store.range_search(low, None)[:16]
+                report.operations += 1
+        except Exception as exc:  # noqa: BLE001 - reported, asserted on by callers
+            report.errors.append(f"{type(exc).__name__}: {exc}")
+
+    workers = [
+        threading.Thread(target=writer, args=(index,), name=f"client-writer-{index}")
+        for index in range(threads)
+    ] + [
+        threading.Thread(target=reader, args=(index,), name=f"client-reader-{index}")
+        for index in range(reader_threads)
+    ]
+    for worker in workers:
+        worker.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for worker in workers[:threads]:
+        worker.join()
+    writers_done.set()
+    for worker in workers[threads:]:
+        worker.join()
+    elapsed = time.perf_counter() - started
+
+    return ConcurrentRunResult(
+        writer_threads=threads,
+        reader_threads=reader_threads,
+        elapsed_s=elapsed,
+        writes=sum(r.operations for r in reports if r.role == "writer"),
+        reads=sum(r.operations for r in reports if r.role == "reader"),
+        applied=applied,
+        per_thread=reports,
+    )

@@ -106,6 +106,56 @@ class TestGroupCommit:
             LogManager(LogDevice(), next_lsn=0)
 
 
+class TestBackgroundGroupCommit:
+    def test_strict_durability_still_holds_with_a_background_flusher(self):
+        log = LogManager(LogDevice(), group_commit_size=1, flush_interval=0.0)
+        try:
+            for txn_id in range(1, 4):
+                lsn = log.log_commit(txn_id, txn_id)
+                assert log.is_durable(lsn)  # the committer waited for the force
+        finally:
+            log.close()
+
+    def test_concurrent_committers_are_batched_by_arrival(self):
+        import threading
+
+        log = LogManager(LogDevice(), group_commit_size=64, flush_interval=0.02)
+        try:
+            lsns = []
+            lock = threading.Lock()
+
+            def committer(txn_id):
+                lsn = log.log_commit(txn_id, txn_id)
+                with lock:
+                    lsns.append(lsn)
+
+            threads = [
+                threading.Thread(target=committer, args=(txn_id,))
+                for txn_id in range(1, 9)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=5.0)
+            # Nobody filled the 64-commit batch, yet everything becomes
+            # durable: the flusher forces by arrival, not by batch count.
+            assert all(log.wait_durable(lsn, timeout=5.0) for lsn in lsns)
+            # Eight commits shared far fewer forces than eight.
+            assert 1 <= log.device.forces < 8
+        finally:
+            log.close()
+
+    def test_close_stops_the_flusher_and_forces_the_tail(self):
+        log = LogManager(LogDevice(), group_commit_size=64, flush_interval=5.0)
+        lsn = log.log_commit(1, 1)
+        log.close()  # long batching window: close must not wait for it
+        assert log.is_durable(lsn)
+
+    def test_rejects_negative_interval(self):
+        with pytest.raises(ValueError):
+            LogManager(LogDevice(), flush_interval=-0.1)
+
+
 class TestCheckpoint:
     def test_full_checkpoint_anchors_the_superblock(self):
         tree = TSBTree(page_size=512)

@@ -1,0 +1,121 @@
+"""Unit tests for the reentrant reader-writer latch."""
+
+import threading
+import time
+
+import pytest
+
+from repro.storage.latches import LatchError, ReadWriteLatch
+
+
+class TestReentrancy:
+    def test_nested_reads(self):
+        latch = ReadWriteLatch()
+        with latch.read():
+            with latch.read():
+                assert latch.held_by_current_thread()
+        assert not latch.held_by_current_thread()
+
+    def test_nested_writes(self):
+        latch = ReadWriteLatch()
+        with latch.write():
+            with latch.write():
+                assert latch.held_by_current_thread()
+        assert not latch.held_by_current_thread()
+
+    def test_read_inside_write(self):
+        latch = ReadWriteLatch()
+        with latch.write():
+            with latch.read():
+                pass
+            # Still exclusively held after the nested read releases.
+            assert latch.held_by_current_thread()
+
+    def test_upgrade_is_refused(self):
+        latch = ReadWriteLatch()
+        with latch.read():
+            with pytest.raises(LatchError):
+                latch.acquire_write()
+
+    def test_unbalanced_release_raises(self):
+        latch = ReadWriteLatch()
+        with pytest.raises(LatchError):
+            latch.release_read()
+        with pytest.raises(LatchError):
+            latch.release_write()
+
+
+class TestConcurrency:
+    def test_readers_share(self):
+        latch = ReadWriteLatch()
+        inside = threading.Barrier(4, timeout=5.0)
+
+        def reader():
+            with latch.read():
+                inside.wait()  # all four must be inside simultaneously
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert latch.active_readers == 0
+
+    def test_writer_excludes_readers(self):
+        latch = ReadWriteLatch()
+        order = []
+        writer_in = threading.Event()
+
+        def writer():
+            with latch.write():
+                writer_in.set()
+                time.sleep(0.05)
+                order.append("writer-done")
+
+        def reader():
+            writer_in.wait(5.0)
+            with latch.read():
+                order.append("reader")
+
+        w = threading.Thread(target=writer)
+        r = threading.Thread(target=reader)
+        w.start()
+        assert writer_in.wait(5.0)
+        r.start()
+        w.join(timeout=5.0)
+        r.join(timeout=5.0)
+        assert order == ["writer-done", "reader"]
+
+    def test_waiting_writer_blocks_new_readers(self):
+        latch = ReadWriteLatch()
+        reader_in = threading.Event()
+        release_reader = threading.Event()
+        events = []
+
+        def long_reader():
+            with latch.read():
+                reader_in.set()
+                release_reader.wait(5.0)
+
+        def writer():
+            with latch.write():
+                events.append("writer")
+
+        def late_reader():
+            with latch.read():
+                events.append("late-reader")
+
+        first = threading.Thread(target=long_reader)
+        first.start()
+        assert reader_in.wait(5.0)
+        w = threading.Thread(target=writer)
+        w.start()
+        time.sleep(0.05)  # let the writer register as waiting
+        late = threading.Thread(target=late_reader)
+        late.start()
+        time.sleep(0.05)
+        release_reader.set()
+        for thread in (first, w, late):
+            thread.join(timeout=5.0)
+        # Writer preference: the waiting writer beat the late reader.
+        assert events[0] == "writer"

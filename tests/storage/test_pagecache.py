@@ -1,5 +1,7 @@
 """Unit tests for the LRU buffer pool."""
 
+import threading
+
 import pytest
 
 from repro.storage.device import StorageError
@@ -111,6 +113,103 @@ class TestEviction:
         page = disk.allocate_page()
         with pytest.raises(StorageError):
             cache.unpin(page)
+
+
+class TestPinnedEdgePaths:
+    def test_every_frame_pinned_raises_even_with_room_elsewhere(self):
+        disk, cache = make_disk_and_cache(capacity=2)
+        pages = [disk.allocate_page() for _ in range(3)]
+        for page in pages:
+            disk.write(page, b"seed")
+        cache.pin(pages[0])
+        cache.pin(pages[1])
+        with pytest.raises(CachePinnedError):
+            cache.read(pages[2])
+        # Unpinning one frame makes the fault-in succeed again.
+        cache.unpin(pages[1])
+        assert cache.read(pages[2]) == b"seed"
+
+    def test_dirty_pinned_then_unpinned_frame_is_flushed_on_eviction(self):
+        disk, cache = make_disk_and_cache(capacity=2)
+        pages = [disk.allocate_page() for _ in range(3)]
+        cache.write(pages[0], b"precious")
+        cache.pin(pages[0])
+        cache.write(pages[1], b"other")
+        cache.unpin(pages[0])
+        flushes_before = cache.stats.flushes
+        cache.write(pages[2], b"evictor")  # LRU victim is the unpinned pages[0]
+        assert pages[0].page_id not in cache.resident_pages()
+        assert disk.read(pages[0]) == b"precious"  # dirty victim reached the disk
+        assert cache.stats.flushes == flushes_before + 1
+        assert cache.stats.evictions == 1
+
+    def test_pin_count_nests(self):
+        disk, cache = make_disk_and_cache(capacity=1)
+        page = disk.allocate_page()
+        disk.write(page, b"x")
+        cache.pin(page)
+        cache.pin(page)
+        cache.unpin(page)
+        other = disk.allocate_page()
+        disk.write(other, b"y")
+        with pytest.raises(CachePinnedError):
+            cache.read(other)  # still pinned once
+        cache.unpin(page)
+        assert cache.read(other) == b"y"
+
+
+class TestFlushAccounting:
+    def test_write_back_counts_one_flush_per_dirty_page(self):
+        disk, cache = make_disk_and_cache(capacity=8)
+        pages = [disk.allocate_page() for _ in range(4)]
+        for index, page in enumerate(pages):
+            cache.write(page, f"v{index}".encode())
+        assert cache.stats.flushes == 0  # nothing reached the disk yet
+        disk_writes_before = disk.stats.writes
+        cache.flush()
+        assert cache.stats.flushes == 4
+        assert disk.stats.writes == disk_writes_before + 4
+        cache.flush()  # already clean: no further flushes
+        assert cache.stats.flushes == 4
+
+    def test_write_through_never_accumulates_flushes(self):
+        disk, cache = make_disk_and_cache(capacity=8, write_through=True)
+        pages = [disk.allocate_page() for _ in range(4)]
+        for index, page in enumerate(pages):
+            cache.write(page, f"v{index}".encode())
+            assert disk.read(page) == f"v{index}".encode()  # already durable
+        assert cache.stats.flushes == 0
+        cache.flush()  # no dirty frames exist
+        assert cache.stats.flushes == 0
+        assert cache.resident_pages() == {page.page_id: False for page in pages}
+
+
+class TestConcurrentAccess:
+    def test_threads_hammering_one_cache_keep_it_consistent(self):
+        disk = MagneticDisk(page_size=64)
+        cache = PageCache(disk, capacity=4)
+        pages = [disk.allocate_page() for _ in range(16)]
+        for index, page in enumerate(pages):
+            disk.write(page, f"page-{index}".encode())
+        errors = []
+
+        def hammer(worker):
+            try:
+                for round_index in range(200):
+                    page = pages[(worker * 7 + round_index) % len(pages)]
+                    expected = f"page-{page.page_id}".encode()
+                    data = cache.read(page)
+                    assert data == expected, (data, expected)
+            except Exception as exc:  # noqa: BLE001 - surfaced via the list
+                errors.append(f"{type(exc).__name__}: {exc}")
+
+        threads = [threading.Thread(target=hammer, args=(n,)) for n in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert errors == []
+        assert len(cache.resident_pages()) <= 4
 
 
 class TestInvalidate:

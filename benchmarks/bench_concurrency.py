@@ -158,6 +158,8 @@ def run_client_scaling():
         finally:
             set_device_latency(store, 0.0)
             store.close()
+        write_latency = write_result.latency.get("write", {})
+        mixed_read_latency = mixed.latency.get("read", {})
         rows.append(
             ExperimentRow(
                 f"{threads} thread{'s' if threads > 1 else ''}",
@@ -165,8 +167,12 @@ def run_client_scaling():
                     "threads": threads,
                     "reads_per_s": round(reads_per_s, 1),
                     "writes_per_s": round(write_result.writes_per_s, 1),
+                    "write_p50_ms": round(write_latency.get("p50", 0.0) * 1000, 3),
+                    "write_p99_ms": round(write_latency.get("p99", 0.0) * 1000, 3),
                     "mixed_writes_per_s": round(mixed.writes_per_s, 1),
                     "mixed_reads_per_s": round(mixed.reads_per_s, 1),
+                    "read_p50_ms": round(mixed_read_latency.get("p50", 0.0) * 1000, 3),
+                    "read_p99_ms": round(mixed_read_latency.get("p99", 0.0) * 1000, 3),
                 },
             )
         )

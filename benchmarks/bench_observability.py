@@ -1,0 +1,160 @@
+"""Observability overhead benchmark: what does instrumentation cost?
+
+The obs layer promises (README, ISSUE) that the metrics/tracing hooks are
+cheap enough to leave on: the module switches make every recording helper a
+no-op when disabled, and the enabled hot path is one ``bisect`` plus a few
+integer adds per recorded sample.  This benchmark measures that promise on
+the densest instrumented path — per-item ``insert`` followed by point
+``get`` on a TSB store — in three modes:
+
+* ``disabled``  — metrics off, tracing off (the no-op switch);
+* ``enabled``   — metrics on, tracing off (the default configuration);
+* ``traced``    — metrics on, tracing on (spans recorded into the ring).
+
+Each mode runs the identical deterministic workload on a fresh store and
+keeps the *minimum* wall time over ``repeats`` rounds.  The modes are
+*interleaved* (disabled/enabled/traced per round, after one untimed warm-up)
+rather than measured in blocks, so machine-load drift hits every mode
+equally and the min-over-rounds filters it out.  Enabled overhead above the threshold
+(default 10%) is a failure: the pytest variant asserts on it and the
+standalone entry point exits non-zero, which is what the CI tier-1 step
+runs::
+
+    PYTHONPATH=src python benchmarks/bench_observability.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+try:
+    from .harness import emit_results
+except ImportError:  # standalone: python benchmarks/bench_observability.py
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from harness import emit_results
+
+from repro.api import StoreConfig, VersionStore
+from repro.obs import trace
+from repro.obs.registry import set_enabled as set_metrics_enabled
+
+OPS = 6_000
+QUICK_OPS = 1_500
+REPEATS = 5
+QUICK_REPEATS = 3
+THRESHOLD = 0.10
+PAGE_SIZE = 1024
+VALUE = b"x" * 48
+
+
+def run_workload(ops: int) -> float:
+    """Insert ``ops`` distinct keys then read each back; return elapsed s."""
+    store = VersionStore.open(
+        StoreConfig(engine="tsb", page_size=PAGE_SIZE, cache_pages=256)
+    )
+    try:
+        started = time.perf_counter()
+        for key in range(ops):
+            store.insert(key, VALUE)
+        for key in range(ops):
+            store.get(key)
+        return time.perf_counter() - started
+    finally:
+        store.close()
+
+
+MODES = ("disabled", "enabled", "traced")
+
+
+def measure(mode: str, ops: int) -> float:
+    """One workload round in the given mode (switches restored afterwards)."""
+    metrics_on = mode != "disabled"
+    trace_on = mode == "traced"
+    previous_metrics = set_metrics_enabled(metrics_on)
+    previous_trace = trace.set_enabled(trace_on)
+    try:
+        return run_workload(ops)
+    finally:
+        set_metrics_enabled(previous_metrics)
+        trace.set_enabled(previous_trace)
+
+
+def run_modes(ops: int, repeats: int) -> dict:
+    measure("disabled", ops)  # untimed warm-up (allocator, caches, imports)
+    timings = {mode: float("inf") for mode in MODES}
+    for _ in range(repeats):
+        for mode in MODES:
+            timings[mode] = min(timings[mode], measure(mode, ops))
+    return {
+        "ops": ops,
+        "repeats": repeats,
+        "timings": timings,
+        "enabled_overhead": timings["enabled"] / timings["disabled"] - 1.0,
+        "traced_overhead": timings["traced"] / timings["disabled"] - 1.0,
+    }
+
+
+def report(result: dict, threshold: float) -> bool:
+    """Print the comparison, emit BENCH JSON; True when within threshold."""
+    rows = [
+        {
+            "label": mode,
+            "seconds": round(result["timings"][mode], 4),
+            "ops_per_s": round(2 * result["ops"] / result["timings"][mode], 1),
+        }
+        for mode in ("disabled", "enabled", "traced")
+    ]
+    emit_results(
+        "observability",
+        rows,
+        study="instrumentation overhead (insert+get)",
+        extra={
+            "ops": result["ops"],
+            "repeats": result["repeats"],
+            "enabled_overhead": round(result["enabled_overhead"], 4),
+            "traced_overhead": round(result["traced_overhead"], 4),
+            "threshold": threshold,
+        },
+    )
+    for row in rows:
+        print(f"{row['label']:>9}: {row['seconds']:.4f}s  ({row['ops_per_s']:.0f} ops/s)")
+    print(
+        f"enabled overhead: {result['enabled_overhead']:+.2%}  "
+        f"traced overhead: {result['traced_overhead']:+.2%}  "
+        f"(threshold {threshold:.0%})"
+    )
+    return result["enabled_overhead"] <= threshold
+
+
+def test_observability_overhead(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_modes(QUICK_OPS, QUICK_REPEATS), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(result)
+    assert report(result, THRESHOLD), (
+        f"metrics-enabled overhead {result['enabled_overhead']:.2%} "
+        f"exceeds {THRESHOLD:.0%}"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small CI-sized run")
+    parser.add_argument("--ops", type=int, default=None, help="keys per round")
+    parser.add_argument("--repeats", type=int, default=None, help="rounds per mode")
+    parser.add_argument(
+        "--threshold", type=float, default=THRESHOLD,
+        help="maximum acceptable metrics-enabled overhead (fraction)",
+    )
+    args = parser.parse_args(argv)
+    ops = args.ops or (QUICK_OPS if args.quick else OPS)
+    repeats = args.repeats or (QUICK_REPEATS if args.quick else REPEATS)
+    result = run_modes(ops, repeats)
+    return 0 if report(result, args.threshold) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.report import render_comparison
 from repro.analysis.experiment import StudyResult
+from repro.obs.registry import session_histograms
 
 #: Per-process accumulator: benchmark name -> payload written so far.
 _COLLECTED: Dict[str, dict] = {}
@@ -62,6 +63,12 @@ def emit_results(
     )
     if extra:
         payload["extra"].update(extra)
+    # Embed whatever latency distributions the run's stores accumulated so
+    # far (op timers, WAL fsyncs, latch waits, client-side latencies, ...).
+    # Refreshed on every rewrite, so the final file carries the full session.
+    latency = session_histograms()
+    if latency:
+        payload["latency_histograms"] = latency
     path = results_path(name, directory)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(

@@ -28,6 +28,11 @@ class QueryCost:
     mounts: int = 0
     bytes_read: int = 0
     estimated_ms: float = 0.0
+    #: Actual simulated device service time (from ``IOStats.service_time_s``),
+    #: as opposed to ``estimated_ms`` which prices the op counts after the
+    #: fact through a CostModel.  Zero unless the devices were built with a
+    #: positive ``access_latency_s``.
+    device_time_ms: float = 0.0
 
     @property
     def total_reads(self) -> int:
@@ -40,6 +45,7 @@ class QueryCost:
             "mounts": self.mounts,
             "bytes_read": self.bytes_read,
             "estimated_ms": round(self.estimated_ms, 3),
+            "device_time_ms": round(self.device_time_ms, 3),
         }
 
 
@@ -56,6 +62,10 @@ def query_cost_from_deltas(
         mounts=historical_delta.mounts,
         bytes_read=magnetic_delta.bytes_read + historical_delta.bytes_read,
         estimated_ms=cost_model.io_time_ms(magnetic_delta, historical_delta),
+        device_time_ms=(
+            magnetic_delta.service_time_s + historical_delta.service_time_s
+        )
+        * 1000.0,
     )
 
 

@@ -55,6 +55,7 @@ import threading
 from bisect import bisect_left, bisect_right
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
+from time import perf_counter
 from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 _T = TypeVar("_T")
@@ -72,6 +73,9 @@ from repro.api.store import (
     distinct_key_run_end,
 )
 from repro.core.tsb_tree import TSBTree, TreeCounters
+from repro.obs import trace
+from repro.obs.registry import COUNT_BUCKETS, MetricsRegistry
+from repro.obs.registry import enabled as metrics_enabled
 from repro.storage.iostats import IOStats
 from repro.storage.serialization import Key
 
@@ -146,6 +150,10 @@ class ShardedEngine(VersionedEngine):
         self._shard_keys: List[set] = [set() for _ in stores]
         self._dirty: set = set()
         self.splits_performed = 0
+        #: The façade-level registry (set by ShardedVersionStore): fan-out
+        #: widths and merge times land here; per-shard task latencies land
+        #: in each inner store's own registry.
+        self.metrics: Optional[MetricsRegistry] = None
         self._executor: Optional[ThreadPoolExecutor] = None
         self.configure_scatter(spec.scatter_threads)
 
@@ -172,17 +180,66 @@ class ShardedEngine(VersionedEngine):
     def scatter_threads(self) -> int:
         return self._scatter_threads
 
-    def _gather(self, tasks: Sequence[Callable[[], _T]]) -> List[_T]:
+    def _gather(
+        self,
+        tasks: Sequence[Callable[[], _T]],
+        label: Optional[str] = None,
+        indices: Optional[Sequence[int]] = None,
+    ) -> List[_T]:
         """Run the per-shard tasks, preserving task order in the results.
 
         Sequential without an executor (or for a single task); otherwise the
         tasks run concurrently and the gather waits for all of them.  Order
         preservation is what keeps concatenated range results key-sorted.
+
+        With a ``label``, each task is wrapped to time itself into its
+        shard's ``shard.<label>`` histogram and to open a ``shard.<label>``
+        span parented under the submitting thread's current span — so a
+        parallel fan-out still reads as one tree in a trace.  ``indices``
+        names the shard each task targets (defaults to task position).
         """
+        if label is not None:
+            parent = trace.current_id()
+            shard_indices = (
+                list(indices) if indices is not None else list(range(len(tasks)))
+            )
+            tasks = [
+                self._scatter_task(task, parent, label, index)
+                for task, index in zip(tasks, shard_indices)
+            ]
         if self._executor is None or len(tasks) <= 1:
             return [task() for task in tasks]
+        if label is not None and self.metrics is not None and metrics_enabled():
+            self.metrics.observe("scatter.fanout", len(tasks), bounds=COUNT_BUCKETS)
         futures = [self._executor.submit(task) for task in tasks]
         return [future.result() for future in futures]
+
+    def _scatter_task(
+        self,
+        task: Callable[[], _T],
+        parent: Optional[int],
+        label: str,
+        index: int,
+    ) -> Callable[[], _T]:
+        """Wrap one fan-out task with its shard's latency metric and span."""
+
+        def run() -> _T:
+            with trace.attach(parent), trace.span(f"shard.{label}", shard=index):
+                started = perf_counter()
+                try:
+                    return task()
+                finally:
+                    if index < len(self.stores) and metrics_enabled():
+                        self.stores[index].metrics.observe(
+                            f"shard.{label}", perf_counter() - started
+                        )
+
+        return run
+
+    def _record_merge(self, merge_started: float) -> None:
+        """Time a gather's merge phase into the façade registry."""
+        if self.metrics is not None and metrics_enabled():
+            self.metrics.observe("scatter.merge", perf_counter() - merge_started)
 
     def shutdown(self) -> None:
         """Stop the fan-out pool (store close)."""
@@ -190,7 +247,7 @@ class ShardedEngine(VersionedEngine):
             self._executor.shutdown(wait=True)
             self._executor = None
 
-    def _apply_shard_groups(self, shard_order, apply_shard, error_of):
+    def _apply_shard_groups(self, shard_order, apply_shard, error_of, label=None):
         """Run per-shard apply tasks with mode-appropriate failure semantics.
 
         Sequential mode is fail-stop, like applying the batch by hand: the
@@ -202,15 +259,21 @@ class ShardedEngine(VersionedEngine):
         raising) so the caller's bookkeeping always covers committed work.
         """
         if self._executor is None or len(shard_order) <= 1:
+            parent = trace.current_id()
             results = []
             for index in shard_order:
-                outcome = apply_shard(index)
+                task: Callable[[], object] = lambda index=index: apply_shard(index)
+                if label is not None:
+                    task = self._scatter_task(task, parent, label, index)
+                outcome = task()
                 results.append(outcome)
                 if error_of(outcome) is not None:
                     break
             return results
         return self._gather(
-            [lambda index=index: apply_shard(index) for index in shard_order]
+            [lambda index=index: apply_shard(index) for index in shard_order],
+            label=label,
+            indices=shard_order,
         )
 
     @property
@@ -342,7 +405,10 @@ class ShardedEngine(VersionedEngine):
                 return stamped_runs, all_durable, None
 
             results = self._apply_shard_groups(
-                shard_order, apply_wal_shard, error_of=lambda outcome: outcome[2]
+                shard_order,
+                apply_wal_shard,
+                error_of=lambda outcome: outcome[2],
+                label="put_many",
             )
             first_error: Optional[Exception] = None
             for index, (stamped_runs, all_durable, error) in zip(shard_order, results):
@@ -389,7 +455,10 @@ class ShardedEngine(VersionedEngine):
                 return applied, None
 
             results = self._apply_shard_groups(
-                shard_order, apply_plain_shard, error_of=lambda outcome: outcome[1]
+                shard_order,
+                apply_plain_shard,
+                error_of=lambda outcome: outcome[1],
+                label="put_many",
             )
             first_error = None
             for index, (applied, error) in zip(shard_order, results):
@@ -439,11 +508,15 @@ class ShardedEngine(VersionedEngine):
                     low, high, as_of=as_of
                 )
                 for index in range(first, last + 1)
-            ]
+            ],
+            label="range_search",
+            indices=range(first, last + 1),
         )
+        merge_started = perf_counter()
         results: List[RecordView] = []
         for rows in per_shard:
             results.extend(rows)
+        self._record_merge(merge_started)
         return results
 
     def snapshot(self, timestamp: int) -> Dict[Key, RecordView]:
@@ -451,11 +524,14 @@ class ShardedEngine(VersionedEngine):
             [
                 lambda store=store: store.engine.snapshot(timestamp)
                 for store in self.stores
-            ]
+            ],
+            label="snapshot",
         )
+        merge_started = perf_counter()
         merged: Dict[Key, RecordView] = {}
         for piece in per_shard:
             merged.update(piece)
+        self._record_merge(merge_started)
         return merged
 
     def time_slice(
@@ -487,12 +563,15 @@ class ShardedEngine(VersionedEngine):
             return rows
 
         per_shard = self._gather(
-            [lambda index=index: slice_shard(index) for index in range(len(self.stores))]
+            [lambda index=index: slice_shard(index) for index in range(len(self.stores))],
+            label="time_slice",
         )
+        merge_started = perf_counter()
         merged: Dict[Key, List[RecordView]] = {}
         for rows in per_shard:
             for key, records in rows:
                 merged[key] = records
+        self._record_merge(merge_started)
         return merged
 
     def key_history(self, key: Key) -> List[RecordView]:
@@ -688,6 +767,7 @@ class ShardedVersionStore(VersionStore):
 
     def __init__(self, engine: ShardedEngine, config: StoreConfig) -> None:
         super().__init__(engine, config)
+        engine.metrics = self.metrics  # fan-out/merge metrics land on the façade
         self._maintenance_stop = threading.Event()
         self._maintenance_thread: Optional[threading.Thread] = None
         #: Once maintenance is opted into, split checks never return to the
@@ -738,7 +818,9 @@ class ShardedVersionStore(VersionStore):
         high: Optional[Key] = None,
     ) -> Dict[Key, List[RecordView]]:
         """Scatter-gather cross-key time slice (see :meth:`ShardedEngine.time_slice`)."""
-        with self._latch.read():
+        with self.metrics.timer("op.time_slice"), trace.span(
+            "store.time_slice"
+        ), self._latch.read():
             self._ensure_open()
             return self.sharded_engine.time_slice(start, end, low=low, high=high)
 
@@ -768,6 +850,89 @@ class ShardedVersionStore(VersionStore):
             )
         return rows
 
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """Aggregated observability across the façade and every shard.
+
+        ``metrics`` merges the façade registry (op timers, scatter fan-out
+        and merge times, latch contention) with every shard's registry;
+        ``per_shard`` keeps each shard's own op/scatter latency percentiles
+        so skew between shards stays visible; ``locks`` lists each
+        transactional shard's lock-manager state.
+        """
+        with self._latch.read():
+            self._ensure_open()
+            engine = self.sharded_engine
+            stores = engine.stores
+            aggregate = MetricsRegistry.aggregate(
+                [self.metrics] + [store.metrics for store in stores],
+                name=self._engine.name,
+            )
+            snapshot: Dict[str, object] = {
+                "engine": self._engine.name,
+                "shards": len(stores),
+                "metrics": aggregate.snapshot(),
+                "io": {
+                    tier: stats.as_dict()
+                    for tier, stats in engine.io_summary().items()
+                },
+            }
+            hits = misses = evictions = flushes = 0
+            cached = False
+            for store in stores:
+                cache = store._page_cache()
+                if cache is None:
+                    continue
+                cached = True
+                stats = cache.stats
+                hits += stats.hits
+                misses += stats.misses
+                evictions += stats.evictions
+                flushes += stats.flushes
+            if cached:
+                accesses = hits + misses
+                snapshot["cache"] = {
+                    "hits": hits,
+                    "misses": misses,
+                    "evictions": evictions,
+                    "flushes": flushes,
+                    "accesses": accesses,
+                    "hit_ratio": round(hits / accesses, 4) if accesses else 1.0,
+                }
+            locks = [
+                {"shard": index, **store.txns.locks.debug_state()}
+                for index, store in enumerate(stores)
+                if store.txns is not None
+            ]
+            if locks:
+                snapshot["locks"] = locks
+            per_shard: List[Dict[str, object]] = []
+            for index, store in enumerate(stores):
+                low, high = engine.shard_range(index)
+                low_text = "-inf" if low is None else repr(low)
+                high_text = "+inf" if high is None else repr(high)
+                ops: Dict[str, Dict[str, float]] = {}
+                for name, histogram in sorted(store.metrics.histograms().items()):
+                    if not name.startswith(("op.", "shard.")):
+                        continue
+                    hist = histogram.snapshot()
+                    if hist["count"]:
+                        ops[name] = {
+                            "count": hist["count"],
+                            "p50": hist["p50"],
+                            "p95": hist["p95"],
+                            "p99": hist["p99"],
+                        }
+                per_shard.append(
+                    {
+                        "shard": index,
+                        "range": f"[{low_text}, {high_text})",
+                        "now": store.now,
+                        "ops": ops,
+                    }
+                )
+            snapshot["per_shard"] = per_shard
+            return snapshot
+
     # ------------------------------------------------------------------
     # Writes (split check after every write, unless maintenance owns it)
     # ------------------------------------------------------------------
@@ -794,7 +959,9 @@ class ShardedVersionStore(VersionStore):
 
     def put_many_detailed(self, items: Sequence[Tuple[Key, bytes]]) -> PutManyReport:
         """Like :meth:`put_many` but returns the per-shard batch report."""
-        with self._latch.write():
+        with self.metrics.timer("op.put_many"), trace.span(
+            "store.put_many", items=len(items)
+        ), self._latch.write():
             self._ensure_open()
             report = self.sharded_engine.put_many(items)
             if self._inline_splits:
@@ -868,6 +1035,7 @@ class ShardedVersionStore(VersionStore):
         with self._latch.write():
             for store in self.sharded_engine.stores:
                 store.close()
+            self.metrics.retire()
             self._closed = True
         self.sharded_engine.shutdown()
 

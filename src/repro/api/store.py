@@ -53,6 +53,8 @@ from repro.core.policy import (
     WOBTEmulationPolicy,
 )
 from repro.core.tsb_tree import _SUPERBLOCK_MAGIC, TSBTree
+from repro.obs import trace
+from repro.obs.registry import MetricsRegistry
 from repro.storage.device import Address, StorageError
 from repro.storage.iostats import IOStats
 from repro.storage.latches import ReadWriteLatch
@@ -408,6 +410,7 @@ class VersionStore:
         log_manager: Optional[object] = None,
         log_device: Optional[LogDevice] = None,
         latch: Optional[ReadWriteLatch] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self._engine = engine
         self._config = config
@@ -415,12 +418,16 @@ class VersionStore:
         self._log = log_manager
         self._log_device = log_device
         self._closed = False
+        #: Per-store metrics registry: every façade operation times itself
+        #: into an ``op.<name>`` histogram here, and the latch / lock / WAL
+        #: layers below record their contention into the same registry.
+        self.metrics = metrics or MetricsRegistry(name=engine.name)
         #: The store's reader-writer latch: every query holds it shared,
         #: every write exclusive, so any number of client threads can read
         #: concurrently while writers are serialized.  The TSB transaction
         #: manager shares this very latch, so transactional writes and
         #: façade reads coordinate too.
-        self._latch = latch or ReadWriteLatch()
+        self._latch = latch or ReadWriteLatch(metrics=self.metrics)
 
     # ------------------------------------------------------------------
     # Construction
@@ -519,6 +526,7 @@ class VersionStore:
                 historical=historical,
                 cache_pages=config.cache_pages,
             )
+        metrics = MetricsRegistry(name="tsb")
         log_manager = None
         log_device = None
         if config.wal:
@@ -533,9 +541,10 @@ class VersionStore:
                     if config.group_commit_interval > 0
                     else None
                 ),
+                metrics=metrics,
             )
-        latch = ReadWriteLatch()
-        txns = TransactionManager(tree, log=log_manager, latch=latch)
+        latch = ReadWriteLatch(metrics=metrics)
+        txns = TransactionManager(tree, log=log_manager, latch=latch, metrics=metrics)
         if log_manager is not None:
             log_manager.checkpoint(tree, txns)
         return cls(
@@ -545,6 +554,7 @@ class VersionStore:
             log_manager=log_manager,
             log_device=log_device,
             latch=latch,
+            metrics=metrics,
         )
 
     @staticmethod
@@ -624,13 +634,13 @@ class VersionStore:
         # increasing path pays nothing.  (The open check sits inside the
         # latch hold, here and on every latched surface: a thread that
         # blocked on the latch while close() ran must observe _closed.)
-        with self._latch.write():
+        with self.metrics.timer("op.insert"), self._latch.write():
             self._ensure_open()
             self._reject_timestamp_conflict(key, timestamp)
             return self._engine.insert(key, value, timestamp=timestamp)
 
     def delete(self, key: Key, timestamp: Optional[int] = None) -> int:
-        with self._latch.write():
+        with self.metrics.timer("op.delete"), self._latch.write():
             self._ensure_open()
             self._reject_timestamp_conflict(key, timestamp)
             return self._engine.delete(key, timestamp=timestamp)
@@ -655,9 +665,12 @@ class VersionStore:
         # batch in the write latch would invert that order — a concurrent
         # begin() transaction holding a record lock would deadlock against
         # the batch until the lock timeout.
-        if self._config.wal and self._txns is not None:
-            return self._put_many_transactional(self._txns, items)
-        return [self.insert(key, value) for key, value in items]
+        with self.metrics.timer("op.put_many"), trace.span(
+            "store.put_many", items=len(items)
+        ):
+            if self._config.wal and self._txns is not None:
+                return self._put_many_transactional(self._txns, items)
+            return [self.insert(key, value) for key, value in items]
 
     @staticmethod
     def _put_many_transactional(txns: TransactionManager, items) -> List[int]:
@@ -694,12 +707,12 @@ class VersionStore:
     # Reads
     # ------------------------------------------------------------------
     def get(self, key: Key) -> Optional[RecordView]:
-        with self._latch.read():
+        with self.metrics.timer("op.get"), self._latch.read():
             self._ensure_open()
             return self._engine.get(key)
 
     def get_as_of(self, key: Key, timestamp: int) -> Optional[RecordView]:
-        with self._latch.read():
+        with self.metrics.timer("op.get_as_of"), self._latch.read():
             self._ensure_open()
             return self._engine.get_as_of(key, timestamp)
 
@@ -709,22 +722,26 @@ class VersionStore:
         high: Optional[Key] = None,
         as_of: Optional[int] = None,
     ) -> List[RecordView]:
-        with self._latch.read():
+        with self.metrics.timer("op.range_search"), trace.span(
+            "store.range_search"
+        ), self._latch.read():
             self._ensure_open()
             return self._engine.range_search(low, high, as_of=as_of)
 
     def snapshot(self, timestamp: int) -> Dict[Key, RecordView]:
-        with self._latch.read():
+        with self.metrics.timer("op.snapshot"), trace.span(
+            "store.snapshot"
+        ), self._latch.read():
             self._ensure_open()
             return self._engine.snapshot(timestamp)
 
     def key_history(self, key: Key) -> List[RecordView]:
-        with self._latch.read():
+        with self.metrics.timer("op.key_history"), self._latch.read():
             self._ensure_open()
             return self._engine.key_history(key)
 
     def history_between(self, key: Key, start: int, end: int) -> List[RecordView]:
-        with self._latch.read():
+        with self.metrics.timer("op.history_between"), self._latch.read():
             self._ensure_open()
             return self._engine.history_between(key, start, end)
 
@@ -771,17 +788,75 @@ class VersionStore:
             self._ensure_open()
             return self._engine.io_summary()
 
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """One nested, JSON-serialisable dict of everything observable.
+
+        ``metrics`` is the registry snapshot (op latency histograms with
+        percentiles, latch/lock/txn/WAL counters); ``io`` the per-tier device
+        counters including simulated service time; ``cache`` the buffer-pool
+        hit statistics (engines with a page cache); ``locks`` the lock
+        manager's holders and wait-for graph (transactional stores); ``wal``
+        the log manager's LSN watermarks (WAL stores).
+        """
+        with self._latch.read():
+            self._ensure_open()
+            return self._metrics_snapshot_locked()
+
+    def _page_cache(self):
+        """The engine's page cache, however deep it hides (None without one)."""
+        try:
+            backend = self.backend
+        except (VersionStoreError, AttributeError):
+            return None
+        cache = getattr(backend, "cache", None)
+        if cache is None:
+            cache = getattr(getattr(backend, "tree", None), "cache", None)
+        return cache
+
+    def _metrics_snapshot_locked(self) -> Dict[str, object]:
+        snapshot: Dict[str, object] = {
+            "engine": self._engine.name,
+            "metrics": self.metrics.snapshot(),
+            "io": {
+                tier: stats.as_dict()
+                for tier, stats in self._engine.io_summary().items()
+            },
+        }
+        cache = self._page_cache()
+        if cache is not None:
+            stats = cache.stats
+            snapshot["cache"] = {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "evictions": stats.evictions,
+                "flushes": stats.flushes,
+                "accesses": stats.accesses,
+                "hit_ratio": round(stats.hit_ratio, 4),
+            }
+        if self._txns is not None:
+            snapshot["locks"] = self._txns.locks.debug_state()
+        if self._log is not None:
+            snapshot["wal"] = {
+                "last_lsn": self._log.last_lsn,
+                "flushed_lsn": self._log.flushed_lsn,
+                "pending_commits": self._log.pending_commits,
+                "group_commit_size": self._log.group_commit_size,
+            }
+        return snapshot
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def flush(self) -> None:
-        with self._latch.write():
+        with self.metrics.timer("op.flush"), self._latch.write():
             self._ensure_open()
             self._engine.flush()
 
     def checkpoint(self) -> None:
         """Checkpoint through the WAL when attached, else the bare engine."""
-        with self._latch.write():
+        with self.metrics.timer("op.checkpoint"), trace.span(
+            "store.checkpoint"
+        ), self._latch.write():
             self._ensure_open()
             if self._log is not None and self._txns is not None:
                 self._log.checkpoint(self.backend, self._txns)
@@ -804,6 +879,7 @@ class VersionStore:
                 self._engine.flush()
         if self._log is not None and hasattr(self._log, "close"):
             self._log.close()  # stop the background flusher after a final force
+        self.metrics.retire()  # fold this store's histograms into the session
         self._closed = True
 
     def __enter__(self) -> "VersionStore":

@@ -26,12 +26,26 @@ The CLI exposes the experiment harness without writing any Python:
     A randomized crash-recovery trial: run a deterministic transactional
     script, crash at a chosen (or every) step, recover, and verify the
     recovered tree against the durable-prefix oracle.
+
+``python -m repro stats [--watch SECONDS] [--format table|json|prometheus]``
+    Drive a mixed concurrent workload (plus a deliberate lock conflict) on
+    a sharded WAL store and print its full observability snapshot: op
+    latency percentiles, latch/lock wait counters, cache hit ratio, the
+    group-commit batch-size distribution and per-shard query latencies.
+
+``python -m repro trace [time_slice|range|snapshot|put_many|get]``
+    Record the named operation under span tracing and export a Chrome
+    ``trace_event`` JSON file (open in ``chrome://tracing`` or Perfetto) —
+    a scatter-gather query shows one span per shard under one parent.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import threading
+import time
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.experiment import (
@@ -54,6 +68,9 @@ from repro.api import (
     StoreConfig,
     VersionStore,
 )
+from repro.obs import trace
+from repro.obs.registry import MetricsRegistry
+from repro.obs.prometheus import render_prometheus
 from repro.recovery import RecoverableSystem, ScriptRunner, generate_script
 from repro.workload import WorkloadSpec, run_concurrent
 
@@ -328,6 +345,216 @@ def command_recover(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Histograms whose samples are cardinalities (batch sizes, fan-out widths),
+#: not seconds — the stats table prints them raw instead of in milliseconds.
+_COUNT_HISTOGRAMS = {"wal.batch_size", "scatter.fanout"}
+
+
+def _open_observed_store(engine: str, ops: int, shards: int, threads: int):
+    """A store configured the way the stats/trace commands exercise it."""
+    config = StoreConfig(
+        engine=engine,
+        page_size=1024,
+        wal=(engine == "tsb"),
+        group_commit_size=4 if engine == "tsb" else 1,
+        shards=_shard_spec(shards, operations=ops, threads=threads),
+    )
+    return VersionStore.open(config)
+
+
+def _run_observed_workload(store, ops: int, threads: int) -> None:
+    """A mixed read/write workload plus scatter queries, metrics recording."""
+    key_space = max(16, ops // 2)
+    pairs = [
+        (index % key_space, f"value-{index:06d}".encode()) for index in range(ops)
+    ]
+    result = run_concurrent(
+        store,
+        pairs,
+        threads=max(1, threads),
+        reader_threads=max(1, threads),
+        batch_size=8,
+        metrics=store.metrics,
+    )
+    if result.errors:
+        raise RuntimeError(f"workload clients failed: {result.errors[:3]}")
+    final = store.now
+    store.range_search()
+    store.snapshot(max(1, final // 2))
+    if isinstance(store, ShardedVersionStore):
+        store.time_slice(max(1, final // 2), final, 0, key_space // 2)
+
+
+def _provoke_lock_conflict(store) -> None:
+    """Make one transaction demonstrably wait on another (tsb WAL stores).
+
+    ``t2`` blocks on ``t1``'s write lock in a background thread while the
+    main thread holds the lock briefly and then commits — after this the
+    snapshot's ``lock.waits`` counter and ``lock.wait`` histogram are
+    provably non-zero.
+    """
+    target = store.shard_stores[0] if isinstance(store, ShardedVersionStore) else store
+    if target.txns is None:
+        return
+    t1 = target.begin()
+    t1.write(0, b"held")
+
+    def contender() -> None:
+        with target.begin() as t2:
+            t2.write(0, b"waited")
+
+    blocker = threading.Thread(target=contender, name="stats-lock-contender")
+    blocker.start()
+    time.sleep(0.05)  # let the contender reach the lock wait
+    t1.commit()
+    blocker.join()
+
+
+def _print_stats_table(snapshot: Dict[str, object]) -> None:
+    shards = f"  shards: {snapshot['shards']}" if "shards" in snapshot else ""
+    print(f"engine: {snapshot['engine']}{shards}")
+
+    metrics = snapshot["metrics"]
+    counters = metrics["counters"]
+    if counters:
+        print("\ncounters:")
+        for name in sorted(counters):
+            print(f"  {name:<28} {counters[name]}")
+
+    histograms = {
+        name: data
+        for name, data in metrics["histograms"].items()
+        if data["count"]
+    }
+    latencies = {
+        name: data
+        for name, data in histograms.items()
+        if name not in _COUNT_HISTOGRAMS
+    }
+    if latencies:
+        print("\nlatencies (ms):")
+        print(f"  {'histogram':<28} {'count':>7} {'p50':>9} {'p95':>9} {'p99':>9} {'max':>9}")
+        for name in sorted(latencies):
+            data = latencies[name]
+            print(
+                f"  {name:<28} {data['count']:>7}"
+                + "".join(
+                    f" {data[column] * 1000.0:>9.3f}"
+                    for column in ("p50", "p95", "p99", "max")
+                )
+            )
+    for name in sorted(set(histograms) & _COUNT_HISTOGRAMS):
+        data = histograms[name]
+        buckets = ", ".join(f"<={edge}: {count}" for edge, count in data["buckets"])
+        print(f"\n{name}: count={data['count']} avg={data['avg']:.2f} [{buckets}]")
+
+    cache = snapshot.get("cache")
+    if cache:
+        print(
+            f"\ncache: hit_ratio={cache['hit_ratio']:.2%} "
+            f"(hits={cache['hits']} misses={cache['misses']} "
+            f"evictions={cache['evictions']})"
+        )
+    wal = snapshot.get("wal")
+    if wal:
+        print(
+            f"wal: last_lsn={wal['last_lsn']} flushed_lsn={wal['flushed_lsn']} "
+            f"group_commit_size={wal['group_commit_size']}"
+        )
+    locks = snapshot.get("locks")
+    if isinstance(locks, list):
+        held = sum(entry["locked_keys"] for entry in locks)
+        waiting = sum(entry["waiting"] for entry in locks)
+        print(f"locks: {held} held, {waiting} waiting (across {len(locks)} shards)")
+    elif isinstance(locks, dict):
+        print(f"locks: {locks['locked_keys']} held, {locks['waiting']} waiting")
+
+    per_shard = snapshot.get("per_shard")
+    if per_shard:
+        print("\nper-shard op latency p99 (ms):")
+        for row in per_shard:
+            ops = ", ".join(
+                f"{name.split('.', 1)[1]}={data['p99'] * 1000.0:.3f}"
+                for name, data in sorted(row["ops"].items())
+            )
+            print(f"  shard {row['shard']} {row['range']:<24} {ops}")
+
+    io = snapshot.get("io")
+    if io:
+        print("\nio:")
+        for tier in sorted(io):
+            stats = io[tier]
+            print(
+                f"  {tier:<12} reads={stats['reads']} writes={stats['writes']} "
+                f"service_time_s={stats['service_time_s']}"
+            )
+
+
+def _render_stats(store, fmt: str) -> None:
+    if fmt == "prometheus":
+        if isinstance(store, ShardedVersionStore):
+            registry = MetricsRegistry.aggregate(
+                [store.metrics] + [inner.metrics for inner in store.shard_stores],
+                name=store.engine.name,
+            )
+        else:
+            registry = store.metrics
+        print(render_prometheus(registry), end="")
+    elif fmt == "json":
+        print(json.dumps(store.metrics_snapshot(), indent=2, sort_keys=True, default=str))
+    else:
+        _print_stats_table(store.metrics_snapshot())
+
+
+def command_stats(args: argparse.Namespace) -> int:
+    with _open_observed_store(args.engine, args.ops, args.shards, args.threads) as store:
+        try:
+            while True:
+                _run_observed_workload(store, args.ops, args.threads)
+                _provoke_lock_conflict(store)
+                _render_stats(store, args.format)
+                if args.watch is None:
+                    break
+                time.sleep(args.watch)
+                print()
+        except KeyboardInterrupt:  # pragma: no cover - interactive --watch exit
+            pass
+    return 0
+
+
+def command_trace(args: argparse.Namespace) -> int:
+    if args.op == "time_slice" and args.shards <= 1:
+        print("trace: time_slice is a sharded-store query; use --shards >= 2")
+        return 2
+    previous = trace.set_enabled(True)
+    try:
+        with _open_observed_store(args.engine, args.ops, args.shards, args.threads) as store:
+            key_space = max(16, args.ops // 2)
+            store.put_many(
+                [(index % key_space, f"seed-{index:06d}".encode()) for index in range(args.ops)]
+            )
+            final = store.now
+            trace.clear()  # the exported file shows only the traced op
+            with trace.span(f"cli.{args.op}"):
+                if args.op == "time_slice":
+                    store.time_slice(max(1, final // 2), final, 0, key_space // 2)
+                elif args.op == "range":
+                    store.range_search()
+                elif args.op == "snapshot":
+                    store.snapshot(max(1, final // 2))
+                elif args.op == "put_many":
+                    store.put_many([(key, b"traced") for key in range(32)])
+                else:
+                    for key in range(32):
+                        store.get(key % key_space)
+            recorded = len(trace.spans())
+            path = trace.export(args.out or f"trace_{args.op}.json")
+    finally:
+        trace.set_enabled(previous)
+    print(f"{recorded} spans -> {path} (open in chrome://tracing or Perfetto)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -424,6 +651,77 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true", help="print a line per crash point"
     )
     recover.set_defaults(handler=command_recover)
+
+    stats = subparsers.add_parser(
+        "stats", help="run a mixed workload and print the observability snapshot"
+    )
+    stats.add_argument(
+        "--engine",
+        choices=ENGINE_NAMES,
+        default="tsb",
+        help="access method to observe (default: tsb, with WAL + group commit)",
+    )
+    stats.add_argument(
+        "--ops", type=int, default=2_000, help="workload writes (default: 2000)"
+    )
+    stats.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="key-range shards; >1 exercises scatter-gather (default: 4)",
+    )
+    stats.add_argument(
+        "--threads",
+        type=int,
+        default=4,
+        help="client writer/reader threads and scatter pool size (default: 4)",
+    )
+    stats.add_argument(
+        "--format",
+        choices=("table", "json", "prometheus"),
+        default="table",
+        help="snapshot rendering (default: table)",
+    )
+    stats.add_argument(
+        "--watch",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="re-run the workload and reprint every SECONDS until Ctrl-C",
+    )
+    stats.set_defaults(handler=command_stats)
+
+    trace_cmd = subparsers.add_parser(
+        "trace", help="record one operation's spans and export Chrome trace JSON"
+    )
+    trace_cmd.add_argument(
+        "op",
+        nargs="?",
+        choices=("time_slice", "range", "snapshot", "put_many", "get"),
+        default="time_slice",
+        help="operation to trace (default: time_slice, one span per shard)",
+    )
+    trace_cmd.add_argument(
+        "--engine",
+        choices=ENGINE_NAMES,
+        default="tsb",
+        help="access method to trace (default: tsb)",
+    )
+    trace_cmd.add_argument(
+        "--ops", type=int, default=1_200, help="seed writes before tracing (default: 1200)"
+    )
+    trace_cmd.add_argument(
+        "--shards", type=int, default=4, help="key-range shards (default: 4)"
+    )
+    trace_cmd.add_argument(
+        "--threads", type=int, default=4, help="scatter-gather pool size (default: 4)"
+    )
+    trace_cmd.add_argument(
+        "--out",
+        default=None,
+        help="output path (default: trace_<op>.json in the current directory)",
+    )
+    trace_cmd.set_defaults(handler=command_trace)
     return parser
 
 

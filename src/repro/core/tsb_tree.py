@@ -28,6 +28,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tupl
 
 from repro.core.nodes import DataNode, IndexEntry, IndexNode, NodeError, decode_node
 from repro.core.policy import SplitContext, SplitPolicy, ThresholdPolicy
+from repro.obs import trace
 from repro.core.records import (
     KeyRange,
     Rectangle,
@@ -730,43 +731,45 @@ class TSBTree:
 
     def _perform_data_time_split(self, node: DataNode, split_time: int) -> List[IndexEntry]:
         """Time split: migrate history to the optical disk (section 3.1)."""
-        historical_region, current_region = split_region_by_time(node.region, split_time)
-        split = time_split_versions(node.versions, split_time)
-        historical_node = DataNode(
-            address=Address.magnetic(0),  # placeholder; real address assigned below
-            region=historical_region,
-            versions=list(split.historical),
-        )
-        historical_address = self._append_historical(historical_node.encode())
-        node.versions = list(split.current)
-        node.region = current_region
-        self._store_node(node)
-        self.counters.data_time_splits += 1
-        self.counters.redundant_versions_written += len(split.redundant)
-        return [
-            IndexEntry(child=historical_address, region=historical_region),
-            IndexEntry(child=node.address, region=current_region),
-        ]
+        with trace.span("tsb.data_time_split", time=split_time):
+            historical_region, current_region = split_region_by_time(node.region, split_time)
+            split = time_split_versions(node.versions, split_time)
+            historical_node = DataNode(
+                address=Address.magnetic(0),  # placeholder; real address assigned below
+                region=historical_region,
+                versions=list(split.historical),
+            )
+            historical_address = self._append_historical(historical_node.encode())
+            node.versions = list(split.current)
+            node.region = current_region
+            self._store_node(node)
+            self.counters.data_time_splits += 1
+            self.counters.redundant_versions_written += len(split.redundant)
+            return [
+                IndexEntry(child=historical_address, region=historical_region),
+                IndexEntry(child=node.address, region=current_region),
+            ]
 
     def _perform_data_key_split(self, node: DataNode, split_key: Key) -> List[IndexEntry]:
         """Pure key split: B+-tree style, nothing copied (section 3.1, Figure 5)."""
-        left_region, right_region = split_region_by_key(node.region, split_key)
-        left_versions, right_versions = key_split_versions(node.versions, split_key)
-        # Allocate the sibling page before touching the existing node so that
-        # a full magnetic disk leaves the original node intact.
-        right_address = self.magnetic.allocate_page()
-        node.versions = list(left_versions)
-        node.region = left_region
-        self._store_node(node)
-        right_node = DataNode(
-            address=right_address, region=right_region, versions=list(right_versions)
-        )
-        self._store_node(right_node)
-        self.counters.data_key_splits += 1
-        return [
-            IndexEntry(child=node.address, region=left_region),
-            IndexEntry(child=right_address, region=right_region),
-        ]
+        with trace.span("tsb.data_key_split", key=split_key):
+            left_region, right_region = split_region_by_key(node.region, split_key)
+            left_versions, right_versions = key_split_versions(node.versions, split_key)
+            # Allocate the sibling page before touching the existing node so that
+            # a full magnetic disk leaves the original node intact.
+            right_address = self.magnetic.allocate_page()
+            node.versions = list(left_versions)
+            node.region = left_region
+            self._store_node(node)
+            right_node = DataNode(
+                address=right_address, region=right_region, versions=list(right_versions)
+            )
+            self._store_node(right_node)
+            self.counters.data_key_splits += 1
+            return [
+                IndexEntry(child=node.address, region=left_region),
+                IndexEntry(child=right_address, region=right_region),
+            ]
 
     def _insert_into_replacements(
         self, replacements: List[IndexEntry], version: Version
@@ -826,44 +829,46 @@ class TSBTree:
 
     def _perform_index_time_split(self, node: IndexNode, split_time: int) -> List[IndexEntry]:
         """Local index time split (section 3.5, Figure 8)."""
-        historical_region, current_region = split_region_by_time(node.region, split_time)
-        split = index_time_split(node.entries, split_time)
-        historical_node = IndexNode(
-            address=Address.magnetic(0),
-            region=historical_region,
-            entries=list(split.historical),
-            level=node.level,
-        )
-        historical_address = self._append_historical(historical_node.encode())
-        node.entries = list(split.current)
-        node.region = current_region
-        self.counters.index_time_splits += 1
-        self.counters.redundant_index_entries_written += len(split.copied)
-        return [
-            IndexEntry(child=historical_address, region=historical_region),
-            *self._store_or_resplit_index(node),
-        ]
+        with trace.span("tsb.index_time_split", time=split_time):
+            historical_region, current_region = split_region_by_time(node.region, split_time)
+            split = index_time_split(node.entries, split_time)
+            historical_node = IndexNode(
+                address=Address.magnetic(0),
+                region=historical_region,
+                entries=list(split.historical),
+                level=node.level,
+            )
+            historical_address = self._append_historical(historical_node.encode())
+            node.entries = list(split.current)
+            node.region = current_region
+            self.counters.index_time_splits += 1
+            self.counters.redundant_index_entries_written += len(split.copied)
+            return [
+                IndexEntry(child=historical_address, region=historical_region),
+                *self._store_or_resplit_index(node),
+            ]
 
     def _perform_index_key_split(self, node: IndexNode, split_key: Key) -> List[IndexEntry]:
         """Index keyspace split (section 3.5 rule), duplicating straddling entries."""
-        left_region, right_region = split_region_by_key(node.region, split_key)
-        split = index_key_split(node.entries, split_key)
-        # Allocate before mutating, as in the data-node key split.
-        right_address = self.magnetic.allocate_page()
-        node.entries = list(split.left)
-        node.region = left_region
-        right_node = IndexNode(
-            address=right_address,
-            region=right_region,
-            entries=list(split.right),
-            level=node.level,
-        )
-        self.counters.index_key_splits += 1
-        self.counters.redundant_index_entries_written += len(split.copied)
-        return [
-            *self._store_or_resplit_index(node),
-            *self._store_or_resplit_index(right_node),
-        ]
+        with trace.span("tsb.index_key_split", key=split_key):
+            left_region, right_region = split_region_by_key(node.region, split_key)
+            split = index_key_split(node.entries, split_key)
+            # Allocate before mutating, as in the data-node key split.
+            right_address = self.magnetic.allocate_page()
+            node.entries = list(split.left)
+            node.region = left_region
+            right_node = IndexNode(
+                address=right_address,
+                region=right_region,
+                entries=list(split.right),
+                level=node.level,
+            )
+            self.counters.index_key_splits += 1
+            self.counters.redundant_index_entries_written += len(split.copied)
+            return [
+                *self._store_or_resplit_index(node),
+                *self._store_or_resplit_index(right_node),
+            ]
 
     def _store_or_resplit_index(self, node: IndexNode) -> List[IndexEntry]:
         """Store one split half, or split it again if it still overflows.

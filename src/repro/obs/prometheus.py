@@ -1,0 +1,62 @@
+"""Prometheus text-format exposition of a :class:`MetricsRegistry`.
+
+One function, no dependency: :func:`render_prometheus` renders counters,
+gauges and histograms in the classic text exposition format (the format
+every Prometheus scraper and ``promtool`` accepts).  Metric names are
+sanitized (dots become underscores), counters get the conventional
+``_total`` suffix, and histograms emit the cumulative ``_bucket{le=...}``
+series plus ``_sum`` and ``_count`` — so ``histogram_quantile()`` works on
+the server exactly as the in-process percentile estimate does locally.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.obs.registry import MetricsRegistry
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _sanitize(name: str) -> str:
+    cleaned = _INVALID.sub("_", name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(registry: MetricsRegistry, prefix: str = "repro") -> str:
+    """The registry's current state in Prometheus text exposition format."""
+    lines: List[str] = []
+    for name, value in sorted(registry.counters().items()):
+        metric = f"{prefix}_{_sanitize(name)}_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+    for name, value in sorted(registry.gauges().items()):
+        metric = f"{prefix}_{_sanitize(name)}"
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, histogram in sorted(registry.histograms().items()):
+        metric = f"{prefix}_{_sanitize(name)}"
+        lines.append(f"# TYPE {metric} histogram")
+        with histogram._lock:
+            counts = list(histogram.counts)
+            count = histogram.count
+            total = histogram.total
+        cumulative = 0
+        for index, bound in enumerate(histogram.bounds):
+            cumulative += counts[index]
+            lines.append(
+                f'{metric}_bucket{{le="{_format_value(float(bound))}"}} {cumulative}'
+            )
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {count}')
+        lines.append(f"{metric}_sum {repr(round(total, 9))}")
+        lines.append(f"{metric}_count {count}")
+    return "\n".join(lines) + "\n"

@@ -53,6 +53,8 @@ import threading
 import time
 from typing import TYPE_CHECKING, Optional
 
+from repro.obs.registry import COUNT_BUCKETS
+from repro.obs.registry import enabled as metrics_enabled
 from repro.recovery.log_records import (
     ActiveTransaction,
     LogRecord,
@@ -63,6 +65,7 @@ from repro.storage.serialization import Key
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.tsb_tree import TSBTree
+    from repro.obs.registry import MetricsRegistry
     from repro.txn.manager import TransactionManager
 
 
@@ -100,6 +103,11 @@ class LogManager:
         window in seconds (how long the flusher lingers after being woken,
         letting concurrent committers pile into the same force).  ``0.0``
         forces as soon as the flusher wakes.
+    metrics:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`.  When given,
+        every force counts ``wal.forces``, times the device force into
+        ``wal.fsync`` and records the commit batch it covered in the
+        ``wal.batch_size`` histogram — the group-commit lever made visible.
     """
 
     def __init__(
@@ -108,6 +116,7 @@ class LogManager:
         group_commit_size: int = 1,
         next_lsn: int = 1,
         flush_interval: Optional[float] = None,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> None:
         if group_commit_size <= 0:
             raise ValueError("group_commit_size must be positive")
@@ -118,6 +127,7 @@ class LogManager:
         self.device = device or LogDevice()
         self.group_commit_size = group_commit_size
         self.flush_interval = flush_interval
+        self.metrics = metrics
         self._next_lsn = next_lsn
         self._last_lsn = next_lsn - 1
         self._flushed_lsn = next_lsn - 1
@@ -210,7 +220,16 @@ class LogManager:
             self._force_locked()
 
     def _force_locked(self) -> None:
+        record = self.metrics is not None and metrics_enabled()
+        batch = self._pending_commits
+        if record:
+            forced_from = time.perf_counter()
         self.device.force()
+        if record:
+            self.metrics.inc("wal.forces")
+            self.metrics.observe("wal.fsync", time.perf_counter() - forced_from)
+            if batch > 0:
+                self.metrics.observe("wal.batch_size", batch, bounds=COUNT_BUCKETS)
         self._flushed_lsn = self._last_lsn
         self._pending_commits = 0
         self._cond.notify_all()

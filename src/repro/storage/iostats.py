@@ -30,17 +30,22 @@ class IOStats:
     sectors_written: int = 0
     mounts: int = 0
     erases: int = 0
+    service_time_s: float = 0.0
 
-    def record_read(self, nbytes: int, *, seek: bool = True) -> None:
+    def record_read(self, nbytes: int, *, seek: bool = True, seconds: float = 0.0) -> None:
         self.reads += 1
         self.bytes_read += nbytes
+        self.service_time_s += seconds
         if seek:
             self.seeks += 1
 
-    def record_write(self, nbytes: int, *, sectors: int = 0, seek: bool = True) -> None:
+    def record_write(
+        self, nbytes: int, *, sectors: int = 0, seek: bool = True, seconds: float = 0.0
+    ) -> None:
         self.writes += 1
         self.bytes_written += nbytes
         self.sectors_written += sectors
+        self.service_time_s += seconds
         if seek:
             self.seeks += 1
 
@@ -61,6 +66,7 @@ class IOStats:
             sectors_written=self.sectors_written,
             mounts=self.mounts,
             erases=self.erases,
+            service_time_s=self.service_time_s,
         )
 
     def delta(self, earlier: "IOStats") -> "IOStats":
@@ -74,6 +80,7 @@ class IOStats:
             sectors_written=self.sectors_written - earlier.sectors_written,
             mounts=self.mounts - earlier.mounts,
             erases=self.erases - earlier.erases,
+            service_time_s=self.service_time_s - earlier.service_time_s,
         )
 
     def combined(self, other: "IOStats") -> "IOStats":
@@ -87,6 +94,7 @@ class IOStats:
             sectors_written=self.sectors_written + other.sectors_written,
             mounts=self.mounts + other.mounts,
             erases=self.erases + other.erases,
+            service_time_s=self.service_time_s + other.service_time_s,
         )
 
     def reset(self) -> None:
@@ -99,8 +107,9 @@ class IOStats:
         self.sectors_written = 0
         self.mounts = 0
         self.erases = 0
+        self.service_time_s = 0.0
 
-    def as_dict(self) -> Dict[str, int]:
+    def as_dict(self) -> Dict[str, float]:
         """Return the counters as a plain dictionary (for reports)."""
         return {
             "reads": self.reads,
@@ -111,6 +120,7 @@ class IOStats:
             "sectors_written": self.sectors_written,
             "mounts": self.mounts,
             "erases": self.erases,
+            "service_time_s": round(self.service_time_s, 9),
         }
 
     @property

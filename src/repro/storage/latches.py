@@ -26,7 +26,13 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
-from typing import Dict, Iterator, Optional
+from time import perf_counter
+from typing import TYPE_CHECKING, Dict, Iterator, Optional
+
+from repro.obs.registry import enabled as metrics_enabled
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from repro.obs.registry import MetricsRegistry
 
 
 class LatchError(RuntimeError):
@@ -52,15 +58,21 @@ class ReadWriteLatch:
     Writers are preferred: once a writer is waiting, new first-time readers
     queue behind it, so a steady read stream cannot starve writes.  Threads
     that already hold the latch are exempt (reentrancy beats preference).
+
+    With a :class:`~repro.obs.registry.MetricsRegistry`, contended waits are
+    timed into ``latch.read_wait`` / ``latch.write_wait`` and exclusive hold
+    time into ``latch.write_hold``.  Uncontended acquisitions record nothing.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: Optional["MetricsRegistry"] = None) -> None:
         self._cond = threading.Condition()
         #: thread ident -> read-mode re-entry depth
         self._readers: Dict[int, int] = {}
         self._writer: Optional[int] = None
         self._writer_depth = 0
         self._writers_waiting = 0
+        self._metrics = metrics
+        self._write_acquired_at = 0.0
 
     # ------------------------------------------------------------------
     # Read side
@@ -73,8 +85,15 @@ class ReadWriteLatch:
                 # a read without waiting — waiting would self-deadlock.
                 self._readers[me] = self._readers.get(me, 0) + 1
                 return
-            while self._writer is not None or self._writers_waiting:
-                self._cond.wait()
+            if self._writer is not None or self._writers_waiting:
+                record = self._metrics is not None and metrics_enabled()
+                waited_from = perf_counter() if record else 0.0
+                if record:
+                    self._metrics.inc("latch.read_waits")
+                while self._writer is not None or self._writers_waiting:
+                    self._cond.wait()
+                if record:
+                    self._metrics.observe("latch.read_wait", perf_counter() - waited_from)
             self._readers[me] = 1
 
     def release_read(self) -> None:
@@ -103,14 +122,22 @@ class ReadWriteLatch:
                     "cannot upgrade a read latch to a write latch; acquire "
                     "write mode before the first read"
                 )
+            record = self._metrics is not None and metrics_enabled()
+            contended = self._writer is not None or bool(self._readers)
+            if contended and record:
+                self._metrics.inc("latch.write_waits")
+                waited_from = perf_counter()
             self._writers_waiting += 1
             try:
                 while self._writer is not None or self._readers:
                     self._cond.wait()
             finally:
                 self._writers_waiting -= 1
+            if contended and record:
+                self._metrics.observe("latch.write_wait", perf_counter() - waited_from)
             self._writer = me
             self._writer_depth = 1
+            self._write_acquired_at = perf_counter() if record else 0.0
 
     def release_write(self) -> None:
         me = threading.get_ident()
@@ -119,6 +146,11 @@ class ReadWriteLatch:
                 raise LatchError("release_write by a thread that is not the writer")
             self._writer_depth -= 1
             if self._writer_depth == 0:
+                if self._write_acquired_at and self._metrics is not None and metrics_enabled():
+                    self._metrics.observe(
+                        "latch.write_hold", perf_counter() - self._write_acquired_at
+                    )
+                self._write_acquired_at = 0.0
                 self._writer = None
                 self._cond.notify_all()
 

@@ -122,14 +122,14 @@ class MagneticDisk(Device):
             )
         self._sleep_for_access()
         self._pages[address.page_id] = bytes(data)
-        self.stats.record_write(len(data))
+        self.stats.record_write(len(data), seconds=self.access_latency_s)
 
     def read(self, address: Address) -> bytes:
         """Return the current contents of the page at ``address``."""
         self._check_address(address)
         self._sleep_for_access()
         data = self._pages[address.page_id]
-        self.stats.record_read(len(data))
+        self.stats.record_read(len(data), seconds=self.access_latency_s)
         return data
 
     def _sleep_for_access(self) -> None:

@@ -27,6 +27,7 @@ Two write interfaces are provided:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -67,6 +68,11 @@ class WormDisk(Device):
     platter:
         Platter index assigned to addresses minted by this disk (used by the
         jukebox wrapper).
+    access_latency_s:
+        Simulated wall-clock seconds each sector-group read or write sleeps.
+        ``0.0`` (the default) keeps the simulator purely logical; either way
+        the value is accumulated into ``stats.service_time_s`` so device time
+        appears in I/O reports.
     """
 
     def __init__(
@@ -75,15 +81,19 @@ class WormDisk(Device):
         capacity_sectors: Optional[int] = None,
         name: str = "optical",
         platter: int = 0,
+        access_latency_s: float = 0.0,
     ) -> None:
         if sector_size <= 0:
             raise ValueError("sector_size must be positive")
         if capacity_sectors is not None and capacity_sectors <= 0:
             raise ValueError("capacity_sectors must be positive when given")
+        if access_latency_s < 0:
+            raise ValueError("access_latency_s cannot be negative")
         self.sector_size = sector_size
         self.capacity_sectors = capacity_sectors
         self.name = name
         self.platter = platter
+        self.access_latency_s = access_latency_s
         self.stats = IOStats()
         #: sector number -> payload bytes burned into that sector
         self._sectors: Dict[int, bytes] = {}
@@ -116,7 +126,10 @@ class WormDisk(Device):
         self._next_region_id += 1
         self._regions[region_id] = SectorExtent(start, sectors_needed)
         self._region_lengths[region_id] = len(data)
-        self.stats.record_write(len(data), sectors=sectors_needed)
+        self._sleep_for_access()
+        self.stats.record_write(
+            len(data), sectors=sectors_needed, seconds=self.access_latency_s
+        )
         return Address.historical(
             region_id, sector_start=start, length=len(data), platter=self.platter
         )
@@ -134,7 +147,8 @@ class WormDisk(Device):
             for sector in range(extent.start_sector, extent.end_sector)
         )
         data = raw[:payload_length]
-        self.stats.record_read(len(data))
+        self._sleep_for_access()
+        self.stats.record_read(len(data), seconds=self.access_latency_s)
         return data
 
     # ------------------------------------------------------------------
@@ -184,7 +198,10 @@ class WormDisk(Device):
             if sector not in self._sectors:
                 self._burn(sector, data)
                 self._region_lengths[node_address.page_id] += len(data)
-                self.stats.record_write(len(data), sectors=1)
+                self._sleep_for_access()
+                self.stats.record_write(
+                    len(data), sectors=1, seconds=self.access_latency_s
+                )
                 return index
         raise OutOfSpaceError(f"WORM extent {node_address} has no unburned sectors left")
 
@@ -209,7 +226,10 @@ class WormDisk(Device):
             for sector in range(extent.start_sector, extent.end_sector)
             if sector in self._sectors
         ]
-        self.stats.record_read(sum(len(chunk) for chunk in sectors))
+        self._sleep_for_access()
+        self.stats.record_read(
+            sum(len(chunk) for chunk in sectors), seconds=self.access_latency_s
+        )
         return sectors
 
     # ------------------------------------------------------------------
@@ -255,6 +275,10 @@ class WormDisk(Device):
     # ------------------------------------------------------------------
     # Internal helpers
     # ------------------------------------------------------------------
+    def _sleep_for_access(self) -> None:
+        if self.access_latency_s > 0:
+            time.sleep(self.access_latency_s)
+
     def _burn(self, sector: int, data: bytes) -> None:
         if sector in self._sectors:
             raise WriteOnceViolationError(f"sector {sector} has already been burned")

@@ -47,9 +47,13 @@ from __future__ import annotations
 import enum
 import threading
 import time
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.obs.registry import enabled as metrics_enabled
 from repro.storage.serialization import Key
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from repro.obs.registry import MetricsRegistry
 
 #: Upper bound on how long a sleeping waiter goes without refreshing its
 #: wait-for edges and re-running its cycle check.  Grants notify sleepers
@@ -124,10 +128,20 @@ class LockManager:
         :class:`LockConflictError` (``reason="timeout"``).  Per-call
         ``timeout=`` overrides it; ``None`` means wait forever (deadlock
         detection still applies).
+    metrics:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`.  When given,
+        contended acquires time their wait into ``lock.wait`` and count
+        ``lock.waits``; failures count ``lock.conflicts``,
+        ``lock.deadlocks`` and ``lock.timeouts``.
     """
 
-    def __init__(self, timeout: Optional[float] = 5.0) -> None:
+    def __init__(
+        self,
+        timeout: Optional[float] = 5.0,
+        metrics: Optional["MetricsRegistry"] = None,
+    ) -> None:
         self.timeout = timeout
+        self._metrics = metrics
         self._cond = threading.Condition()
         #: key -> {txn_id: strongest mode held}
         self._holders: Dict[Key, Dict[int, LockMode]] = {}
@@ -159,6 +173,8 @@ class LockManager:
             timeout = self.timeout
         me = threading.get_ident()
         deadline = None if timeout is None else time.monotonic() + timeout
+        record = self._metrics is not None and metrics_enabled()
+        waited_from: Optional[float] = None
         with self._cond:
             self._txn_thread[txn_id] = me
             try:
@@ -166,6 +182,11 @@ class LockManager:
                     blockers = self._blockers(txn_id, key, mode)
                     if not blockers:
                         self._grant(txn_id, key, mode)
+                        if record and waited_from is not None:
+                            self._metrics.inc("lock.waits")
+                            self._metrics.observe(
+                                "lock.wait", time.perf_counter() - waited_from
+                            )
                         return
                     first = blockers[0]
                     same_thread = [
@@ -174,6 +195,8 @@ class LockManager:
                         if self._txn_thread.get(blocker) == me
                     ]
                     if same_thread:
+                        if record:
+                            self._metrics.inc("lock.conflicts")
                         raise LockConflictError(
                             key=key,
                             holder=same_thread[0],
@@ -184,6 +207,8 @@ class LockManager:
                     self._waits_for[txn_id] = set(blockers)
                     cycle = self._find_cycle(txn_id)
                     if cycle is not None:
+                        if record:
+                            self._metrics.inc("lock.deadlocks")
                         raise LockConflictError(
                             key=key,
                             holder=first,
@@ -197,11 +222,15 @@ class LockManager:
                     # while asleep and re-run the cycle check above.  Only
                     # the caller's deadline — never a slice expiry — times
                     # the request out.
+                    if waited_from is None:
+                        waited_from = time.perf_counter()
                     if deadline is None:
                         self._cond.wait(EDGE_REFRESH_INTERVAL)
                     else:
                         remaining = deadline - time.monotonic()
                         if remaining <= 0:
+                            if record:
+                                self._metrics.inc("lock.timeouts")
                             raise LockConflictError(
                                 key=key,
                                 holder=first,
@@ -273,6 +302,31 @@ class LockManager:
         """A snapshot of the wait-for graph (tests and diagnostics)."""
         with self._cond:
             return {txn: set(edges) for txn, edges in self._waits_for.items()}
+
+    def debug_state(self) -> Dict[str, object]:
+        """A read-only snapshot of holders and the wait-for graph.
+
+        Until now a deadlock's ``.cycle`` was the only visibility into who
+        blocks whom; this exposes the same structures on demand — for
+        ``metrics_snapshot()`` and the ``repro stats`` CLI — as plain
+        JSON-serialisable data (keys are ``repr``-ed, modes are their string
+        values).  A consistent snapshot taken under the manager's condition;
+        nothing is mutated.
+        """
+        with self._cond:
+            holders = {
+                repr(key): {txn: mode.value for txn, mode in sorted(txn_modes.items())}
+                for key, txn_modes in sorted(self._holders.items(), key=lambda kv: repr(kv[0]))
+            }
+            waits_for = {
+                txn: sorted(edges) for txn, edges in sorted(self._waits_for.items())
+            }
+            return {
+                "holders": holders,
+                "waits_for": waits_for,
+                "waiting": len(waits_for),
+                "locked_keys": len(holders),
+            }
 
     # ------------------------------------------------------------------
     # Internal helpers (all called with self._cond held)

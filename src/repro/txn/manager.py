@@ -46,6 +46,8 @@ import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Set
 
+from time import perf_counter
+
 from repro.core.tsb_tree import RecordTooLargeError, TSBTree
 from repro.storage.latches import ReadWriteLatch
 from repro.storage.serialization import Key
@@ -54,6 +56,7 @@ from repro.txn.locks import LockManager
 from repro.txn.readonly import ReadOnlyTransaction
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.registry import MetricsRegistry
     from repro.recovery.log_manager import LogManager
 
 
@@ -117,12 +120,14 @@ class TransactionManager:
         log: Optional["LogManager"] = None,
         next_txn_id: int = 1,
         latch: Optional[ReadWriteLatch] = None,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> None:
         if next_txn_id <= 0:
             raise ValueError("transaction ids start at 1")
         self.tree = tree
         self.clock = clock or TimestampOracle(start=tree.now)
-        self.locks = LockManager()
+        self.metrics = metrics
+        self.locks = LockManager(metrics=metrics)
         self.log = log
         #: The structure latch: exclusive around every tree mutation, shared
         #: around reads.  A VersionStore passes its own latch in so façade
@@ -151,6 +156,8 @@ class TransactionManager:
             txn = Transaction(txn_id=self._next_txn_id, manager=self)
             self._next_txn_id += 1
             self._transactions[txn.txn_id] = txn
+        if self.metrics is not None:
+            self.metrics.inc("txn.begins")
         if self.log is not None:
             self.log.log_begin(txn.txn_id)
         return txn
@@ -169,6 +176,7 @@ class TransactionManager:
         never leave stamped versions whose commit is not in the log.
         """
         txn = self._active(txn_id)
+        commit_started = perf_counter()
         # The commit timestamp is drawn inside the exclusive latch hold so
         # stamping order equals timestamp order: a later stamp can never
         # reach the tree before an earlier one.  The strict-durability wait
@@ -211,6 +219,9 @@ class TransactionManager:
             # committer until its record is in the forced prefix.
             if not self.log.wait_durable(txn.commit_lsn, timeout=5.0):
                 self.log.force()  # flusher wedged or died: force inline
+        if self.metrics is not None:
+            self.metrics.inc("txn.commits")
+            self.metrics.observe("txn.commit", perf_counter() - commit_started)
         return commit_timestamp
 
     def abort(self, txn_id: int) -> None:
@@ -223,6 +234,8 @@ class TransactionManager:
                 self.tree.abort_provisional(txn_id, sorted(txn.write_set))
             txn.state = TransactionState.ABORTED
         self.locks.release_all(txn_id)
+        if self.metrics is not None:
+            self.metrics.inc("txn.aborts")
 
     # ------------------------------------------------------------------
     # Operations inside a transaction

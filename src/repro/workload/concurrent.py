@@ -28,7 +28,9 @@ import random
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.registry import Histogram, MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -49,6 +51,11 @@ class ThreadReport:
     role: str  # "writer" or "reader"
     operations: int = 0
     errors: List[str] = field(default_factory=list)
+    #: Per-store-call wall-time distribution for this client (one sample per
+    #: ``insert``/``put_many``/read call).  Recorded unconditionally — this is
+    #: the harness measuring the store from outside, not the store's own
+    #: (switchable) instrumentation.
+    latency: Optional[Histogram] = None
 
 
 @dataclass
@@ -62,6 +69,9 @@ class ConcurrentRunResult:
     reads: int
     applied: List[AppliedWrite]
     per_thread: List[ThreadReport]
+    #: Merged client-side latency snapshots keyed by role: ``{"write":
+    #: <histogram snapshot>, "read": ...}``.  Empty when nothing ran.
+    latency: Dict[str, Dict[str, object]] = field(default_factory=dict)
 
     @property
     def writes_per_s(self) -> float:
@@ -111,6 +121,7 @@ def run_concurrent(
     batch_size: int = 1,
     read_keys: Optional[Sequence] = None,
     seed: int = 1989,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> ConcurrentRunResult:
     """Apply ``items`` from ``threads`` writers with ``reader_threads`` readers.
 
@@ -121,6 +132,12 @@ def run_concurrent(
     that size instead of per-item ``insert`` — on a WAL store that is the
     logged transactional path riding group commit.  Readers pick keys from
     ``read_keys`` (default: the written keys) and stop when writers finish.
+
+    Every client times each store call into a per-thread
+    :class:`~repro.obs.registry.Histogram`; the merged write/read
+    distributions land in ``result.latency`` and, when a ``metrics``
+    registry is passed (e.g. ``store.metrics``), are also folded into it
+    as ``client.write`` / ``client.read``.
 
     Client errors are captured per thread, never swallowed silently:
     inspect ``result.errors`` (tests assert it is empty).
@@ -146,9 +163,16 @@ def run_concurrent(
     keys_for_readers = list(read_keys) if read_keys else sorted({k for k, _ in pairs})
 
     reports = [
-        ThreadReport(thread=index, role="writer") for index in range(threads)
+        ThreadReport(
+            thread=index, role="writer", latency=Histogram(f"client.write.{index}")
+        )
+        for index in range(threads)
     ] + [
-        ThreadReport(thread=threads + index, role="reader")
+        ThreadReport(
+            thread=threads + index,
+            role="reader",
+            latency=Histogram(f"client.read.{index}"),
+        )
         for index in range(reader_threads)
     ]
     applied: List[AppliedWrite] = []
@@ -165,9 +189,13 @@ def run_concurrent(
             while position < len(mine):
                 chunk = mine[position : position + max(1, batch_size)]
                 if batch_size > 1:
-                    stamps = store.put_many(chunk)
+                    with report.latency.time():
+                        stamps = store.put_many(chunk)
                 else:
-                    stamps = [store.insert(key, value) for key, value in chunk]
+                    stamps = []
+                    for key, value in chunk:
+                        with report.latency.time():
+                            stamps.append(store.insert(key, value))
                 with applied_lock:
                     for (key, value), stamp in zip(chunk, stamps):
                         applied.append(
@@ -189,14 +217,18 @@ def run_concurrent(
                 key = rng.choice(keys_for_readers)
                 choice = rng.random()
                 if choice < 0.5:
-                    store.get(key)
+                    with report.latency.time():
+                        store.get(key)
                 elif choice < 0.8:
                     now = store.now
-                    store.get_as_of(key, rng.randint(0, max(1, now)))
+                    stamp = rng.randint(0, max(1, now))
+                    with report.latency.time():
+                        store.get_as_of(key, stamp)
                 else:
                     window = keys_for_readers[: max(1, len(keys_for_readers) // 8)]
                     low = rng.choice(window)
-                    store.range_search(low, None)[:16]
+                    with report.latency.time():
+                        store.range_search(low, None)[:16]
                 report.operations += 1
         except Exception as exc:  # noqa: BLE001 - reported, asserted on by callers
             report.errors.append(f"{type(exc).__name__}: {exc}")
@@ -219,6 +251,24 @@ def run_concurrent(
         worker.join()
     elapsed = time.perf_counter() - started
 
+    merged = {
+        "write": Histogram("client.write"),
+        "read": Histogram("client.read"),
+    }
+    for report in reports:
+        role = "write" if report.role == "writer" else "read"
+        if report.latency is not None:
+            merged[role].merge_from(report.latency)
+    if metrics is not None:
+        for histogram in merged.values():
+            if histogram.count:
+                metrics.histogram(histogram.name).merge_from(histogram)
+    latency = {
+        role: histogram.snapshot()
+        for role, histogram in merged.items()
+        if histogram.count
+    }
+
     return ConcurrentRunResult(
         writer_threads=threads,
         reader_threads=reader_threads,
@@ -227,4 +277,5 @@ def run_concurrent(
         reads=sum(r.operations for r in reports if r.role == "reader"),
         applied=applied,
         per_thread=reports,
+        latency=latency,
     )

@@ -34,6 +34,13 @@ class TestQueryCost:
     def test_as_dict(self):
         cost = QueryCost(magnetic_reads=1, historical_reads=2, mounts=0, bytes_read=10, estimated_ms=1.5)
         assert cost.as_dict()["historical_reads"] == 2
+        assert cost.as_dict()["device_time_ms"] == 0.0
+
+    def test_device_time_comes_from_simulated_service_time(self):
+        magnetic = IOStats(reads=2, service_time_s=0.004)
+        optical = IOStats(reads=1, service_time_s=0.0015)
+        cost = query_cost_from_deltas(magnetic, optical, CostModel())
+        assert cost.device_time_ms == pytest.approx(5.5)
 
 
 class TestRows:
@@ -88,6 +95,26 @@ class TestShardRollups:
         merged = merge_io_summaries([{"magnetic": live, "historical": IOStats()}])
         live.record_read(100)
         assert merged["magnetic"].reads == 1  # a snapshot, not the live object
+
+    def test_merge_io_summaries_sums_service_time(self):
+        merged = merge_io_summaries(
+            [
+                {"magnetic": IOStats(reads=1, service_time_s=0.25)},
+                {"magnetic": IOStats(reads=1, service_time_s=0.5)},
+            ]
+        )
+        assert merged["magnetic"].service_time_s == pytest.approx(0.75)
+
+    def test_tree_counters_combined_sums_without_mutating(self):
+        first = TreeCounters(inserts=2, index_key_splits=1, aborts=1)
+        second = TreeCounters(inserts=3, index_time_splits=4, redundant_versions_written=7)
+        combined = first.combined(second)
+        assert combined.inserts == 5
+        assert combined.index_key_splits == 1
+        assert combined.index_time_splits == 4
+        assert combined.redundant_versions_written == 7
+        assert combined.aborts == 1
+        assert first.inserts == 2 and second.inserts == 3  # inputs untouched
 
     def test_merge_tree_counters_sums_every_field(self):
         merged = merge_tree_counters(

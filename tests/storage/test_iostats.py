@@ -1,5 +1,7 @@
 """Unit tests for the I/O counters."""
 
+import pytest
+
 from repro.storage.iostats import IOStats, TieredIOStats
 
 
@@ -66,7 +68,21 @@ class TestIOStats:
             "sectors_written",
             "mounts",
             "erases",
+            "service_time_s",
         }
+
+    def test_service_time_accumulates(self):
+        stats = IOStats()
+        stats.record_read(10, seconds=0.002)
+        stats.record_write(10, seconds=0.003)
+        assert stats.service_time_s == pytest.approx(0.005)
+        before = stats.snapshot()
+        stats.record_read(10, seconds=0.001)
+        assert stats.delta(before).service_time_s == pytest.approx(0.001)
+        doubled = stats.combined(stats)
+        assert doubled.service_time_s == pytest.approx(0.012)
+        stats.reset()
+        assert stats.service_time_s == 0.0
 
 
 class TestTieredIOStats:

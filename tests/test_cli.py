@@ -1,8 +1,11 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs import trace
 
 
 class TestParser:
@@ -28,6 +31,18 @@ class TestParser:
         assert parser.parse_args(["figures", "--engine", "wobt"]).engine == "wobt"
         with pytest.raises(SystemExit):
             parser.parse_args(["demo", "--engine", "btree"])
+
+    def test_observability_commands_parse(self):
+        parser = build_parser()
+        stats = parser.parse_args(["stats"])
+        assert (stats.command, stats.format, stats.watch) == ("stats", "table", None)
+        stats = parser.parse_args(["stats", "--format", "prometheus", "--shards", "2"])
+        assert (stats.format, stats.shards) == ("prometheus", 2)
+        traced = parser.parse_args(["trace"])
+        assert (traced.command, traced.op) == ("trace", "time_slice")
+        assert parser.parse_args(["trace", "snapshot"]).op == "snapshot"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["stats", "--format", "csv"])
 
     def test_recover_command_parses_its_options(self):
         args = build_parser().parse_args(
@@ -124,3 +139,56 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "recovery verified: 26 crash point(s)" in output
         assert "group commit batch 3" in output
+
+    def test_stats_table_shows_contention_and_cache(self, capsys):
+        assert main(["stats", "--ops", "400", "--shards", "2", "--threads", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "engine: sharded-tsb  shards: 2" in output
+        assert "lock.waits" in output  # the deliberate conflict registered
+        assert "latencies (ms):" in output
+        assert "op.put_many" in output
+        assert "wal.batch_size" in output
+        assert "cache: hit_ratio=" in output
+        assert "per-shard op latency p99 (ms):" in output
+
+    def test_stats_json_is_parseable(self, capsys):
+        assert main(
+            ["stats", "--ops", "300", "--shards", "1", "--threads", "2",
+             "--format", "json"]
+        ) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["engine"] == "tsb"
+        assert snapshot["metrics"]["counters"]["lock.waits"] >= 1
+        assert snapshot["wal"]["group_commit_size"] == 4
+
+    def test_stats_prometheus_exposition(self, capsys):
+        assert main(
+            ["stats", "--ops", "300", "--shards", "2", "--threads", "2",
+             "--format", "prometheus"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "# TYPE repro_txn_commits_total counter" in output
+        assert 'repro_op_put_many_bucket{le="+Inf"}' in output
+
+    def test_trace_exports_one_span_per_shard(self, capsys, tmp_path):
+        out = tmp_path / "slice.json"
+        assert main(
+            ["trace", "time_slice", "--ops", "400", "--shards", "2",
+             "--threads", "2", "--out", str(out)]
+        ) == 0
+        assert not trace.enabled()  # the command restored the switch
+        assert str(out) in capsys.readouterr().out
+        events = json.loads(out.read_text())["traceEvents"]
+        by_name = {}
+        for event in events:
+            by_name.setdefault(event["name"], []).append(event)
+        assert len(by_name["shard.time_slice"]) == 2
+        parent = by_name["store.time_slice"][0]["args"]["span_id"]
+        assert all(
+            event["args"]["parent_id"] == parent
+            for event in by_name["shard.time_slice"]
+        )
+
+    def test_trace_time_slice_requires_shards(self, capsys):
+        assert main(["trace", "time_slice", "--shards", "1"]) == 2
+        assert "--shards" in capsys.readouterr().out

@@ -1,0 +1,173 @@
+"""Served-store benchmark: wire throughput across clients × connections × batch.
+
+Boots a :class:`~repro.server.service.ReproServer` on an ephemeral port and
+drives it with :func:`~repro.workload.concurrent.run_concurrent` through a
+:class:`~repro.client.ReproClient` — the exact oracle-checked workload the
+in-process concurrency benchmarks run, but over TCP.  The grid varies
+
+* **clients** — concurrent writer threads sharing one pooled client,
+* **connections** — the client's socket-pool size (1 forces every thread
+  through one serialized socket; = clients gives each thread its own),
+* **batch** — items per ``put_many`` (batch 1 is per-item ``insert``,
+  which additionally exercises the server's coalescing write batcher).
+
+Each cell reports write throughput plus client-observed p50/p99 latency;
+rows land in ``BENCH_server.json``.  A final sanity pass asserts the
+served per-key histories match the applied-write oracle, so a cell that
+went fast by dropping writes fails instead of winning.
+
+Run standalone (the nightly-bench CI step)::
+
+    PYTHONPATH=src python benchmarks/bench_server.py --quick
+
+or under pytest-benchmark::
+
+    pytest benchmarks/bench_server.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+try:
+    from .harness import emit_results
+except ImportError:  # standalone: python benchmarks/bench_server.py
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from harness import emit_results
+
+from repro.api import ShardSpec, StoreConfig
+from repro.client import ReproClient
+from repro.server import ReproServer
+from repro.workload.concurrent import run_concurrent
+
+CLIENT_COUNTS = (1, 2, 4)
+BATCH_SIZES = (1, 8)
+CONNECTION_MODES = ("single", "per-client")
+OPS = 720
+QUICK_OPS = 240
+VALUE = b"x" * 48
+
+#: One sharded WAL tenant: the served path that exercises scatter-gather,
+#: group commit and the coalescing batcher all at once.
+CATALOG = {
+    "bench": StoreConfig(
+        engine="tsb",
+        wal=True,
+        group_commit_size=8,
+        shards=ShardSpec.for_int_keys(4, key_space=1 << 20, scatter_threads=4),
+    )
+}
+
+
+def _percentile_ms(latency: dict, role: str, quantile: str) -> float:
+    snapshot = latency.get(role)
+    return round(snapshot[quantile] * 1000.0, 3) if snapshot else 0.0
+
+
+def run_cell(
+    server: ReproServer,
+    cell: int,
+    clients: int,
+    connections: int,
+    batch: int,
+    ops: int,
+) -> dict:
+    """One grid cell: ``ops`` writes from ``clients`` threads, verified.
+
+    ``cell`` disambiguates the key range — every cell writes fresh keys, so
+    the per-key history oracle sees exactly this cell's versions.
+    """
+    offset = (cell + 1) * 1_000_000
+    items = [(offset + index, VALUE) for index in range(ops)]
+    with ReproClient(
+        server.host, server.port, tenant="bench", pool_size=connections
+    ) as client:
+        result = run_concurrent(
+            target=client, items=items, threads=clients, batch_size=batch
+        )
+        if result.errors:
+            raise RuntimeError(f"client errors: {result.errors[:3]}")
+        # Oracle: the served store's history must equal the applied writes.
+        for key, versions in list(result.history().items())[:: max(1, ops // 32)]:
+            stored = [(r.timestamp, r.value) for r in client.key_history(key)]
+            if stored != versions:
+                raise RuntimeError(f"history oracle mismatch for key {key}")
+    return {
+        "clients": clients,
+        "connections": connections,
+        "batch": batch,
+        "writes": result.writes,
+        "writes_per_s": round(result.writes_per_s, 1),
+        "p50_ms": _percentile_ms(result.latency, "write", "p50"),
+        "p99_ms": _percentile_ms(result.latency, "write", "p99"),
+        "elapsed_s": round(result.elapsed_s, 3),
+    }
+
+
+def run_grid(ops: int) -> list:
+    rows = []
+    cell = 0
+    with ReproServer(CATALOG, port=0, workers=4, max_inflight=128) as server:
+        for clients in CLIENT_COUNTS:
+            for mode in CONNECTION_MODES:
+                connections = 1 if mode == "single" else clients
+                if mode == "per-client" and connections == 1:
+                    continue  # identical to "single" when clients == 1
+                for batch in BATCH_SIZES:
+                    rows.append(
+                        run_cell(server, cell, clients, connections, batch, ops)
+                    )
+                    cell += 1
+    return rows
+
+
+def _print_rows(rows: list) -> None:
+    header = f"{'clients':>7} {'conns':>5} {'batch':>5} {'writes/s':>10} {'p50 ms':>8} {'p99 ms':>8}"
+    print(header)
+    for row in rows:
+        print(
+            f"{row['clients']:>7} {row['connections']:>5} {row['batch']:>5} "
+            f"{row['writes_per_s']:>10,.1f} {row['p50_ms']:>8.3f} {row['p99_ms']:>8.3f}"
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help=f"{QUICK_OPS} writes per cell instead of {OPS}"
+    )
+    args = parser.parse_args(argv)
+    ops = QUICK_OPS if args.quick else OPS
+    rows = run_grid(ops)
+    _print_rows(rows)
+    emit_results(
+        "server",
+        rows,
+        study="served throughput: clients x connections x batch",
+        extra={"ops_per_cell": ops, "catalog": "tsb, 4 shards, wal group_commit=8"},
+    )
+    print(f"BENCH_server.json written ({len(rows)} cells, {ops} writes each)")
+    return 0
+
+
+def test_server_throughput_grid(benchmark):
+    """pytest-benchmark entry: the quick grid, once, oracle-checked."""
+    rows = benchmark.pedantic(run_grid, args=(QUICK_OPS,), rounds=1, iterations=1)
+    _print_rows(rows)
+    benchmark.extra_info["rows"] = rows
+    emit_results(
+        "server",
+        rows,
+        study="served throughput: clients x connections x batch",
+        extra={"ops_per_cell": QUICK_OPS},
+    )
+    assert len({row["clients"] for row in rows}) >= 3
+    assert len({row["batch"] for row in rows}) >= 2
+    assert all(row["writes_per_s"] > 0 for row in rows)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -48,6 +48,10 @@ Sub-packages:
 * :mod:`repro.workload` — stepwise-constant workload generators.
 * :mod:`repro.analysis` — the experiment harness that regenerates every
   figure and study listed in DESIGN.md / EXPERIMENTS.md.
+* :mod:`repro.server` / :mod:`repro.client` — the network service layer:
+  an asyncio TCP server (struct-framed CRC-checked protocol, per-tenant
+  store registry, write batching, admission control) and the pooled
+  synchronous wire client mirroring the façade surface.
 """
 
 from repro.api import (
@@ -95,6 +99,8 @@ from repro.txn import (
     Transaction,
     TransactionManager,
 )
+from repro.client import ReproClient
+from repro.server import ReproServer, StoreRegistry
 from repro.workload.concurrent import ConcurrentRunResult, run_concurrent
 
 __version__ = "1.1.0"
@@ -122,12 +128,15 @@ __all__ = [
     "RecoverableSystem",
     "RecoveryManager",
     "RecoveryReport",
+    "ReproClient",
+    "ReproServer",
     "SecondaryIndex",
     "ShardSpec",
     "ShardedVersionStore",
     "SpaceStats",
     "SplitPolicy",
     "StoreConfig",
+    "StoreRegistry",
     "ThresholdPolicy",
     "TimestampOracle",
     "TSBTree",

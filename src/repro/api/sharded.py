@@ -129,6 +129,7 @@ class ShardedEngine(VersionedEngine):
         boundaries: List[Key],
         spec: ShardSpec,
         inner_config: StoreConfig,
+        shard_keys: Optional[Sequence[set]] = None,
     ) -> None:
         if len(stores) != len(boundaries) + 1:
             raise VersionStoreError(
@@ -146,8 +147,18 @@ class ShardedEngine(VersionedEngine):
         self._now = max((store.now for store in stores), default=0)
         #: Every key ever written per shard, including logically deleted
         #: ones — splits must carry full histories, and range scans hide
-        #: tombstoned keys.
-        self._shard_keys: List[set] = [set() for _ in stores]
+        #: tombstoned keys.  A resumed store (reopened over checkpointed
+        #: per-shard devices) passes the key sets it saved at close time,
+        #: so time-slice queries and split decisions survive the restart.
+        if shard_keys is not None:
+            if len(shard_keys) != len(stores):
+                raise VersionStoreError(
+                    f"{len(stores)} shards need exactly {len(stores)} "
+                    f"shard key sets, got {len(shard_keys)}"
+                )
+            self._shard_keys = [set(keys) for keys in shard_keys]
+        else:
+            self._shard_keys = [set() for _ in stores]
         self._dirty: set = set()
         self.splits_performed = 0
         #: The façade-level registry (set by ShardedVersionStore): fan-out
@@ -786,6 +797,51 @@ class ShardedVersionStore(VersionStore):
         boundaries = list(spec.boundaries or ())
         stores = [VersionStore.open(inner_config) for _ in range(len(boundaries) + 1)]
         return cls(ShardedEngine(stores, boundaries, spec, inner_config), config)
+
+    @classmethod
+    def resume_sharded(
+        cls,
+        config: StoreConfig,
+        *,
+        shard_devices: Sequence[Tuple[object, object]],
+        boundaries: Sequence[Key],
+        shard_keys: Sequence[set],
+    ) -> "ShardedVersionStore":
+        """Reopen a previously closed sharded store on its own devices.
+
+        ``shard_devices`` is one ``(magnetic, historical)`` pair per shard —
+        the pairs a closed store's shards left behind, each holding a
+        checkpointed TSB-tree image (only the ``tsb`` inner engine persists
+        a resumable root, so only it can be resumed).  ``boundaries`` is the
+        key-range layout *at close time* (splits may have grown it past the
+        original :class:`~repro.api.store.ShardSpec`), and ``shard_keys``
+        the per-shard written-key sets that time-slice queries and split
+        decisions need.  The server's tenant registry snapshots all three
+        when it closes a tenant, precisely so a reopen reuses the tenant's
+        devices instead of formatting fresh ones.
+        """
+        spec = config.shards
+        if spec is None:
+            raise VersionStoreError("StoreConfig.shards is required for a sharded store")
+        inner_config = replace(config, shards=None)
+        if inner_config.engine != "tsb":
+            raise VersionStoreError(
+                f"engine {inner_config.engine!r} cannot be resumed from devices; "
+                "only the TSB-tree persists a checkpointed root"
+            )
+        if len(shard_devices) != len(boundaries) + 1:
+            raise VersionStoreError(
+                f"{len(shard_devices)} device pairs need exactly "
+                f"{len(shard_devices) - 1} boundaries"
+            )
+        stores = [
+            VersionStore.open(inner_config, magnetic=magnetic, historical=historical)
+            for magnetic, historical in shard_devices
+        ]
+        engine = ShardedEngine(
+            stores, list(boundaries), spec, inner_config, shard_keys=shard_keys
+        )
+        return cls(engine, config)
 
     # ------------------------------------------------------------------
     # Shard introspection

@@ -590,6 +590,25 @@ class VersionStore:
         return self._txns
 
     @property
+    def devices(self) -> Optional[Tuple[MagneticDisk, object]]:
+        """The ``(magnetic, historical)`` device pair, for engines that can
+        be reopened from one (the TSB-tree); ``None`` otherwise.
+
+        The pair stays valid after :meth:`close` — closing checkpoints the
+        tree onto these very devices, so ``VersionStore.open(config,
+        magnetic=..., historical=...)`` over them resumes the same database.
+        The server's tenant registry uses this to reopen a tenant on its
+        existing devices instead of formatting fresh (empty) ones.
+        """
+        try:
+            backend = self._engine.backend  # type: ignore[attr-defined]
+        except (VersionStoreError, AttributeError):
+            return None  # sharded stores own one pair per shard
+        if isinstance(backend, TSBTree):
+            return backend.magnetic, backend.historical
+        return None
+
+    @property
     def log(self):
         """The attached :class:`~repro.recovery.log_manager.LogManager`, if any."""
         return self._log

@@ -37,6 +37,20 @@ The CLI exposes the experiment harness without writing any Python:
     Record the named operation under span tracing and export a Chrome
     ``trace_event`` JSON file (open in ``chrome://tracing`` or Perfetto) —
     a scatter-gather query shows one span per shard under one parent.
+
+``python -m repro serve [--port P] [--tenants a,b] [--shards N] [--wal]``
+    Serve the version store over TCP: a struct-framed, CRC-checked binary
+    protocol in front of per-tenant stores (opened on first use, resumed
+    on their own devices across close/reopen).  ``--self-test`` instead
+    starts the server on an ephemeral port, drives an oracle-checked
+    concurrent client workload through :class:`~repro.client.ReproClient`,
+    compares the answers record-for-record against an identical in-process
+    run, and exits 0/1 — the CI smoke test in one command.
+
+``python -m repro stats --server HOST:PORT``
+    Fetch a *running* server's observability snapshot (its per-op service
+    latencies, connection/in-flight gauges and batching histograms plus
+    every open tenant store's metrics) instead of driving a local workload.
 """
 
 from __future__ import annotations
@@ -507,6 +521,8 @@ def _render_stats(store, fmt: str) -> None:
 
 
 def command_stats(args: argparse.Namespace) -> int:
+    if args.server:
+        return _render_server_stats(args.server, args.format)
     with _open_observed_store(args.engine, args.ops, args.shards, args.threads) as store:
         try:
             while True:
@@ -519,6 +535,136 @@ def command_stats(args: argparse.Namespace) -> int:
                 print()
         except KeyboardInterrupt:  # pragma: no cover - interactive --watch exit
             pass
+    return 0
+
+
+def _serve_catalog(args: argparse.Namespace) -> Dict[str, StoreConfig]:
+    from repro.server import default_catalog
+
+    tenants = tuple(
+        name.strip() for name in args.tenants.split(",") if name.strip()
+    ) or ("default",)
+    return default_catalog(
+        tenants,
+        engine=args.engine,
+        shards=args.shards,
+        wal=args.wal,
+        scatter_threads=max(1, args.workers),
+    )
+
+
+def _serve_self_test(server, args: argparse.Namespace) -> int:
+    """The CI smoke: served answers must equal in-process answers.
+
+    Phase 1 (differential): one deterministic writer applies the same
+    batched items through :class:`~repro.client.ReproClient` and through
+    an identically configured in-process store; every read surface —
+    current range, mid-time snapshot, per-key history — must come back
+    record-for-record equal (same :class:`RecordView` objects).
+
+    Phase 2 (concurrent oracle): N writers + M readers drive the *server*
+    concurrently; the applied-write oracle must match the served store's
+    per-key histories exactly, with zero client errors.
+    """
+    from repro.client import ReproClient
+
+    ops, threads = args.ops, max(2, args.threads)
+    key_space = max(16, ops // 2)
+    items = [(index % key_space, f"value-{index:06d}".encode()) for index in range(ops)]
+    failures: List[str] = []
+
+    with ReproClient(server.host, server.port, tenant="default", pool_size=threads) as client:
+        client.ping()
+        served = run_concurrent(target=client, items=items, threads=1, batch_size=4)
+        if served.errors:
+            failures.append(f"serial client errors: {served.errors[:3]}")
+        with VersionStore.open(server.registry.config_for("default")) as local:
+            local_run = run_concurrent(local, items, threads=1, batch_size=4)
+            if local_run.errors:
+                failures.append(f"in-process errors: {local_run.errors[:3]}")
+            mid = max(1, local.now // 2)
+            checks = [
+                ("range_search", client.range_search(), local.range_search()),
+                ("snapshot", client.snapshot(mid), local.snapshot(mid)),
+            ] + [
+                (f"key_history({key})", client.key_history(key), local.key_history(key))
+                for key in range(0, key_space, max(1, key_space // 8))
+            ]
+            for name, over_wire, in_process in checks:
+                if over_wire != in_process:
+                    failures.append(f"served {name} differs from the in-process answer")
+        print(
+            f"phase 1: {served.writes} served writes vs in-process — "
+            f"{'identical answers' if not failures else 'MISMATCH'}"
+        )
+
+    with ReproClient(server.host, server.port, tenant="default", pool_size=threads * 2) as client:
+        before = client.now
+        result = run_concurrent(
+            target=client,
+            items=[(key, f"concurrent-{key:06d}".encode()) for key in range(ops)],
+            threads=threads,
+            reader_threads=threads,
+            batch_size=4,
+        )
+        if result.errors:
+            failures.append(f"concurrent client errors: {result.errors[:3]}")
+        for key, versions in result.history().items():
+            stored = [
+                (record.timestamp, record.value)
+                for record in client.key_history(key)
+                if record.timestamp > before
+            ]
+            if stored != versions:
+                failures.append(f"history oracle mismatch for key {key!r}")
+                break
+        print(
+            f"phase 2: {result.writes} writes ({result.writes_per_s:,.0f}/s) + "
+            f"{result.reads} reads from {threads}+{threads} concurrent clients — "
+            f"{'oracle-consistent' if not any('oracle' in f or 'concurrent' in f for f in failures) else 'FAILED'}"
+        )
+
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    print("server self-test: " + ("ok" if not failures else "FAILED"))
+    return 1 if failures else 0
+
+
+def command_serve(args: argparse.Namespace) -> int:
+    from repro.server import ReproServer
+
+    server = ReproServer(
+        _serve_catalog(args),
+        host=args.host,
+        port=args.port if not args.self_test else 0,
+        workers=max(1, args.workers),
+        max_inflight=args.max_inflight,
+    )
+    if args.self_test:
+        with server:
+            print(f"serving {', '.join(server.registry.tenants())} on {server.host}:{server.port}")
+            return _serve_self_test(server, args)
+    print(
+        f"serving tenants [{', '.join(server.registry.tenants())}] "
+        f"on {args.host}:{args.port} (engine={args.engine}, shards={args.shards}, "
+        f"wal={args.wal}) — Ctrl-C to stop"
+    )
+    server.serve_forever()
+    return 0
+
+
+def _render_server_stats(address: str, fmt: str) -> int:
+    from repro.client import ReproClient
+
+    host, _, port_text = address.rpartition(":")
+    if not host or not port_text.isdigit():
+        print(f"--server expects HOST:PORT, got {address!r}")
+        return 2
+    with ReproClient(host, int(port_text), pool_size=1) as client:
+        if fmt == "prometheus":
+            print(client.stats("prometheus"), end="")
+        else:  # table has no wire shape; JSON is the faithful rendering
+            print(json.dumps(client.stats("json"), indent=2, sort_keys=True))
     return 0
 
 
@@ -689,7 +835,75 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="re-run the workload and reprint every SECONDS until Ctrl-C",
     )
+    stats.add_argument(
+        "--server",
+        default=None,
+        metavar="HOST:PORT",
+        help="fetch a running `repro serve` instance's stats instead of "
+        "driving a local workload (--format json|prometheus)",
+    )
     stats.set_defaults(handler=command_stats)
+
+    serve = subparsers.add_parser(
+        "serve", help="serve the version store over TCP (see repro.server)"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    serve.add_argument(
+        "--port", type=int, default=7089, help="listen port (default: 7089; 0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--tenants",
+        default="default",
+        help="comma-separated tenant catalog (default: 'default')",
+    )
+    serve.add_argument(
+        "--engine",
+        choices=ENGINE_NAMES,
+        default="tsb",
+        help="engine behind every tenant (default: tsb)",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="key-range shards per tenant over the integer key domain (default: 1)",
+    )
+    serve.add_argument(
+        "--wal",
+        action="store_true",
+        help="attach a write-ahead log with group commit (tsb only)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="store worker threads bridging the event loop (default: 4)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help="admission-control cap on concurrently executing requests (default: 64)",
+    )
+    serve.add_argument(
+        "--self-test",
+        action="store_true",
+        help="start on an ephemeral port, run the oracle-checked client "
+        "workload against an in-process run, exit 0/1 (the CI smoke)",
+    )
+    serve.add_argument(
+        "--ops",
+        type=int,
+        default=600,
+        help="self-test workload size in writes (default: 600)",
+    )
+    serve.add_argument(
+        "--threads",
+        type=int,
+        default=4,
+        help="self-test concurrent writer/reader client threads (default: 4)",
+    )
+    serve.set_defaults(handler=command_serve)
 
     trace_cmd = subparsers.add_parser(
         "trace", help="record one operation's spans and export Chrome trace JSON"

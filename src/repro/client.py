@@ -1,0 +1,310 @@
+"""The synchronous wire client: the façade surface, over a socket pool.
+
+:class:`ReproClient` mirrors :class:`~repro.api.store.VersionStore` —
+``insert`` / ``put_many`` / ``get`` / ``get_as_of`` / ``range_search`` /
+``snapshot`` / ``key_history`` / ``history_between`` / ``time_slice`` /
+``now`` — but executes every call as one request/response exchange with a
+:class:`~repro.server.service.ReproServer`.  Answers come back as the same
+:class:`~repro.api.engine.RecordView` objects the in-process façade
+returns, so the differential oracles (and
+:func:`repro.workload.concurrent.run_concurrent`) compare served and
+in-process runs record-for-record.
+
+Concurrency: the client is thread-safe.  A bounded **connection pool**
+(``pool_size`` sockets, created on demand) hands each in-flight call its
+own socket, so N worker threads drive N concurrent requests; when all
+sockets are busy, callers block on the pool rather than interleaving
+frames on one stream.  Each exchange matches the response's request id
+against its own — a mismatch marks the socket poisoned and it is dropped
+from the pool.
+
+``SERVER_BUSY`` responses (the server's admission control shedding load)
+are retried ``busy_retries`` times with linear backoff, then surface as
+:exc:`ServerBusyError` — pass ``busy_retries=0`` to observe rejections
+directly, as the admission-control tests do.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import socket
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.api.engine import RecordView
+from repro.server import protocol
+from repro.server.protocol import FRAME_HEADER, Opcode, ProtocolError, Status
+from repro.storage.serialization import ByteReader, Key
+
+
+class ClientError(Exception):
+    """Base class for client-side failures (transport, protocol, pool)."""
+
+
+class ServerError(ClientError):
+    """The server reported an error executing the request."""
+
+
+class ServerBusyError(ClientError):
+    """Admission control rejected the request, and retries ran out."""
+
+
+class _PooledConnection:
+    """One socket plus its framed request/response exchange."""
+
+    def __init__(self, host: str, port: int, timeout: Optional[float]) -> None:
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover - teardown race
+            pass
+
+    def exchange(self, frame: bytes) -> bytes:
+        """Send one request frame; return the matching response body."""
+        self.sock.sendall(frame)
+        header = self._read_exactly(FRAME_HEADER.size)
+        length, crc = protocol.check_frame_header(header)
+        body = self._read_exactly(length)
+        return protocol.check_frame_body(body, crc)
+
+    def _read_exactly(self, count: int) -> bytes:
+        chunks: List[bytes] = []
+        remaining = count
+        while remaining:
+            chunk = self.sock.recv(remaining)
+            if not chunk:
+                raise protocol.TruncatedFrameError(
+                    "server closed the connection mid-frame"
+                )
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+
+class ReproClient:
+    """A pooled, thread-safe client for one tenant of a :class:`ReproServer`.
+
+    Parameters
+    ----------
+    host, port:
+        The server's listen address.
+    tenant:
+        The catalogued tenant every request names.
+    pool_size:
+        Maximum concurrent sockets (and therefore concurrent in-flight
+        requests from this client).
+    timeout:
+        Per-socket-operation timeout in seconds (``None`` blocks forever).
+    busy_retries, busy_backoff:
+        ``SERVER_BUSY`` handling: retry up to ``busy_retries`` times,
+        sleeping ``busy_backoff * attempt`` seconds between tries.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        tenant: str = "default",
+        pool_size: int = 4,
+        timeout: Optional[float] = 30.0,
+        busy_retries: int = 8,
+        busy_backoff: float = 0.01,
+    ) -> None:
+        if pool_size < 1:
+            raise ValueError("pool_size must be at least 1")
+        if busy_retries < 0:
+            raise ValueError("busy_retries must be non-negative")
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.pool_size = pool_size
+        self.timeout = timeout
+        self.busy_retries = busy_retries
+        self.busy_backoff = busy_backoff
+        self._ids = itertools.count(1)
+        self._idle: List[_PooledConnection] = []
+        self._created = 0
+        self._cond = threading.Condition()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Connection pool
+    # ------------------------------------------------------------------
+    def _checkout(self) -> _PooledConnection:
+        with self._cond:
+            while True:
+                if self._closed:
+                    raise ClientError("this ReproClient has been closed")
+                if self._idle:
+                    return self._idle.pop()
+                if self._created < self.pool_size:
+                    self._created += 1
+                    break
+                self._cond.wait(timeout=self.timeout)
+        try:
+            return _PooledConnection(self.host, self.port, self.timeout)
+        except OSError as exc:
+            with self._cond:
+                self._created -= 1
+                self._cond.notify()
+            raise ClientError(
+                f"could not connect to {self.host}:{self.port}: {exc}"
+            ) from exc
+
+    def _checkin(self, connection: _PooledConnection, healthy: bool) -> None:
+        with self._cond:
+            if healthy and not self._closed:
+                self._idle.append(connection)
+            else:
+                self._created -= 1
+                connection.close()
+            self._cond.notify()
+
+    def close(self) -> None:
+        """Close every pooled socket; further calls raise :exc:`ClientError`."""
+        with self._cond:
+            self._closed = True
+            idle, self._idle = self._idle, []
+            self._created -= len(idle)
+            self._cond.notify_all()
+        for connection in idle:
+            connection.close()
+
+    def __enter__(self) -> "ReproClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # The request/response core
+    # ------------------------------------------------------------------
+    def _request(self, opcode: Opcode, payload: bytes = b"") -> ByteReader:
+        attempt = 0
+        while True:
+            status, body = self._exchange_once(opcode, payload)
+            if status is Status.OK:
+                return body
+            if status is Status.SERVER_BUSY:
+                if attempt >= self.busy_retries:
+                    raise ServerBusyError(protocol.unpack_error(body))
+                attempt += 1
+                time.sleep(self.busy_backoff * attempt)
+                continue
+            message = protocol.unpack_error(body)
+            if status is Status.BAD_REQUEST:
+                raise ClientError(f"server rejected the request: {message}")
+            raise ServerError(message)
+
+    def _exchange_once(
+        self, opcode: Opcode, payload: bytes
+    ) -> Tuple[Status, ByteReader]:
+        request_id = next(self._ids)
+        frame = protocol.encode_request(request_id, opcode, self.tenant, payload)
+        connection = self._checkout()
+        healthy = False
+        try:
+            body = connection.exchange(frame)
+            response_id, status, reader = protocol.decode_response(body)
+            if response_id != request_id:
+                raise ProtocolError(
+                    f"response id {response_id} does not match request {request_id}"
+                )
+            healthy = True
+            return status, reader
+        except (OSError, socket.timeout) as exc:
+            raise ClientError(f"transport failure: {exc}") from exc
+        except ProtocolError as exc:
+            raise ClientError(f"protocol violation: {exc}") from exc
+        finally:
+            self._checkin(connection, healthy)
+
+    # ------------------------------------------------------------------
+    # The façade surface, over the wire
+    # ------------------------------------------------------------------
+    def ping(self) -> bool:
+        self._request(Opcode.PING)
+        return True
+
+    def insert(self, key: Key, value: bytes, timestamp: Optional[int] = None) -> int:
+        """Write one version; returns the (server-)stamped commit time."""
+        reader = self._request(Opcode.INSERT, protocol.pack_insert(key, value, timestamp))
+        return protocol.unpack_timestamp_u64(reader)
+
+    def put_many(self, items: Sequence[Tuple[Key, bytes]]) -> List[int]:
+        """Batch write; returns one commit timestamp per item, in order."""
+        reader = self._request(Opcode.PUT_MANY, protocol.pack_items(list(items)))
+        return protocol.unpack_timestamps(reader)
+
+    def delete(self, key: Key, timestamp: Optional[int] = None) -> int:
+        reader = self._request(Opcode.DELETE, protocol.pack_delete(key, timestamp))
+        return protocol.unpack_timestamp_u64(reader)
+
+    def get(self, key: Key) -> Optional[RecordView]:
+        reader = self._request(Opcode.GET, protocol.pack_key(key))
+        return protocol.unpack_optional_record(reader)
+
+    def get_as_of(self, key: Key, timestamp: int) -> Optional[RecordView]:
+        reader = self._request(Opcode.GET_AS_OF, protocol.pack_key_at(key, timestamp))
+        return protocol.unpack_optional_record(reader)
+
+    def range_search(
+        self,
+        low: Optional[Key] = None,
+        high: Optional[Key] = None,
+        as_of: Optional[int] = None,
+    ) -> List[RecordView]:
+        reader = self._request(Opcode.RANGE, protocol.pack_range(low, high, as_of))
+        return protocol.unpack_records(reader)
+
+    def snapshot(self, timestamp: int) -> Dict[Key, RecordView]:
+        reader = self._request(Opcode.SNAPSHOT, protocol.pack_timestamp_u64(timestamp))
+        return protocol.unpack_record_map(reader)
+
+    def key_history(self, key: Key) -> List[RecordView]:
+        reader = self._request(Opcode.KEY_HISTORY, protocol.pack_key(key))
+        return protocol.unpack_records(reader)
+
+    def history_between(self, key: Key, start: int, end: int) -> List[RecordView]:
+        reader = self._request(
+            Opcode.HISTORY_BETWEEN, protocol.pack_window(key, start, end)
+        )
+        return protocol.unpack_records(reader)
+
+    def time_slice(
+        self,
+        start: int,
+        end: int,
+        low: Optional[Key] = None,
+        high: Optional[Key] = None,
+    ) -> Dict[Key, List[RecordView]]:
+        reader = self._request(
+            Opcode.TIME_SLICE, protocol.pack_time_slice(start, end, low, high)
+        )
+        return protocol.unpack_history_map(reader)
+
+    @property
+    def now(self) -> int:
+        """The tenant store's current logical clock."""
+        reader = self._request(Opcode.NOW)
+        return protocol.unpack_timestamp_u64(reader)
+
+    def stats(self, fmt: str = "json"):
+        """Server-side observability: a dict (``json``) or text (``prometheus``)."""
+        reader = self._request(Opcode.STATS, protocol.pack_stats_request(fmt))
+        blob = protocol.unpack_blob(reader)
+        if fmt == "json":
+            return json.loads(blob.decode("utf-8"))
+        return blob.decode("utf-8")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ReproClient({self.host}:{self.port}, tenant={self.tenant!r}, "
+            f"pool={self.pool_size})"
+        )

@@ -1,0 +1,45 @@
+"""The network service layer: the version store, served over TCP.
+
+``repro.server`` packages three pieces:
+
+* :mod:`~repro.server.protocol` — the struct-framed, CRC-checked wire
+  protocol (WAL-style ``[length][crc][body]`` frames);
+* :mod:`~repro.server.registry` — the per-tenant store registry
+  (open-on-first-use, device-retaining close/reopen);
+* :mod:`~repro.server.service` — :class:`ReproServer`, the asyncio TCP
+  server with worker-pool dispatch, coalescing write batching and
+  ``SERVER_BUSY`` admission control.
+
+The matching synchronous client lives in :mod:`repro.client`.
+"""
+
+from repro.server.protocol import (
+    MAX_BODY_BYTES,
+    ChecksumError,
+    FrameTooLargeError,
+    Opcode,
+    ProtocolError,
+    Status,
+    TruncatedFrameError,
+)
+from repro.server.registry import (
+    StoreRegistry,
+    TenantNotResumableError,
+    UnknownTenantError,
+)
+from repro.server.service import ReproServer, default_catalog
+
+__all__ = [
+    "MAX_BODY_BYTES",
+    "ChecksumError",
+    "FrameTooLargeError",
+    "Opcode",
+    "ProtocolError",
+    "ReproServer",
+    "Status",
+    "StoreRegistry",
+    "TenantNotResumableError",
+    "TruncatedFrameError",
+    "UnknownTenantError",
+    "default_catalog",
+]

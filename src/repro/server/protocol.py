@@ -1,0 +1,501 @@
+"""The wire protocol: struct-framed, CRC-checked request/response units.
+
+The server speaks a length-prefixed binary protocol over TCP, built from the
+same :class:`~repro.storage.serialization.ByteWriter` codecs as the page
+images and framed exactly like the write-ahead log
+(:mod:`repro.recovery.log_records`)::
+
+    frame    = [u32 body length][u32 crc32(body)][body]
+    request  = [u64 request id][u8 opcode][tenant: len-prefixed utf-8][payload]
+    response = [u64 request id][u8 status][payload]
+
+The CRC plus length framing gives the server the WAL's torn-tail property
+on the wire: a connection that dies mid-frame is detected at the frame
+boundary (:exc:`TruncatedFrameError`), and a corrupted body never decodes
+silently (:exc:`ChecksumError`).  A body length above
+:data:`MAX_BODY_BYTES` is rejected *before* the body is read, so a
+malformed (or hostile) length prefix cannot make either side buffer
+gigabytes (:exc:`FrameTooLargeError`).
+
+Payload codecs are symmetric pack/unpack pairs shared by
+:class:`~repro.server.service.ReproServer` and
+:class:`~repro.client.ReproClient`, reusing the key/value/timestamp codecs
+of :mod:`repro.storage.serialization` — so a key that round-trips through a
+page image round-trips through the wire identically, and the differential
+oracles compare byte-equal answers across the in-process and served paths.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.api.engine import RecordView
+from repro.storage.serialization import (
+    ByteReader,
+    ByteWriter,
+    Key,
+    SerializationError,
+    read_key,
+    read_timestamp,
+    read_value,
+    write_key,
+    write_timestamp,
+    write_value,
+)
+
+#: [u32 body length][u32 crc32(body)] — identical to the WAL record framing.
+FRAME_HEADER = struct.Struct(">II")
+
+#: Hard per-frame payload bound.  Large batches fit comfortably (a 4 MiB
+#: frame holds tens of thousands of typical records); anything bigger is a
+#: framing error, not a workload.
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class ProtocolError(Exception):
+    """Base class for wire-format violations."""
+
+
+class TruncatedFrameError(ProtocolError):
+    """The stream ended inside a frame header or body."""
+
+
+class ChecksumError(ProtocolError):
+    """A frame body did not match its CRC."""
+
+
+class FrameTooLargeError(ProtocolError):
+    """A frame header announced a body above :data:`MAX_BODY_BYTES`."""
+
+
+class UnknownOpcodeError(ProtocolError):
+    """A well-framed request named an opcode this server does not speak.
+
+    Unlike the framing errors, the byte stream is still trustworthy — the
+    frame decoded cleanly — so the server answers ``BAD_REQUEST`` on the
+    carried ``request_id`` instead of dropping the connection.
+    """
+
+    def __init__(self, request_id: int, opcode: int) -> None:
+        super().__init__(f"unknown opcode {opcode}")
+        self.request_id = request_id
+
+
+class Opcode(enum.IntEnum):
+    """Request discriminator: one opcode per façade surface."""
+
+    PING = 1
+    INSERT = 2
+    PUT_MANY = 3
+    DELETE = 4
+    GET = 5
+    GET_AS_OF = 6
+    RANGE = 7
+    SNAPSHOT = 8
+    KEY_HISTORY = 9
+    HISTORY_BETWEEN = 10
+    TIME_SLICE = 11
+    NOW = 12
+    STATS = 13
+
+
+class Status(enum.IntEnum):
+    """Response discriminator."""
+
+    OK = 0
+    #: The operation failed server-side; payload carries the error text.
+    ERROR = 1
+    #: Admission control rejected the request (too many in flight, or this
+    #: connection exceeded its pipelining allowance).  The request was NOT
+    #: executed; the client may retry after backing off.
+    SERVER_BUSY = 2
+    #: The request could not be decoded (unknown opcode, malformed payload).
+    BAD_REQUEST = 3
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def encode_frame(body: bytes) -> bytes:
+    """Wrap ``body`` in the ``[length][crc][body]`` frame."""
+    if len(body) > MAX_BODY_BYTES:
+        raise FrameTooLargeError(
+            f"frame body of {len(body)} bytes exceeds the {MAX_BODY_BYTES}-byte bound"
+        )
+    return FRAME_HEADER.pack(len(body), zlib.crc32(body)) + body
+
+
+def decode_frame(buffer: bytes) -> Tuple[bytes, int]:
+    """Decode one frame from the head of ``buffer``.
+
+    Returns ``(body, consumed_bytes)``.  Raises :exc:`TruncatedFrameError`
+    when the buffer holds less than a whole frame — the caller reads more
+    bytes and retries (the stream analogue of the WAL's clean torn-tail
+    stop).
+    """
+    if len(buffer) < FRAME_HEADER.size:
+        raise TruncatedFrameError("incomplete frame header")
+    length, crc = FRAME_HEADER.unpack_from(buffer)
+    if length > MAX_BODY_BYTES:
+        raise FrameTooLargeError(
+            f"frame header announces {length} bytes; the bound is {MAX_BODY_BYTES}"
+        )
+    end = FRAME_HEADER.size + length
+    if len(buffer) < end:
+        raise TruncatedFrameError("incomplete frame body")
+    body = bytes(buffer[FRAME_HEADER.size : end])
+    if zlib.crc32(body) != crc:
+        raise ChecksumError("frame CRC mismatch")
+    return body, end
+
+
+def check_frame_header(header: bytes) -> Tuple[int, int]:
+    """Validate a raw 8-byte header; return ``(body_length, crc)``.
+
+    Stream readers (asyncio / socket) use this to reject an oversized
+    length prefix before allocating the body buffer.
+    """
+    if len(header) < FRAME_HEADER.size:
+        raise TruncatedFrameError("incomplete frame header")
+    length, crc = FRAME_HEADER.unpack(header)
+    if length > MAX_BODY_BYTES:
+        raise FrameTooLargeError(
+            f"frame header announces {length} bytes; the bound is {MAX_BODY_BYTES}"
+        )
+    return length, crc
+
+
+def check_frame_body(body: bytes, crc: int) -> bytes:
+    """Verify ``body`` against the header's CRC; return it unchanged."""
+    if zlib.crc32(body) != crc:
+        raise ChecksumError("frame CRC mismatch")
+    return body
+
+
+# ----------------------------------------------------------------------
+# Requests and responses
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Request:
+    """One decoded request: id, opcode, tenant, and its payload reader."""
+
+    request_id: int
+    opcode: Opcode
+    tenant: str
+    payload: ByteReader
+
+
+def encode_request(
+    request_id: int, opcode: Opcode, tenant: str, payload: bytes = b""
+) -> bytes:
+    """One request frame, ready to write to the socket."""
+    writer = ByteWriter()
+    writer.put_u64(request_id)
+    writer.put_u8(int(opcode))
+    writer.put_bytes(tenant.encode("utf-8"))
+    writer.put_raw(payload)
+    return encode_frame(writer.getvalue())
+
+
+def decode_request(body: bytes) -> Request:
+    """Decode a request frame body (raises :exc:`ProtocolError` if malformed)."""
+    reader = ByteReader(body)
+    try:
+        request_id = reader.get_u64()
+        opcode_raw = reader.get_u8()
+        tenant = reader.get_bytes().decode("utf-8")
+    except (SerializationError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"malformed request envelope: {exc}") from exc
+    try:
+        opcode = Opcode(opcode_raw)
+    except ValueError as exc:
+        raise UnknownOpcodeError(request_id, opcode_raw) from exc
+    return Request(request_id=request_id, opcode=opcode, tenant=tenant, payload=reader)
+
+
+def encode_response(request_id: int, status: Status, payload: bytes = b"") -> bytes:
+    """One response frame, ready to write to the socket."""
+    writer = ByteWriter()
+    writer.put_u64(request_id)
+    writer.put_u8(int(status))
+    writer.put_raw(payload)
+    return encode_frame(writer.getvalue())
+
+
+def decode_response(body: bytes) -> Tuple[int, Status, ByteReader]:
+    """Decode a response frame body into ``(request_id, status, payload)``."""
+    reader = ByteReader(body)
+    try:
+        request_id = reader.get_u64()
+        status = Status(reader.get_u8())
+    except (SerializationError, ValueError) as exc:
+        raise ProtocolError(f"malformed response envelope: {exc}") from exc
+    return request_id, status, reader
+
+
+def pack_error(message: str) -> bytes:
+    """ERROR / BAD_REQUEST payload: the error text."""
+    writer = ByteWriter()
+    writer.put_bytes(message.encode("utf-8"))
+    return writer.getvalue()
+
+
+def unpack_error(reader: ByteReader) -> str:
+    try:
+        return reader.get_bytes().decode("utf-8")
+    except (SerializationError, UnicodeDecodeError):  # pragma: no cover - defensive
+        return "<unreadable error payload>"
+
+
+# ----------------------------------------------------------------------
+# Shared value codecs
+# ----------------------------------------------------------------------
+def _write_optional_key(writer: ByteWriter, key: Optional[Key]) -> None:
+    if key is None:
+        writer.put_u8(0)
+    else:
+        writer.put_u8(1)
+        write_key(writer, key)
+
+
+def _read_optional_key(reader: ByteReader) -> Optional[Key]:
+    return read_key(reader) if reader.get_u8() else None
+
+
+def _write_record(writer: ByteWriter, record: RecordView) -> None:
+    write_key(writer, record.key)
+    writer.put_u64(record.timestamp)
+    write_value(writer, record.value)
+
+
+def _read_record(reader: ByteReader) -> RecordView:
+    key = read_key(reader)
+    timestamp = reader.get_u64()
+    value = read_value(reader)
+    return RecordView(key=key, timestamp=timestamp, value=value)
+
+
+def pack_records(records: Sequence[RecordView]) -> bytes:
+    writer = ByteWriter()
+    writer.put_u32(len(records))
+    for record in records:
+        _write_record(writer, record)
+    return writer.getvalue()
+
+
+def unpack_records(reader: ByteReader) -> List[RecordView]:
+    return [_read_record(reader) for _ in range(reader.get_u32())]
+
+
+def pack_optional_record(record: Optional[RecordView]) -> bytes:
+    writer = ByteWriter()
+    if record is None:
+        writer.put_u8(0)
+    else:
+        writer.put_u8(1)
+        _write_record(writer, record)
+    return writer.getvalue()
+
+
+def unpack_optional_record(reader: ByteReader) -> Optional[RecordView]:
+    return _read_record(reader) if reader.get_u8() else None
+
+
+# ----------------------------------------------------------------------
+# Per-opcode payload codecs (request side)
+# ----------------------------------------------------------------------
+def pack_insert(key: Key, value: bytes, timestamp: Optional[int]) -> bytes:
+    writer = ByteWriter()
+    write_key(writer, key)
+    write_value(writer, value)
+    write_timestamp(writer, timestamp)
+    return writer.getvalue()
+
+
+def unpack_insert(reader: ByteReader) -> Tuple[Key, bytes, Optional[int]]:
+    return read_key(reader), read_value(reader), read_timestamp(reader)
+
+
+def pack_delete(key: Key, timestamp: Optional[int]) -> bytes:
+    writer = ByteWriter()
+    write_key(writer, key)
+    write_timestamp(writer, timestamp)
+    return writer.getvalue()
+
+
+def unpack_delete(reader: ByteReader) -> Tuple[Key, Optional[int]]:
+    return read_key(reader), read_timestamp(reader)
+
+
+def pack_items(items: Sequence[Tuple[Key, bytes]]) -> bytes:
+    writer = ByteWriter()
+    writer.put_u32(len(items))
+    for key, value in items:
+        write_key(writer, key)
+        write_value(writer, value)
+    return writer.getvalue()
+
+
+def unpack_items(reader: ByteReader) -> List[Tuple[Key, bytes]]:
+    return [
+        (read_key(reader), read_value(reader)) for _ in range(reader.get_u32())
+    ]
+
+
+def pack_key(key: Key) -> bytes:
+    writer = ByteWriter()
+    write_key(writer, key)
+    return writer.getvalue()
+
+
+def unpack_key(reader: ByteReader) -> Key:
+    return read_key(reader)
+
+
+def pack_key_at(key: Key, timestamp: int) -> bytes:
+    writer = ByteWriter()
+    write_key(writer, key)
+    writer.put_u64(timestamp)
+    return writer.getvalue()
+
+
+def unpack_key_at(reader: ByteReader) -> Tuple[Key, int]:
+    return read_key(reader), reader.get_u64()
+
+
+def pack_range(
+    low: Optional[Key], high: Optional[Key], as_of: Optional[int]
+) -> bytes:
+    writer = ByteWriter()
+    _write_optional_key(writer, low)
+    _write_optional_key(writer, high)
+    write_timestamp(writer, as_of)
+    return writer.getvalue()
+
+
+def unpack_range(reader: ByteReader) -> Tuple[Optional[Key], Optional[Key], Optional[int]]:
+    return (
+        _read_optional_key(reader),
+        _read_optional_key(reader),
+        read_timestamp(reader),
+    )
+
+
+def pack_window(key: Key, start: int, end: int) -> bytes:
+    writer = ByteWriter()
+    write_key(writer, key)
+    writer.put_u64(start)
+    writer.put_u64(end)
+    return writer.getvalue()
+
+
+def unpack_window(reader: ByteReader) -> Tuple[Key, int, int]:
+    return read_key(reader), reader.get_u64(), reader.get_u64()
+
+
+def pack_time_slice(
+    start: int, end: int, low: Optional[Key], high: Optional[Key]
+) -> bytes:
+    writer = ByteWriter()
+    writer.put_u64(start)
+    writer.put_u64(end)
+    _write_optional_key(writer, low)
+    _write_optional_key(writer, high)
+    return writer.getvalue()
+
+
+def unpack_time_slice(
+    reader: ByteReader,
+) -> Tuple[int, int, Optional[Key], Optional[Key]]:
+    return (
+        reader.get_u64(),
+        reader.get_u64(),
+        _read_optional_key(reader),
+        _read_optional_key(reader),
+    )
+
+
+def pack_timestamp_u64(timestamp: int) -> bytes:
+    writer = ByteWriter()
+    writer.put_u64(timestamp)
+    return writer.getvalue()
+
+
+def unpack_timestamp_u64(reader: ByteReader) -> int:
+    return reader.get_u64()
+
+
+def pack_timestamps(timestamps: Sequence[int]) -> bytes:
+    writer = ByteWriter()
+    writer.put_u32(len(timestamps))
+    for timestamp in timestamps:
+        writer.put_u64(timestamp)
+    return writer.getvalue()
+
+
+def unpack_timestamps(reader: ByteReader) -> List[int]:
+    return [reader.get_u64() for _ in range(reader.get_u32())]
+
+
+def _sorted_keys(keys) -> list:
+    """Deterministic key order even when int and str keys coexist."""
+    return sorted(keys, key=lambda key: (isinstance(key, str), key))
+
+
+def pack_record_map(snapshot: Dict[Key, RecordView]) -> bytes:
+    """SNAPSHOT answer: the records, key order (keys ride inside records)."""
+    writer = ByteWriter()
+    records = [snapshot[key] for key in _sorted_keys(snapshot)]
+    writer.put_u32(len(records))
+    for record in records:
+        _write_record(writer, record)
+    return writer.getvalue()
+
+
+def unpack_record_map(reader: ByteReader) -> Dict[Key, RecordView]:
+    return {record.key: record for record in unpack_records(reader)}
+
+
+def pack_history_map(histories: Dict[Key, List[RecordView]]) -> bytes:
+    """TIME_SLICE answer: per-key version lists, key order."""
+    writer = ByteWriter()
+    writer.put_u32(len(histories))
+    for key in _sorted_keys(histories):
+        write_key(writer, key)
+        records = histories[key]
+        writer.put_u32(len(records))
+        for record in records:
+            _write_record(writer, record)
+    return writer.getvalue()
+
+
+def unpack_history_map(reader: ByteReader) -> Dict[Key, List[RecordView]]:
+    result: Dict[Key, List[RecordView]] = {}
+    for _ in range(reader.get_u32()):
+        key = read_key(reader)
+        result[key] = [_read_record(reader) for _ in range(reader.get_u32())]
+    return result
+
+
+def pack_stats_request(fmt: str) -> bytes:
+    writer = ByteWriter()
+    writer.put_bytes(fmt.encode("utf-8"))
+    return writer.getvalue()
+
+
+def unpack_stats_request(reader: ByteReader) -> str:
+    return reader.get_bytes().decode("utf-8")
+
+
+def pack_blob(data: bytes) -> bytes:
+    writer = ByteWriter()
+    writer.put_bytes(data)
+    return writer.getvalue()
+
+
+def unpack_blob(reader: ByteReader) -> bytes:
+    return reader.get_bytes()

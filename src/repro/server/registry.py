@@ -1,0 +1,204 @@
+"""Per-tenant store registry: open-on-first-use, resume-on-reopen.
+
+The server multiplexes many logical databases ("tenants") behind one
+listener.  A :class:`StoreRegistry` owns the mapping:
+
+* the **catalog** declares each tenant's :class:`~repro.api.StoreConfig`
+  up front (engine, page size, WAL, sharding);
+* a tenant's store is **opened on first use** — a server with a thousand
+  catalogued tenants pays only for the ones clients actually touch;
+* **closing a tenant retains its devices**: for engines that persist a
+  checkpointed root (the TSB-tree, sharded or not), the registry snapshots
+  the device pair(s) — plus, for a sharded store, the boundary layout and
+  per-shard key sets — and the next :meth:`get` *resumes* from them instead
+  of formatting fresh ones.  Reopen-after-close therefore preserves every
+  committed version; recreating the devices (the naive implementation)
+  would silently serve an empty database.
+* :meth:`close_all` is the clean-shutdown hook: every open store is closed
+  (checkpointing where supported), with resume state retained so the same
+  registry can serve again.
+
+Thread safety: every method takes the registry lock.  Store *operations*
+are not the registry's concern — the stores themselves are thread-safe —
+only open/close/resume transitions are serialized here.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.api.engine import VersionStoreError
+from repro.api.sharded import ShardedVersionStore
+from repro.api.store import StoreConfig, VersionStore
+from repro.storage.serialization import Key
+
+
+class UnknownTenantError(VersionStoreError):
+    """A request named a tenant the catalog does not declare."""
+
+
+class TenantNotResumableError(VersionStoreError):
+    """A closed tenant's engine cannot be reopened from its devices."""
+
+
+@dataclass
+class _ResumeState:
+    """Everything needed to reopen a closed tenant on its own devices."""
+
+    #: One ``(magnetic, historical)`` pair per shard (a single-store tenant
+    #: has exactly one pair).
+    shard_devices: List[Tuple[object, object]]
+    #: Key-range boundaries at close time (empty for a single store).
+    boundaries: List[Key] = field(default_factory=list)
+    #: Per-shard written-key sets at close time (sharded tenants only).
+    shard_keys: List[set] = field(default_factory=list)
+    sharded: bool = False
+
+
+class StoreRegistry:
+    """Open-on-first-use tenant stores over a declarative catalog."""
+
+    def __init__(self, catalog: Dict[str, StoreConfig]) -> None:
+        if not catalog:
+            raise ValueError("a registry needs at least one catalogued tenant")
+        self._catalog = dict(catalog)
+        self._stores: Dict[str, VersionStore] = {}
+        self._resume: Dict[str, _ResumeState] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def catalog(self) -> Dict[str, StoreConfig]:
+        return dict(self._catalog)
+
+    def tenants(self) -> List[str]:
+        """Every catalogued tenant name, sorted."""
+        return sorted(self._catalog)
+
+    def open_tenants(self) -> List[str]:
+        """Tenants whose stores are currently open, sorted."""
+        with self._lock:
+            return sorted(
+                name for name, store in self._stores.items() if not store.closed
+            )
+
+    def config_for(self, tenant: str) -> StoreConfig:
+        try:
+            return self._catalog[tenant]
+        except KeyError:
+            raise UnknownTenantError(
+                f"unknown tenant {tenant!r}; catalogued: {', '.join(self.tenants())}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def get(self, tenant: str) -> VersionStore:
+        """The tenant's open store — opened (or resumed) on first use."""
+        config = self.config_for(tenant)
+        with self._lock:
+            if self._closed:
+                raise VersionStoreError("this StoreRegistry has been shut down")
+            store = self._stores.get(tenant)
+            if store is not None and not store.closed:
+                return store
+            resume = self._resume.pop(tenant, None)
+            store = self._open(config, resume)
+            self._stores[tenant] = store
+            return store
+
+    @staticmethod
+    def _open(config: StoreConfig, resume: Optional[_ResumeState]) -> VersionStore:
+        if resume is None:
+            return VersionStore.open(config)
+        if resume.sharded:
+            return ShardedVersionStore.resume_sharded(
+                config,
+                shard_devices=resume.shard_devices,
+                boundaries=resume.boundaries,
+                shard_keys=resume.shard_keys,
+            )
+        magnetic, historical = resume.shard_devices[0]
+        return VersionStore.open(config, magnetic=magnetic, historical=historical)
+
+    def close_tenant(self, tenant: str) -> None:
+        """Close one tenant's store, retaining its devices for a resume.
+
+        Engines without a checkpointed root (``wobt``, ``naive``, and
+        sharded stores over them) cannot be reopened from devices; closing
+        such a tenant raises :exc:`TenantNotResumableError` *before*
+        closing, so no data is silently lost.  Use :meth:`close_all` at
+        shutdown, where losing the in-memory simulation is the point.
+        """
+        self.config_for(tenant)
+        with self._lock:
+            store = self._stores.get(tenant)
+            if store is None or store.closed:
+                return
+            resume = self._capture_resume_state(store)
+            if resume is None:
+                raise TenantNotResumableError(
+                    f"tenant {tenant!r} ({store.config.engine!r}) has no "
+                    "checkpointed root to resume from; only TSB-backed "
+                    "tenants support close-and-reopen"
+                )
+            store.close()
+            self._resume[tenant] = resume
+            del self._stores[tenant]
+
+    @staticmethod
+    def _capture_resume_state(store: VersionStore) -> Optional[_ResumeState]:
+        """Snapshot the store's devices (and shard layout) before closing.
+
+        Must run *before* ``close()``: a sharded store's boundary list and
+        key sets live on its engine, and capturing them afterwards would
+        race a concurrent split.
+        """
+        if isinstance(store, ShardedVersionStore):
+            engine = store.sharded_engine
+            pairs: List[Tuple[object, object]] = []
+            for inner in engine.stores:
+                devices = inner.devices
+                if devices is None:
+                    return None
+                pairs.append(devices)
+            return _ResumeState(
+                shard_devices=pairs,
+                boundaries=list(engine.boundaries),
+                shard_keys=[set(keys) for keys in engine._shard_keys],
+                sharded=True,
+            )
+        devices = store.devices
+        if devices is None:
+            return None
+        return _ResumeState(shard_devices=[devices])
+
+    def close_all(self) -> None:
+        """Close every open store (clean shutdown), retaining resume state
+        where the engine supports it."""
+        with self._lock:
+            for tenant, store in list(self._stores.items()):
+                if store.closed:
+                    continue
+                resume = self._capture_resume_state(store)
+                store.close()
+                if resume is not None:
+                    self._resume[tenant] = resume
+            self._stores.clear()
+
+    def shutdown(self) -> None:
+        """:meth:`close_all`, then refuse further opens."""
+        self.close_all()
+        with self._lock:
+            self._closed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StoreRegistry(tenants={len(self._catalog)}, "
+            f"open={len(self._stores)})"
+        )

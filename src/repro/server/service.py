@@ -1,0 +1,576 @@
+"""The asyncio TCP server: the version store, served over the wire.
+
+:class:`ReproServer` promotes the in-process façade to a served database:
+
+* **Framing** — requests and responses travel in the CRC-checked
+  ``[length][crc][body]`` frames of :mod:`repro.server.protocol`.  A
+  malformed frame (bad CRC, oversized length, truncated body) poisons the
+  byte stream, so the connection is dropped; other connections are
+  untouched and a fresh connect is served normally.
+* **Tenants** — every request names a tenant; stores open on first use
+  from the :class:`~repro.server.registry.StoreRegistry` catalog and close
+  (checkpointing) at shutdown.
+* **Dispatch** — the asyncio loop never touches a store: requests are
+  bridged to the thread-safe façade on a bounded worker pool
+  (``loop.run_in_executor``), so a slow scatter-gather query never stalls
+  frame reading or other connections.
+* **Write batching** — concurrent auto-stamped ``insert`` and ``put_many``
+  requests for one tenant coalesce in a per-tenant
+  :class:`_WriteBatcher`: while one ``put_many`` is applying, arriving
+  writes queue, and the next drain applies them as a single batch — the
+  served analogue of group commit, riding the store's own
+  transactional/group-commit path (and preserving the store-stamped
+  commit order the differential oracles check).
+* **Admission control** — at most ``max_inflight`` requests execute
+  server-wide and at most ``max_pending_per_connection`` per connection;
+  excess requests are *rejected immediately* with an explicit
+  ``SERVER_BUSY`` status rather than queued without bound, so an
+  overloaded server degrades by shedding load, not by growing latency.
+* **Observability** — per-op service latency histograms
+  (``server.op.<name>``), connection / in-flight gauges and
+  request/busy/error counters land in a :mod:`repro.obs` registry; the
+  ``STATS`` opcode renders the whole picture as JSON or Prometheus text
+  for ``repro stats --server``.
+
+The server runs its event loop on a dedicated thread (:meth:`start` /
+:meth:`stop`, or a ``with`` block), so synchronous clients, tests and the
+CLI drive it without touching asyncio.  :meth:`stop` is a graceful
+shutdown: stop accepting, let in-flight requests finish, close every
+connection, then close every tenant store.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.api.engine import VersionStoreError
+from repro.api.sharded import ShardedVersionStore
+from repro.api.store import StoreConfig
+from repro.obs.prometheus import render_prometheus
+from repro.obs.registry import COUNT_BUCKETS, MetricsRegistry
+from repro.server import protocol
+from repro.server.protocol import (
+    FRAME_HEADER,
+    Opcode,
+    ProtocolError,
+    Request,
+    Status,
+)
+from repro.server.registry import StoreRegistry
+from repro.storage.serialization import Key, SerializationError
+
+
+class _Connection:
+    """Per-connection server state: the writer, its lock, and backpressure."""
+
+    __slots__ = ("writer", "lock", "pending")
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.lock = asyncio.Lock()
+        #: Requests admitted on this connection and not yet responded to.
+        self.pending = 0
+
+    async def send(self, frame: bytes) -> None:
+        """Write one response frame (serialized; concurrent tasks respond)."""
+        async with self.lock:
+            try:
+                self.writer.write(frame)
+                await self.writer.drain()
+            except (ConnectionError, OSError):
+                pass  # client went away; its request was still executed
+
+
+class _WriteBatcher:
+    """Coalesce one tenant's concurrent writes into ``put_many`` batches.
+
+    Submissions append to a pending list; a single drain task (started on
+    demand, never more than one per tenant) repeatedly swaps the list out,
+    applies the concatenated items as **one** ``store.put_many`` call on
+    the worker pool, and distributes the store-assigned timestamps back to
+    each submitter.  While a batch is applying, new arrivals queue for the
+    next swap — exactly the arrival-batching shape of the WAL's group
+    commit, one level up.
+    """
+
+    def __init__(self, server: "ReproServer", tenant: str) -> None:
+        self._server = server
+        self._tenant = tenant
+        self._pending: List[Tuple[List[Tuple[Key, bytes]], asyncio.Future]] = []
+        self._draining = False
+
+    async def submit(self, items: List[Tuple[Key, bytes]]) -> List[int]:
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((items, future))
+        if not self._draining:
+            self._draining = True
+            task = loop.create_task(self._drain())
+            self._server._track(task)
+        return await future
+
+    def _apply(self, items: List[Tuple[Key, bytes]]) -> List[int]:
+        return self._server.registry.get(self._tenant).put_many(items)
+
+    async def _drain(self) -> None:
+        loop = asyncio.get_running_loop()
+        metrics = self._server.metrics
+        while self._pending:
+            batch = self._pending
+            self._pending = []
+            items = [item for request_items, _ in batch for item in request_items]
+            try:
+                stamps = await loop.run_in_executor(
+                    self._server._pool, self._apply, items
+                )
+            except Exception as exc:  # noqa: BLE001 - delivered to every waiter
+                for _, future in batch:
+                    if not future.done():
+                        future.set_exception(exc)
+                continue
+            metrics.observe("server.batch.requests", len(batch), bounds=COUNT_BUCKETS)
+            metrics.observe("server.batch.items", len(items), bounds=COUNT_BUCKETS)
+            offset = 0
+            for request_items, future in batch:
+                count = len(request_items)
+                if not future.done():
+                    future.set_result(stamps[offset : offset + count])
+                offset += count
+        self._draining = False
+
+
+class ReproServer:
+    """Serve a :class:`~repro.server.registry.StoreRegistry` over TCP.
+
+    Parameters
+    ----------
+    catalog:
+        ``{tenant: StoreConfig}`` — or an already-built
+        :class:`StoreRegistry` to share one registry across servers.
+    host, port:
+        Listen address; ``port=0`` binds an ephemeral port (read the
+        chosen one back from :attr:`port` after :meth:`start`).
+    workers:
+        Worker-pool threads bridging the asyncio loop to the stores.
+    max_inflight:
+        Server-wide cap on concurrently executing requests; excess
+        requests are answered ``SERVER_BUSY``.
+    max_pending_per_connection:
+        Per-connection pipelining allowance, same rejection.
+    """
+
+    def __init__(
+        self,
+        catalog,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        workers: int = 4,
+        max_inflight: int = 64,
+        max_pending_per_connection: int = 32,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
+        if max_pending_per_connection < 1:
+            raise ValueError("max_pending_per_connection must be at least 1")
+        self.registry = (
+            catalog if isinstance(catalog, StoreRegistry) else StoreRegistry(catalog)
+        )
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.max_inflight = max_inflight
+        self.max_pending_per_connection = max_pending_per_connection
+        #: Per-op service latencies, connection/inflight gauges, request /
+        #: busy / error counters — the server's face in ``repro.obs``.
+        self.metrics = metrics or MetricsRegistry(name="server")
+
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._startup_error: Optional[BaseException] = None
+        self._tasks: set = set()
+        self._connections: set = set()
+        self._batchers: Dict[str, _WriteBatcher] = {}
+        self._inflight = 0
+        self._shutting_down = False
+        self._stopped = threading.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ReproServer":
+        """Start serving on a background thread; returns once bound."""
+        if self._thread is not None:
+            raise RuntimeError("this ReproServer was already started")
+        ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, args=(ready,), name="repro-server", daemon=True
+        )
+        self._thread.start()
+        ready.wait(timeout=30)
+        if self._startup_error is not None:
+            self._thread.join(timeout=5)
+            raise RuntimeError(
+                f"server failed to start: {self._startup_error}"
+            ) from self._startup_error
+        if self._server is None:
+            raise RuntimeError("server failed to start (no listener bound)")
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Graceful shutdown; returns once every store is closed."""
+        loop, thread = self._loop, self._thread
+        if loop is None or thread is None:
+            return
+        if not self._stopped.is_set():
+            try:
+                loop.call_soon_threadsafe(self._request_stop)
+            except RuntimeError:  # loop already closed
+                pass
+        thread.join(timeout=timeout)
+        if thread.is_alive():  # pragma: no cover - diagnostic path
+            raise RuntimeError("server did not shut down in time")
+
+    def serve_forever(self) -> None:
+        """Start and block until interrupted (the CLI foreground mode)."""
+        self.start()
+        try:
+            while self._thread is not None and self._thread.is_alive():
+                self._thread.join(timeout=0.5)
+        except KeyboardInterrupt:  # pragma: no cover - interactive exit
+            pass
+        finally:
+            self.stop()
+
+    def __enter__(self) -> "ReproServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.host, self.port
+
+    def _request_stop(self) -> None:
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    def _run(self, ready: threading.Event) -> None:
+        try:
+            asyncio.run(self._main(ready))
+        except BaseException as exc:  # pragma: no cover - loop crash diagnostics
+            self._startup_error = self._startup_error or exc
+        finally:
+            ready.set()
+            self._stopped.set()
+
+    async def _main(self, ready: threading.Event) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="server-worker"
+        )
+        try:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.host, self.port
+            )
+        except OSError as exc:
+            self._startup_error = exc
+            self._pool.shutdown(wait=False)
+            ready.set()
+            return
+        sockets = self._server.sockets or ()
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+        ready.set()
+        await self._stop_event.wait()
+        await self._shutdown()
+
+    async def _shutdown(self) -> None:
+        """Stop accepting, drain in-flight work, close connections and stores."""
+        self._shutting_down = True
+        assert self._server is not None
+        self._server.close()
+        await self._server.wait_closed()
+        pending = [task for task in self._tasks if not task.done()]
+        if pending:
+            await asyncio.wait(pending, timeout=10)
+        for connection in list(self._connections):
+            connection.writer.close()
+        await asyncio.sleep(0)  # let the read loops observe the close
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+        self.registry.close_all()
+
+    def _track(self, task: "asyncio.Task") -> None:
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if self._shutting_down:
+            writer.close()
+            return
+        connection = _Connection(writer)
+        self._connections.add(connection)
+        self.metrics.set_gauge("server.connections", len(self._connections))
+        try:
+            await self._read_loop(reader, connection)
+        except (ConnectionError, OSError):
+            pass  # peer reset mid-write/read
+        finally:
+            self._connections.discard(connection)
+            self.metrics.set_gauge("server.connections", len(self._connections))
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown race
+                pass
+
+    async def _read_loop(
+        self, reader: asyncio.StreamReader, connection: _Connection
+    ) -> None:
+        while True:
+            try:
+                header = await reader.readexactly(FRAME_HEADER.size)
+            except asyncio.IncompleteReadError:
+                return  # clean EOF, or the client died mid-header
+            try:
+                length, crc = protocol.check_frame_header(header)
+                body = await reader.readexactly(length)
+                protocol.check_frame_body(body, crc)
+                request = protocol.decode_request(body)
+            except protocol.UnknownOpcodeError as exc:
+                # The frame decoded cleanly — only the opcode is foreign.
+                # The stream is intact, so reject the request and carry on.
+                self.metrics.inc("server.protocol_errors")
+                await connection.send(
+                    protocol.encode_response(
+                        exc.request_id, Status.BAD_REQUEST, protocol.pack_error(str(exc))
+                    )
+                )
+                continue
+            except asyncio.IncompleteReadError:
+                # Truncated body: the peer died inside a frame — the wire
+                # analogue of the WAL's torn tail.  Nothing to answer.
+                self.metrics.inc("server.protocol_errors")
+                return
+            except ProtocolError:
+                # Oversized length prefix or CRC mismatch: the byte stream
+                # itself cannot be trusted past this point, so the frame
+                # boundary is gone.  Drop the connection; the listener and
+                # every other connection carry on.
+                self.metrics.inc("server.protocol_errors")
+                return
+            if self._shutting_down:
+                await connection.send(
+                    protocol.encode_response(
+                        request.request_id,
+                        Status.ERROR,
+                        protocol.pack_error("server is shutting down"),
+                    )
+                )
+                continue
+            if (
+                self._inflight >= self.max_inflight
+                or connection.pending >= self.max_pending_per_connection
+            ):
+                self.metrics.inc("server.busy")
+                await connection.send(
+                    protocol.encode_response(
+                        request.request_id,
+                        Status.SERVER_BUSY,
+                        protocol.pack_error(
+                            f"admission limit reached "
+                            f"({self._inflight} in flight server-wide, "
+                            f"{connection.pending} pending on this connection)"
+                        ),
+                    )
+                )
+                continue
+            self._inflight += 1
+            connection.pending += 1
+            self.metrics.inc("server.requests")
+            self.metrics.set_gauge("server.inflight", self._inflight)
+            task = asyncio.get_running_loop().create_task(
+                self._serve_request(connection, request)
+            )
+            self._track(task)
+
+    async def _serve_request(self, connection: _Connection, request: Request) -> None:
+        started = perf_counter()
+        opname = request.opcode.name.lower()
+        try:
+            status, payload = await self._execute(request)
+        except (ProtocolError, SerializationError) as exc:
+            self.metrics.inc("server.protocol_errors")
+            status, payload = Status.BAD_REQUEST, protocol.pack_error(str(exc))
+        except Exception as exc:  # noqa: BLE001 - the server must outlive any op
+            self.metrics.inc("server.errors")
+            status, payload = (
+                Status.ERROR,
+                protocol.pack_error(f"{type(exc).__name__}: {exc}"),
+            )
+        finally:
+            self._inflight -= 1
+            connection.pending -= 1
+            self.metrics.set_gauge("server.inflight", self._inflight)
+        self.metrics.observe(f"server.op.{opname}", perf_counter() - started)
+        await connection.send(
+            protocol.encode_response(request.request_id, status, payload)
+        )
+
+    # ------------------------------------------------------------------
+    # Request execution
+    # ------------------------------------------------------------------
+    def _batcher(self, tenant: str) -> _WriteBatcher:
+        batcher = self._batchers.get(tenant)
+        if batcher is None:
+            batcher = self._batchers[tenant] = _WriteBatcher(self, tenant)
+        return batcher
+
+    async def _execute(self, request: Request) -> Tuple[Status, bytes]:
+        loop = asyncio.get_running_loop()
+        opcode = request.opcode
+        if opcode is Opcode.PING:
+            return Status.OK, b""
+        if opcode is Opcode.STATS:
+            fmt = protocol.unpack_stats_request(request.payload)
+            rendered = await loop.run_in_executor(self._pool, self._render_stats, fmt)
+            return Status.OK, protocol.pack_blob(rendered)
+        if opcode is Opcode.PUT_MANY:
+            items = protocol.unpack_items(request.payload)
+            stamps = await self._batcher(request.tenant).submit(items)
+            return Status.OK, protocol.pack_timestamps(stamps)
+        if opcode is Opcode.INSERT:
+            key, value, timestamp = protocol.unpack_insert(request.payload)
+            if timestamp is None:
+                # Auto-stamped inserts ride the tenant's write batcher: many
+                # concurrent single-record requests become one put_many.
+                stamps = await self._batcher(request.tenant).submit([(key, value)])
+                return Status.OK, protocol.pack_timestamp_u64(stamps[0])
+            stamped = await loop.run_in_executor(
+                self._pool, self._insert_at, request.tenant, key, value, timestamp
+            )
+            return Status.OK, protocol.pack_timestamp_u64(stamped)
+        payload = await loop.run_in_executor(self._pool, self._dispatch_sync, request)
+        return Status.OK, payload
+
+    def _insert_at(self, tenant: str, key: Key, value: bytes, timestamp: int) -> int:
+        return self.registry.get(tenant).insert(key, value, timestamp=timestamp)
+
+    def _dispatch_sync(self, request: Request) -> bytes:
+        """Read-side (and explicitly stamped) ops, on a worker thread."""
+        opcode, reader = request.opcode, request.payload
+        store = self.registry.get(request.tenant)
+        if opcode is Opcode.GET:
+            return protocol.pack_optional_record(store.get(protocol.unpack_key(reader)))
+        if opcode is Opcode.GET_AS_OF:
+            key, timestamp = protocol.unpack_key_at(reader)
+            return protocol.pack_optional_record(store.get_as_of(key, timestamp))
+        if opcode is Opcode.RANGE:
+            low, high, as_of = protocol.unpack_range(reader)
+            return protocol.pack_records(store.range_search(low, high, as_of=as_of))
+        if opcode is Opcode.SNAPSHOT:
+            timestamp = protocol.unpack_timestamp_u64(reader)
+            return protocol.pack_record_map(store.snapshot(timestamp))
+        if opcode is Opcode.KEY_HISTORY:
+            return protocol.pack_records(store.key_history(protocol.unpack_key(reader)))
+        if opcode is Opcode.HISTORY_BETWEEN:
+            key, start, end = protocol.unpack_window(reader)
+            return protocol.pack_records(store.history_between(key, start, end))
+        if opcode is Opcode.TIME_SLICE:
+            start, end, low, high = protocol.unpack_time_slice(reader)
+            if not isinstance(store, ShardedVersionStore):
+                raise VersionStoreError(
+                    "time_slice requires a sharded store; tenant "
+                    f"{request.tenant!r} is single-shard"
+                )
+            return protocol.pack_history_map(
+                store.time_slice(start, end, low=low, high=high)
+            )
+        if opcode is Opcode.NOW:
+            return protocol.pack_timestamp_u64(store.now)
+        if opcode is Opcode.DELETE:
+            key, timestamp = protocol.unpack_delete(reader)
+            return protocol.pack_timestamp_u64(store.delete(key, timestamp=timestamp))
+        raise ProtocolError(f"unhandled opcode {opcode!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Stats rendering (the STATS opcode)
+    # ------------------------------------------------------------------
+    def _tenant_registries(self) -> List[MetricsRegistry]:
+        registries: List[MetricsRegistry] = []
+        for tenant in self.registry.open_tenants():
+            store = self.registry.get(tenant)
+            registries.append(store.metrics)
+            if isinstance(store, ShardedVersionStore):
+                registries.extend(inner.metrics for inner in store.shard_stores)
+        return registries
+
+    def _render_stats(self, fmt: str) -> bytes:
+        if fmt == "prometheus":
+            aggregate = MetricsRegistry.aggregate(
+                [self.metrics] + self._tenant_registries(), name="server"
+            )
+            return render_prometheus(aggregate).encode("utf-8")
+        if fmt == "json":
+            snapshot = {
+                "server": self.metrics.snapshot(),
+                "tenants": {
+                    tenant: self.registry.get(tenant).metrics_snapshot()
+                    for tenant in self.registry.open_tenants()
+                },
+            }
+            return json.dumps(snapshot, sort_keys=True, default=str).encode("utf-8")
+        raise ProtocolError(f"unknown stats format {fmt!r}; use 'json' or 'prometheus'")
+
+
+def default_catalog(
+    tenants: Sequence[str] = ("default",),
+    *,
+    engine: str = "tsb",
+    shards: int = 1,
+    key_space: int = 1 << 20,
+    wal: bool = False,
+    scatter_threads: int = 1,
+) -> Dict[str, StoreConfig]:
+    """A uniform catalog: every named tenant gets the same store shape.
+
+    ``shards > 1`` key-range-partitions each tenant over the integer key
+    domain ``[0, key_space)``; ``wal`` attaches per-shard write-ahead logs
+    with group commit (``tsb`` only), which is what lets the server's
+    write batching ride group commit end to end.
+    """
+    from repro.api.store import ShardSpec
+
+    spec = (
+        ShardSpec.for_int_keys(
+            shards, key_space=key_space, scatter_threads=scatter_threads
+        )
+        if shards > 1
+        else None
+    )
+    config = StoreConfig(
+        engine=engine,
+        wal=wal and engine == "tsb",
+        group_commit_size=8 if (wal and engine == "tsb") else 1,
+        shards=spec,
+    )
+    return {tenant: config for tenant in tenants}

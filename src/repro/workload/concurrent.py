@@ -113,9 +113,10 @@ def _normalize(items: Sequence) -> List[Tuple[object, bytes]]:
 
 
 def run_concurrent(
-    store,
-    items: Sequence,
+    store=None,
+    items: Sequence = (),
     *,
+    target=None,
     threads: int = 4,
     reader_threads: int = 0,
     batch_size: int = 1,
@@ -124,6 +125,14 @@ def run_concurrent(
     metrics: Optional[MetricsRegistry] = None,
 ) -> ConcurrentRunResult:
     """Apply ``items`` from ``threads`` writers with ``reader_threads`` readers.
+
+    The driver issues every call against ``target`` — any object exposing
+    the façade's client surface (``insert``, ``put_many``, ``get``,
+    ``get_as_of``, ``range_search``, ``now``).  That is an in-process
+    :class:`~repro.api.store.VersionStore` *or* a wire
+    :class:`~repro.client.ReproClient`: the same workload, the same
+    oracle-ready result, through either path.  ``store`` (the historical
+    first positional) and ``target`` are aliases; pass exactly one.
 
     ``items`` are ``(key, value)`` pairs (or objects with ``key``/``value``
     attributes, e.g. generated :class:`~repro.workload.generator.Operation`
@@ -142,6 +151,9 @@ def run_concurrent(
     Client errors are captured per thread, never swallowed silently:
     inspect ``result.errors`` (tests assert it is empty).
     """
+    if (store is None) == (target is None):
+        raise ValueError("pass exactly one of `store` (positional) or `target=`")
+    store = store if store is not None else target
     if threads < 1:
         raise ValueError("at least one writer thread is required")
     if reader_threads < 0:

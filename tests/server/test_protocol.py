@@ -1,0 +1,182 @@
+"""Wire-protocol unit tests: framing edges and codec round trips.
+
+The framing layer must have the WAL's torn-tail discipline on the wire:
+truncated frames are detected (never half-decoded), corrupted bodies never
+pass the CRC, and a hostile length prefix is rejected before any body is
+buffered.  The payload codecs must be exactly symmetric — every
+``pack_x``/``unpack_x`` pair round-trips the in-process answer shape.
+"""
+
+import pytest
+
+from repro.api.engine import RecordView
+from repro.server import protocol
+from repro.server.protocol import (
+    FRAME_HEADER,
+    MAX_BODY_BYTES,
+    ChecksumError,
+    FrameTooLargeError,
+    Opcode,
+    ProtocolError,
+    Status,
+    TruncatedFrameError,
+)
+from repro.storage.serialization import ByteReader
+
+
+class TestFraming:
+    def test_round_trip(self):
+        body = b"the payload"
+        frame = protocol.encode_frame(body)
+        decoded, consumed = protocol.decode_frame(frame)
+        assert decoded == body
+        assert consumed == len(frame)
+
+    def test_empty_body_round_trip(self):
+        frame = protocol.encode_frame(b"")
+        assert protocol.decode_frame(frame) == (b"", FRAME_HEADER.size)
+
+    def test_decode_consumes_only_one_frame(self):
+        first = protocol.encode_frame(b"one")
+        second = protocol.encode_frame(b"two")
+        body, consumed = protocol.decode_frame(first + second)
+        assert body == b"one"
+        assert protocol.decode_frame((first + second)[consumed:])[0] == b"two"
+
+    @pytest.mark.parametrize("cut", [0, 1, 7, 8, 10])
+    def test_truncated_frame_detected(self, cut):
+        frame = protocol.encode_frame(b"truncate me please")
+        if cut >= len(frame):
+            pytest.skip("not a truncation")
+        with pytest.raises(TruncatedFrameError):
+            protocol.decode_frame(frame[:cut])
+
+    def test_corrupt_body_fails_crc(self):
+        frame = bytearray(protocol.encode_frame(b"pristine bytes"))
+        frame[-1] ^= 0xFF
+        with pytest.raises(ChecksumError):
+            protocol.decode_frame(bytes(frame))
+
+    def test_corrupt_crc_field_fails(self):
+        frame = bytearray(protocol.encode_frame(b"pristine bytes"))
+        frame[5] ^= 0x01  # inside the CRC word
+        with pytest.raises(ChecksumError):
+            protocol.decode_frame(bytes(frame))
+
+    def test_oversized_length_rejected_before_body(self):
+        header = FRAME_HEADER.pack(MAX_BODY_BYTES + 1, 0)
+        # decode_frame refuses even though no body bytes follow at all:
+        # the length prefix alone is the violation.
+        with pytest.raises(FrameTooLargeError):
+            protocol.decode_frame(header)
+        with pytest.raises(FrameTooLargeError):
+            protocol.check_frame_header(header)
+
+    def test_oversized_body_refused_on_encode(self):
+        with pytest.raises(FrameTooLargeError):
+            protocol.encode_frame(b"\0" * (MAX_BODY_BYTES + 1))
+
+    def test_check_header_and_body_pair(self):
+        body = b"streamed"
+        frame = protocol.encode_frame(body)
+        length, crc = protocol.check_frame_header(frame[: FRAME_HEADER.size])
+        assert length == len(body)
+        assert protocol.check_frame_body(frame[FRAME_HEADER.size :], crc) == body
+        with pytest.raises(ChecksumError):
+            protocol.check_frame_body(b"not the body", crc)
+
+
+class TestEnvelopes:
+    def test_request_round_trip(self):
+        frame = protocol.encode_request(42, Opcode.GET, "tenant-a", b"payload")
+        body, _ = protocol.decode_frame(frame)
+        request = protocol.decode_request(body)
+        assert request.request_id == 42
+        assert request.opcode is Opcode.GET
+        assert request.tenant == "tenant-a"
+        assert request.payload.get_raw(7) == b"payload"
+
+    def test_unknown_opcode_is_protocol_error(self):
+        frame = protocol.encode_request(1, Opcode.PING, "t")
+        body, _ = protocol.decode_frame(frame)
+        corrupted = body[:8] + bytes([200]) + body[9:]
+        with pytest.raises(ProtocolError, match="unknown opcode"):
+            protocol.decode_request(corrupted)
+
+    def test_truncated_envelope_is_protocol_error(self):
+        with pytest.raises(ProtocolError, match="malformed request"):
+            protocol.decode_request(b"\x00\x01")
+
+    def test_response_round_trip(self):
+        frame = protocol.encode_response(7, Status.SERVER_BUSY, protocol.pack_error("full"))
+        body, _ = protocol.decode_frame(frame)
+        request_id, status, reader = protocol.decode_response(body)
+        assert (request_id, status) == (7, Status.SERVER_BUSY)
+        assert protocol.unpack_error(reader) == "full"
+
+
+def _reader(data: bytes) -> ByteReader:
+    return ByteReader(data)
+
+
+class TestPayloadCodecs:
+    RECORDS = [
+        RecordView(key=1, timestamp=3, value=b"one"),
+        RecordView(key="str-key", timestamp=9, value=b""),
+        RecordView(key=2**40, timestamp=2**40, value=b"\x00" * 64),
+    ]
+
+    def test_records_round_trip(self):
+        assert protocol.unpack_records(_reader(protocol.pack_records(self.RECORDS))) == self.RECORDS
+
+    def test_optional_record(self):
+        assert protocol.unpack_optional_record(_reader(protocol.pack_optional_record(None))) is None
+        packed = protocol.pack_optional_record(self.RECORDS[0])
+        assert protocol.unpack_optional_record(_reader(packed)) == self.RECORDS[0]
+
+    @pytest.mark.parametrize("timestamp", [None, 0, 17])
+    def test_insert(self, timestamp):
+        packed = protocol.pack_insert("k", b"v", timestamp)
+        assert protocol.unpack_insert(_reader(packed)) == ("k", b"v", timestamp)
+
+    @pytest.mark.parametrize("timestamp", [None, 12])
+    def test_delete(self, timestamp):
+        packed = protocol.pack_delete(5, timestamp)
+        assert protocol.unpack_delete(_reader(packed)) == (5, timestamp)
+
+    def test_items(self):
+        items = [(1, b"a"), ("two", b"b"), (3, b"")]
+        assert protocol.unpack_items(_reader(protocol.pack_items(items))) == items
+
+    @pytest.mark.parametrize(
+        "low,high,as_of",
+        [(None, None, None), (1, 100, 50), ("a", None, None), (None, "z", 3)],
+    )
+    def test_range(self, low, high, as_of):
+        packed = protocol.pack_range(low, high, as_of)
+        assert protocol.unpack_range(_reader(packed)) == (low, high, as_of)
+
+    def test_time_slice_args(self):
+        packed = protocol.pack_time_slice(2, 9, None, "mid")
+        assert protocol.unpack_time_slice(_reader(packed)) == (2, 9, None, "mid")
+
+    def test_timestamps(self):
+        stamps = [1, 2, 2, 2**50]
+        assert protocol.unpack_timestamps(_reader(protocol.pack_timestamps(stamps))) == stamps
+
+    def test_record_map(self):
+        snapshot = {record.key: record for record in self.RECORDS}
+        assert protocol.unpack_record_map(_reader(protocol.pack_record_map(snapshot))) == snapshot
+
+    def test_history_map(self):
+        histories = {
+            "a": self.RECORDS[:2],
+            "b": [],
+            "c": self.RECORDS[2:],
+        }
+        packed = protocol.pack_history_map(histories)
+        assert protocol.unpack_history_map(_reader(packed)) == histories
+
+    def test_stats_and_blob(self):
+        assert protocol.unpack_stats_request(_reader(protocol.pack_stats_request("json"))) == "json"
+        assert protocol.unpack_blob(_reader(protocol.pack_blob(b"\x01\x02"))) == b"\x01\x02"

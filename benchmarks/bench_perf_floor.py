@@ -1,0 +1,120 @@
+"""Single-shard write-throughput floor — the hot-path regression gate.
+
+The profile-driven overhaul of the single-shard engine (decoded-node
+write-back cache, bisect node search, batched stamp-and-apply under one
+latch hold) took ``put_many`` from ~1.6k ops/s to ~8k ops/s on the
+standard 12k-operation workload.  This gate keeps that work from silently
+rotting: it measures the best-of-``repeats`` batched write throughput on a
+fresh store and **exits non-zero below the committed floor**, the same
+pattern as ``bench_observability.py``::
+
+    PYTHONPATH=src python benchmarks/bench_perf_floor.py --quick
+
+The floor is deliberately half the local steady-state number (and still
+2.5x the pre-overhaul throughput), so slow CI hardware passes while a
+return of any seed-era hot-path bug — per-item latch round-trips, the
+double descent per insert, linear node scans — fails loudly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+try:
+    from .harness import emit_results
+except ImportError:  # standalone: python benchmarks/bench_perf_floor.py
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from harness import emit_results
+
+from repro.api import StoreConfig, VersionStore
+from repro.workload import WorkloadSpec, generate
+
+#: Committed floor (ops/s) for the non-WAL single-shard batched write path.
+FLOOR = 4_000.0
+OPS = 12_000
+QUICK_OPS = 6_000
+REPEATS = 3
+PAGE_SIZE = 512
+
+
+def run_round(items) -> float:
+    """One fresh-store put_many round; returns elapsed seconds."""
+    store = VersionStore.open(StoreConfig(engine="tsb", page_size=PAGE_SIZE))
+    try:
+        started = time.perf_counter()
+        store.put_many(items)
+        return time.perf_counter() - started
+    finally:
+        store.close()
+
+
+def measure(ops: int, repeats: int) -> dict:
+    spec = WorkloadSpec(
+        operations=ops, update_fraction=0.5, seed=1989, value_size=40
+    )
+    items = [(operation.key, operation.value) for operation in generate(spec)]
+    run_round(items)  # untimed warm-up (imports, code objects, allocator)
+    best = min(run_round(items) for _ in range(repeats))
+    return {
+        "ops": ops,
+        "repeats": repeats,
+        "elapsed_s": best,
+        "ops_per_s": len(items) / best,
+    }
+
+
+def report(result: dict, floor: float) -> bool:
+    """Print and emit the measurement; True when at or above the floor."""
+    emit_results(
+        "perf_floor",
+        [
+            {
+                "label": "single-shard put_many",
+                "ops_per_s": round(result["ops_per_s"], 1),
+                "elapsed_s": round(result["elapsed_s"], 3),
+                "floor_ops_per_s": floor,
+            }
+        ],
+        study="single-shard write-throughput floor",
+        extra={"ops": result["ops"], "repeats": result["repeats"]},
+    )
+    print(
+        f"single-shard put_many: {result['ops_per_s']:.0f} ops/s "
+        f"(floor {floor:.0f} ops/s, {result['ops']} ops, "
+        f"best of {result['repeats']})"
+    )
+    return result["ops_per_s"] >= floor
+
+
+def test_put_many_stays_above_committed_floor(benchmark):
+    result = benchmark.pedantic(
+        lambda: measure(QUICK_OPS, REPEATS), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(result)
+    assert report(result, FLOOR), (
+        f"put_many throughput {result['ops_per_s']:.0f} ops/s fell below "
+        f"the committed floor of {FLOOR:.0f} ops/s"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small CI-sized run")
+    parser.add_argument("--ops", type=int, default=None, help="operations per round")
+    parser.add_argument("--repeats", type=int, default=REPEATS, help="timed rounds")
+    parser.add_argument(
+        "--floor", type=float, default=FLOOR,
+        help="minimum acceptable put_many throughput (ops/s)",
+    )
+    args = parser.parse_args(argv)
+    ops = args.ops or (QUICK_OPS if args.quick else OPS)
+    result = measure(ops, args.repeats)
+    return 0 if report(result, args.floor) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.api.engine import Capability, RecordView, VersionedEngine
+from repro.api.engine import Capability, RecordView, VersionedEngine, make_view
 from repro.baselines.naive_multiversion import NaiveMultiversionIndex, NaiveRecord
 from repro.core.records import Version
 from repro.core.stats import collect_space_stats
@@ -27,19 +27,19 @@ from repro.wobt.wobt_tree import WOBT
 def _view_from_version(version: Optional[Version]) -> Optional[RecordView]:
     if version is None or version.is_tombstone or version.timestamp is None:
         return None
-    return RecordView(key=version.key, timestamp=version.timestamp, value=version.value)
+    return make_view(version.key, version.timestamp, version.value)
 
 
 def _view_from_wobt(record: Optional[WOBTRecord]) -> Optional[RecordView]:
     if record is None:
         return None
-    return RecordView(key=record.key, timestamp=record.timestamp, value=record.value)
+    return make_view(record.key, record.timestamp, record.value)
 
 
 def _view_from_naive(key: Key, record: Optional[NaiveRecord]) -> Optional[RecordView]:
     if record is None:
         return None
-    return RecordView(key=key, timestamp=record.timestamp, value=record.value)
+    return make_view(key, record.timestamp, record.value)
 
 
 class TSBEngine(VersionedEngine):
@@ -111,6 +111,31 @@ class TSBEngine(VersionedEngine):
         views = (_view_from_version(v) for v in self.tree.history_between(key, start, end))
         return [view for view in views if view is not None]
 
+    def time_slice(
+        self,
+        start: int,
+        end: int,
+        low: Optional[Key] = None,
+        high: Optional[Key] = None,
+    ) -> Dict[Key, List[RecordView]]:
+        """Bulk per-key histories over ``[start, end)`` in one tree walk.
+
+        Answers exactly ``{key: history_between(key, start, end)}`` for every
+        key in ``[low, high)``, but walks the data-node level once instead of
+        descending per key — the sharded store's scatter path uses this when
+        the engine offers it.
+        """
+        result: Dict[Key, List[RecordView]] = {}
+        for key, versions in self.tree.time_slice(start, end, low=low, high=high).items():
+            views = [
+                make_view(v.key, v.timestamp, v.value)
+                for v in versions
+                if not v.is_tombstone and v.timestamp is not None
+            ]
+            if views:
+                result[key] = views
+        return result
+
     def has_version_at(self, key: Key, timestamp: int) -> bool:
         # The raw history includes tombstones, which normalized reads hide;
         # a tombstone still occupies its (key, timestamp) slot.
@@ -147,11 +172,12 @@ class TSBEngine(VersionedEngine):
         self.tree.checkpoint()
 
     def drop_cache(self, capacity: Optional[int] = None) -> None:
-        """Replace the buffer pool with a cold one (same size unless told)."""
-        self.tree.flush()
-        if capacity is None:
-            capacity = self.tree.cache.capacity
-        self.tree.cache = PageCache(self.tree.magnetic, capacity=capacity)
+        """Go cold: drop the decoded-node cache AND the buffer pool.
+
+        Both layers must empty, or the next query would be served from
+        still-warm decoded nodes and the IO studies would measure nothing.
+        """
+        self.tree.drop_caches(capacity)
 
 
 class WOBTEngine(VersionedEngine):

@@ -87,6 +87,23 @@ class RecordView:
         return f"<{self.key!r} @T={self.timestamp}: {self.value!r}>"
 
 
+def make_view(key: Key, timestamp: int, value: bytes) -> RecordView:
+    """Build a :class:`RecordView` without the frozen-dataclass ceremony.
+
+    The adapters construct one view per record returned by every read, and
+    a frozen dataclass pays an ``object.__setattr__`` call per field; bulk
+    reads (range scans, snapshots, time slices) build thousands.  Fields go
+    straight into ``__dict__`` — equality and hashing are unaffected, they
+    read the same attributes.
+    """
+    view = RecordView.__new__(RecordView)
+    fields_dict = view.__dict__
+    fields_dict["key"] = key
+    fields_dict["timestamp"] = timestamp
+    fields_dict["value"] = value
+    return view
+
+
 class VersionedEngine(abc.ABC):
     """Abstract protocol every versioned access method adapts to.
 

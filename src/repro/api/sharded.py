@@ -405,10 +405,12 @@ class ShardedEngine(VersionedEngine):
                     # pre-assigned globally ordered timestamps.
                     store.txns.clock.advance_to(clock_base[index])
                     for start, end in runs_per_shard[index]:
-                        txn = store.begin()
-                        for _, key, value in group[start:end]:
-                            txn.write(key, value)
-                        commit_ts = txn.commit()
+                        # Batch path: the whole run is written and stamped
+                        # under one exclusive latch hold on the shard.
+                        txn = store.txns.run_transaction(
+                            [(key, value) for _, key, value in group[start:end]]
+                        )
+                        commit_ts = txn.commit_timestamp
                         all_durable = all_durable and store.commit_is_durable(txn)
                         stamped_runs.append((start, end, commit_ts))
                 except Exception as exc:  # noqa: BLE001 - re-raised after bookkeeping
@@ -562,6 +564,20 @@ class ShardedEngine(VersionedEngine):
 
         def slice_shard(index: int) -> List[Tuple[Key, List[RecordView]]]:
             store = self.stores[index]
+            # Engines offering a bulk time_slice (the TSB-tree: one walk of
+            # the data-node level) answer the whole shard at once; the rest
+            # fall back to a history_between descent per key.  Both paths
+            # return identical rows — the bulk result is filtered to the
+            # keys this shard has seen, exactly like the per-key loop.
+            bulk = getattr(store.engine, "time_slice", None)
+            if bulk is not None:
+                seen = self._shard_keys[index]
+                answers = bulk(start, end, low=low, high=high)
+                return [
+                    (key, answers[key])
+                    for key in sorted(answers)
+                    if key in seen
+                ]
             rows: List[Tuple[Key, List[RecordView]]] = []
             for key in sorted(self._shard_keys[index]):
                 if low is not None and key < low:

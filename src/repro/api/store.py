@@ -678,18 +678,21 @@ class VersionStore:
         items = list(items)
         if not items:
             return []
-        # No batch-wide latch hold here: each insert (and each transactional
-        # operation inside _put_many_transactional) latches individually,
-        # with record locks acquired *before* the latch.  Wrapping the whole
-        # batch in the write latch would invert that order — a concurrent
-        # begin() transaction holding a record lock would deadlock against
-        # the batch until the lock timeout.
+        # Both modes stamp-and-apply each run under ONE exclusive latch hold
+        # instead of a round-trip per item.  That is deadlock-safe because
+        # record locks are still acquired before the latch: the non-WAL path
+        # takes no record locks at all, and run_transaction() acquires every
+        # lock for its run up front, before latching — so a batch never
+        # blocks on a lock while holding the tree hostage.
         with self.metrics.timer("op.put_many"), trace.span(
             "store.put_many", items=len(items)
         ):
             if self._config.wal and self._txns is not None:
                 return self._put_many_transactional(self._txns, items)
-            return [self.insert(key, value) for key, value in items]
+            with self._latch.write():
+                self._ensure_open()
+                engine_insert = self._engine.insert
+                return [engine_insert(key, value) for key, value in items]
 
     @staticmethod
     def _put_many_transactional(txns: TransactionManager, items) -> List[int]:
@@ -706,10 +709,8 @@ class VersionStore:
         start = 0
         while start < len(items):
             end = distinct_key_run_end(items, start)
-            txn = txns.begin()
-            for key, value in items[start:end]:
-                txn.write(key, value)
-            commit_timestamp = txn.commit()
+            txn = txns.run_transaction(items[start:end])
+            commit_timestamp = txn.commit_timestamp
             for position in range(start, end):
                 timestamps[position] = commit_timestamp
             start = end

@@ -21,10 +21,21 @@ literal insertion-ordered layout.
 
 The module also contains the byte-accurate page codecs used when a node image
 is written to either device.
+
+Hot-path design: both node kinds keep *lazy derived structures* next to
+their authoritative lists — a per-key version index and a cached content
+size on data nodes, sorted low-key entry tables on index nodes — so point
+queries and descents are dictionary/bisect lookups instead of linear scans,
+and sizing a node for the split test no longer re-serialises every record.
+The caches are maintained incrementally by the mutator methods and
+invalidated wholesale when the backing list itself is reassigned (what the
+split code does), which a ``__setattr__`` hook catches.
 """
 
 from __future__ import annotations
 
+import struct
+from bisect import bisect_right, insort
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -34,6 +45,8 @@ from repro.core.records import (
     RecordError,
     TimeRange,
     Version,
+    decoded_rectangle,
+    decoded_version,
     group_by_key,
     latest_committed,
     version_as_of,
@@ -45,6 +58,8 @@ from repro.storage.serialization import (
     Key,
     SerializationError,
     address_size,
+    encode_str_key,
+    decode_str_key,
     key_size,
     read_address,
     read_key,
@@ -63,6 +78,10 @@ _NODE_TAG_INDEX = 0xD2
 _NODE_HEADER_SIZE = 32
 #: fixed per-index-entry overhead besides key/address payload
 _INDEX_ENTRY_OVERHEAD = 20
+
+_U64 = struct.Struct(">Q")
+_I64 = struct.Struct(">q")
+_U32 = struct.Struct(">I")
 
 
 class NodeError(Exception):
@@ -116,6 +135,117 @@ def _read_rectangle(reader: ByteReader) -> Rectangle:
 
 
 # ----------------------------------------------------------------------
+# Zero-intermediary codec helpers: the fast encode/decode paths below
+# append straight into one bytearray / read with struct.unpack_from and a
+# running offset, producing byte-identical images to the ByteWriter /
+# ByteReader layout (which stays authoritative for every other page kind).
+# ----------------------------------------------------------------------
+def _append_key(buf: bytearray, key: Key) -> None:
+    if isinstance(key, bool) or not isinstance(key, (int, str)):
+        raise SerializationError(f"unsupported key type: {type(key).__name__}")
+    if isinstance(key, int):
+        buf.append(0)  # _TAG_INT_KEY
+        buf += _I64.pack(key)
+    else:
+        encoded = encode_str_key(key)
+        buf.append(1)  # _TAG_STR_KEY
+        buf += _U32.pack(len(encoded))
+        buf += encoded
+
+
+def _key_at(data: bytes, offset: int) -> Tuple[Key, int]:
+    tag = data[offset]
+    offset += 1
+    if tag == 0:
+        (key,) = _I64.unpack_from(data, offset)
+        return key, offset + 8
+    if tag == 1:
+        (length,) = _U32.unpack_from(data, offset)
+        offset += 4
+        end = offset + length
+        if end > len(data):
+            raise SerializationError("truncated page image")
+        return decode_str_key(bytes(data[offset:end])), end
+    raise SerializationError(f"unknown key tag {tag}")
+
+
+def _append_rectangle(buf: bytearray, rect: Rectangle) -> None:
+    low, high = rect.keys.low, rect.keys.high
+    if low is None:
+        buf.append(0)
+    else:
+        buf.append(1)
+        _append_key(buf, low)
+    if high is None:
+        buf.append(0)
+    else:
+        buf.append(1)
+        _append_key(buf, high)
+    times = rect.times
+    buf += _U64.pack(times.start)
+    if times.end is None:
+        buf.append(0)
+    else:
+        buf.append(1)
+        buf += _U64.pack(times.end)
+
+
+def _rectangle_at(data: bytes, offset: int) -> Tuple[Rectangle, int]:
+    low: Optional[Key] = None
+    high: Optional[Key] = None
+    if data[offset]:
+        low, offset = _key_at(data, offset + 1)
+    else:
+        offset += 1
+    if data[offset]:
+        high, offset = _key_at(data, offset + 1)
+    else:
+        offset += 1
+    (start,) = _U64.unpack_from(data, offset)
+    offset += 8
+    end: Optional[int] = None
+    if data[offset]:
+        (end,) = _U64.unpack_from(data, offset + 1)
+        offset += 9
+    else:
+        offset += 1
+    return decoded_rectangle(low, high, start, end), offset
+
+
+def _append_address(buf: bytearray, address: Address) -> None:
+    if address.is_magnetic:
+        buf.append(0)  # _TAG_ADDR_MAGNETIC
+        buf += _U64.pack(address.page_id)
+    else:
+        buf.append(1)  # _TAG_ADDR_HISTORICAL
+        buf += _U64.pack(address.page_id)
+        buf += _U64.pack(address.sector_start or 0)
+        buf += _U64.pack(address.length or 0)
+        buf += _U32.pack(address.platter or 0)
+
+
+def _address_at(data: bytes, offset: int) -> Tuple[Address, int]:
+    tag = data[offset]
+    offset += 1
+    if tag == 0:
+        (page_id,) = _U64.unpack_from(data, offset)
+        return Address.magnetic(page_id), offset + 8
+    if tag == 1:
+        (region_id,) = _U64.unpack_from(data, offset)
+        (sector_start,) = _U64.unpack_from(data, offset + 8)
+        (length,) = _U64.unpack_from(data, offset + 16)
+        (platter,) = _U32.unpack_from(data, offset + 24)
+        return Address.historical(region_id, sector_start, length, platter), offset + 28
+    raise SerializationError(f"unknown address tag {tag}")
+
+
+def _entry_sort_key(entry: "IndexEntry") -> Tuple:
+    """Sort key ordering entries by key-range low bound (None first)."""
+    low = entry.region.keys.low
+    return (0,) if low is None else (1, low)
+
+
+# ----------------------------------------------------------------------
 # Data nodes
 # ----------------------------------------------------------------------
 @dataclass
@@ -126,27 +256,67 @@ class DataNode:
     region: Rectangle
     versions: List[Version] = field(default_factory=list)
 
+    def __setattr__(self, name: str, value) -> None:
+        object.__setattr__(self, name, value)
+        if name == "versions":
+            # The split code swaps the whole list out; derived structures
+            # are rebuilt lazily on the next query.
+            object.__setattr__(self, "_by_key", None)
+            object.__setattr__(self, "_content_size", None)
+            object.__setattr__(self, "_known_len", len(value))
+
+    def _sync_caches(self) -> None:
+        # The mutator methods keep the caches current; direct list surgery
+        # (tests corrupting a node on purpose, ad-hoc tooling) is detected
+        # by the length changing under us and invalidates everything.
+        if self._known_len != len(self.versions):
+            object.__setattr__(self, "_by_key", None)
+            object.__setattr__(self, "_content_size", None)
+            object.__setattr__(self, "_known_len", len(self.versions))
+
+    # -- derived structures -----------------------------------------------
+    def _index(self) -> Dict[Key, List[Version]]:
+        """Per-key version lists, each sorted oldest-first (lazy, cached)."""
+        self._sync_caches()
+        index = self._by_key
+        if index is None:
+            index = {}
+            for version in self.versions:
+                index.setdefault(version.key, []).append(version)
+            for group in index.values():
+                group.sort(key=_stable_version_order)
+            object.__setattr__(self, "_by_key", index)
+        return index
+
+    def keys(self) -> List[Key]:
+        """The distinct keys stored in this node (unsorted)."""
+        return list(self._index())
+
     # -- content queries -------------------------------------------------
     def versions_for_key(self, key: Key) -> List[Version]:
         """All versions of ``key`` stored in this node, oldest first."""
-        matching = [version for version in self.versions if version.key == key]
-        matching.sort(key=_stable_version_order)
-        return matching
+        group = self._index().get(key)
+        return list(group) if group else []
 
     def latest_for_key(self, key: Key) -> Optional[Version]:
-        return latest_committed(self.versions_for_key(key))
+        group = self._index().get(key)
+        return latest_committed(group) if group else None
 
     def version_as_of(self, key: Key, timestamp: int) -> Optional[Version]:
-        return version_as_of(self.versions_for_key(key), timestamp)
+        group = self._index().get(key)
+        return version_as_of(group, timestamp) if group else None
 
     def provisional_for_key(self, key: Key, txn_id: int) -> Optional[Version]:
-        for version in reversed(self.versions):
-            if version.key == key and version.txn_id == txn_id:
+        group = self._index().get(key)
+        if not group:
+            return None
+        for version in reversed(group):
+            if version.txn_id == txn_id:
                 return version
         return None
 
     def distinct_key_count(self) -> int:
-        return len({version.key for version in self.versions})
+        return len(self._index())
 
     def committed_timestamps(self) -> List[int]:
         """Sorted distinct commit timestamps present in the node."""
@@ -174,19 +344,52 @@ class DataNode:
             raise NodeError(
                 f"key {version.key!r} outside node key range {self.region.keys}"
             )
+        self._sync_caches()
         self.versions.append(version)
+        object.__setattr__(self, "_known_len", self._known_len + 1)
+        index = self._by_key
+        if index is not None:
+            insort(
+                index.setdefault(version.key, []),
+                version,
+                key=_stable_version_order,
+            )
+        if self._content_size is not None:
+            object.__setattr__(
+                self, "_content_size", self._content_size + version.serialized_size()
+            )
 
     def remove_version(self, version: Version) -> None:
+        self._sync_caches()
         try:
             self.versions.remove(version)
         except ValueError as exc:  # pragma: no cover - defensive
             raise NodeError(f"version {version} not present in node") from exc
+        object.__setattr__(self, "_known_len", self._known_len - 1)
+        index = self._by_key
+        if index is not None:
+            group = index.get(version.key)
+            if group is not None:
+                try:
+                    group.remove(version)
+                except ValueError:  # pragma: no cover - defensive
+                    object.__setattr__(self, "_by_key", None)
+                else:
+                    if not group:
+                        del index[version.key]
+        if self._content_size is not None:
+            object.__setattr__(
+                self, "_content_size", self._content_size - version.serialized_size()
+            )
 
     # -- sizing -----------------------------------------------------------
     def serialized_size(self) -> int:
-        return _NODE_HEADER_SIZE + self.region_size() + sum(
-            version.serialized_size() for version in self.versions
-        )
+        self._sync_caches()
+        content = self._content_size
+        if content is None:
+            content = sum(version.serialized_size() for version in self.versions)
+            object.__setattr__(self, "_content_size", content)
+        return _NODE_HEADER_SIZE + self.region_size() + content
 
     def region_size(self) -> int:
         return (
@@ -205,46 +408,71 @@ class DataNode:
 
     # -- serialization ----------------------------------------------------
     def encode(self) -> bytes:
-        writer = ByteWriter()
-        writer.put_u8(_NODE_TAG_DATA)
-        _write_rectangle(writer, self.region)
-        writer.put_u32(len(self.versions))
+        buf = bytearray()
+        buf.append(_NODE_TAG_DATA)
+        _append_rectangle(buf, self.region)
+        buf += _U32.pack(len(self.versions))
         for version in self.versions:
-            write_key(writer, version.key)
-            write_timestamp(writer, version.timestamp)
+            _append_key(buf, version.key)
+            timestamp = version.timestamp
+            if timestamp is None:
+                buf.append(0)
+            else:
+                buf.append(1)
+                buf += _U64.pack(timestamp)
+            txn_id = version.txn_id
             flags = 1 if version.is_tombstone else 0
-            if version.txn_id is not None:
+            if txn_id is not None:
                 flags |= 2
-            writer.put_u8(flags)
-            if version.txn_id is not None:
-                writer.put_u64(version.txn_id)
-            write_value(writer, version.value)
-        return writer.getvalue()
+            buf.append(flags)
+            if txn_id is not None:
+                buf += _U64.pack(txn_id)
+            value = version.value
+            buf += _U32.pack(len(value))
+            buf += value
+        return bytes(buf)
 
     @staticmethod
     def decode(address: Address, data: bytes) -> "DataNode":
-        reader = ByteReader(data)
-        tag = reader.get_u8()
-        if tag != _NODE_TAG_DATA:
-            raise SerializationError(f"not a data-node image (tag {tag:#x})")
-        region = _read_rectangle(reader)
-        count = reader.get_u32()
-        versions: List[Version] = []
-        for _ in range(count):
-            key = read_key(reader)
-            timestamp = read_timestamp(reader)
-            flags = reader.get_u8()
-            txn_id = reader.get_u64() if flags & 2 else None
-            value = read_value(reader)
-            versions.append(
-                Version(
-                    key=key,
-                    timestamp=timestamp,
-                    value=value,
-                    txn_id=txn_id,
-                    is_tombstone=bool(flags & 1),
+        try:
+            if data[0] != _NODE_TAG_DATA:
+                raise SerializationError(f"not a data-node image (tag {data[0]:#x})")
+            region, offset = _rectangle_at(data, 1)
+            (count,) = _U32.unpack_from(data, offset)
+            offset += 4
+            length = len(data)
+            versions: List[Version] = []
+            append = versions.append
+            for _ in range(count):
+                key, offset = _key_at(data, offset)
+                tag = data[offset]
+                offset += 1
+                if tag == 0:
+                    timestamp = None
+                elif tag == 1:
+                    (timestamp,) = _U64.unpack_from(data, offset)
+                    offset += 8
+                else:
+                    raise SerializationError(f"unknown timestamp tag {tag}")
+                flags = data[offset]
+                offset += 1
+                if flags & 2:
+                    (txn_id,) = _U64.unpack_from(data, offset)
+                    offset += 8
+                else:
+                    txn_id = None
+                (value_length,) = _U32.unpack_from(data, offset)
+                offset += 4
+                end = offset + value_length
+                if end > length:
+                    raise SerializationError("truncated page image")
+                value = bytes(data[offset:end])
+                offset = end
+                append(
+                    decoded_version(key, timestamp, value, txn_id, bool(flags & 1))
                 )
-            )
+        except (struct.error, IndexError) as exc:
+            raise SerializationError("truncated page image") from exc
         return DataNode(address=address, region=region, versions=versions)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
@@ -278,12 +506,18 @@ class IndexEntry:
         return self.child.is_magnetic
 
     def serialized_size(self) -> int:
+        # Entries are immutable; the size is computed once and memoized.
+        cached = self.__dict__.get("_cached_size")
+        if cached is not None:
+            return cached
         key_bytes = 0
         if self.region.keys.low is not None:
             key_bytes += key_size(self.region.keys.low)
         if self.region.keys.high is not None:
             key_bytes += key_size(self.region.keys.high)
-        return _INDEX_ENTRY_OVERHEAD + key_bytes + address_size(self.child)
+        size = _INDEX_ENTRY_OVERHEAD + key_bytes + address_size(self.child)
+        object.__setattr__(self, "_cached_size", size)
+        return size
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"IndexEntry({self.region} -> {self.child})"
@@ -298,6 +532,49 @@ class IndexNode:
     entries: List[IndexEntry] = field(default_factory=list)
     level: int = 1
 
+    def __setattr__(self, name: str, value) -> None:
+        object.__setattr__(self, name, value)
+        if name == "entries":
+            self._invalidate()
+
+    def _invalidate(self) -> None:
+        object.__setattr__(self, "_by_low", None)
+        object.__setattr__(self, "_current_by_low", None)
+        object.__setattr__(self, "_content_size", None)
+        object.__setattr__(self, "_known_len", len(self.entries))
+
+    def _sync_caches(self) -> None:
+        # Detect direct list surgery on `entries` (see DataNode._sync_caches).
+        if self._known_len != len(self.entries):
+            self._invalidate()
+
+    def _low_table(self) -> Tuple[List[Tuple], List[IndexEntry]]:
+        """All entries sorted by key-range low bound, with parallel sort keys."""
+        self._sync_caches()
+        table = self._by_low
+        if table is None:
+            ordered = sorted(self.entries, key=_entry_sort_key)
+            table = ([_entry_sort_key(entry) for entry in ordered], ordered)
+            object.__setattr__(self, "_by_low", table)
+        return table
+
+    def _current_low_table(self) -> Tuple[List[Tuple], List[IndexEntry]]:
+        """Current (open-ended time) entries sorted by key-range low bound."""
+        self._sync_caches()
+        table = self._current_by_low
+        if table is None:
+            ordered = sorted(
+                (
+                    entry
+                    for entry in self.entries
+                    if entry.region.times.is_current
+                ),
+                key=_entry_sort_key,
+            )
+            table = ([_entry_sort_key(entry) for entry in ordered], ordered)
+            object.__setattr__(self, "_current_by_low", table)
+        return table
+
     # -- search -----------------------------------------------------------
     def find_child(self, key: Key, timestamp: int) -> IndexEntry:
         """Return the unique entry whose rectangle contains ``(key, timestamp)``.
@@ -305,11 +582,15 @@ class IndexNode:
         This is the rectangle formulation of the paper's search rule
         (section 2.2 / 2.5): ignore entries with timestamps after the search
         time, take the largest key not exceeding the search key, then the
-        latest such entry.
+        latest such entry.  An entry whose low bound exceeds the search key
+        can never match, so only the bisected prefix of the low-sorted entry
+        table is inspected.
         """
+        lows, ordered = self._low_table()
+        limit = bisect_right(lows, (1, key))
         matches = [
             entry
-            for entry in self.entries
+            for entry in ordered[:limit]
             if entry.region.contains_point(key, timestamp)
         ]
         if not matches:
@@ -322,6 +603,40 @@ class IndexNode:
                 f"node {self.address}: regions overlap"
             )
         return matches[0]
+
+    def find_current_child(self, key: Key) -> IndexEntry:
+        """The unique *current* child whose key range contains ``key``.
+
+        The current children tile the key space, so the answer is the
+        current entry with the greatest low bound not exceeding ``key`` —
+        one bisect on the low-sorted current-entry table.  The neighbouring
+        entries are checked for double coverage so an overlapping (corrupt)
+        tiling still fails loudly, as the old exhaustive scan did.
+        """
+        lows, ordered = self._current_low_table()
+        position = bisect_right(lows, (1, key)) - 1
+        if position >= 0:
+            entry = ordered[position]
+            if entry.region.keys.contains(key):
+                overlap = (
+                    position + 1 < len(ordered)
+                    and ordered[position + 1].region.keys.contains(key)
+                ) or (
+                    position > 0
+                    and ordered[position - 1].region.keys.contains(key)
+                )
+                if not overlap:
+                    return entry
+        matches = sum(
+            1
+            for candidate in self.entries
+            if candidate.region.times.is_current
+            and candidate.region.keys.contains(key)
+        )
+        raise NodeError(
+            f"expected exactly one current child for key {key!r} in "
+            f"{self.address}, found {matches}"
+        )
 
     def children_overlapping(self, region: Rectangle) -> List[IndexEntry]:
         """All entries whose rectangle intersects ``region`` (for range scans)."""
@@ -341,9 +656,11 @@ class IndexNode:
         except ValueError as exc:
             raise NodeError(f"entry {old} not present in index node") from exc
         self.entries[position : position + 1] = list(new_entries)
+        self._invalidate()
 
     def add_entry(self, entry: IndexEntry) -> None:
         self.entries.append(entry)
+        self._invalidate()
 
     # -- classification ----------------------------------------------------
     def current_entries(self) -> List[IndexEntry]:
@@ -354,9 +671,12 @@ class IndexNode:
 
     # -- sizing --------------------------------------------------------------
     def serialized_size(self) -> int:
-        return _NODE_HEADER_SIZE + sum(
-            entry.serialized_size() for entry in self.entries
-        )
+        self._sync_caches()
+        content = self._content_size
+        if content is None:
+            content = sum(entry.serialized_size() for entry in self.entries)
+            object.__setattr__(self, "_content_size", content)
+        return _NODE_HEADER_SIZE + content
 
     def fits(self, page_size: int, extra_entries: int = 0) -> bool:
         """Whether the node (plus ``extra_entries`` typical entries) fits a page."""
@@ -369,30 +689,33 @@ class IndexNode:
 
     # -- serialization -------------------------------------------------------
     def encode(self) -> bytes:
-        writer = ByteWriter()
-        writer.put_u8(_NODE_TAG_INDEX)
-        writer.put_u32(self.level)
-        _write_rectangle(writer, self.region)
-        writer.put_u32(len(self.entries))
+        buf = bytearray()
+        buf.append(_NODE_TAG_INDEX)
+        buf += _U32.pack(self.level)
+        _append_rectangle(buf, self.region)
+        buf += _U32.pack(len(self.entries))
         for entry in self.entries:
-            _write_rectangle(writer, entry.region)
-            write_address(writer, entry.child)
-        return writer.getvalue()
+            _append_rectangle(buf, entry.region)
+            _append_address(buf, entry.child)
+        return bytes(buf)
 
     @staticmethod
     def decode(address: Address, data: bytes) -> "IndexNode":
-        reader = ByteReader(data)
-        tag = reader.get_u8()
-        if tag != _NODE_TAG_INDEX:
-            raise SerializationError(f"not an index-node image (tag {tag:#x})")
-        level = reader.get_u32()
-        region = _read_rectangle(reader)
-        count = reader.get_u32()
-        entries: List[IndexEntry] = []
-        for _ in range(count):
-            entry_region = _read_rectangle(reader)
-            child = read_address(reader)
-            entries.append(IndexEntry(child=child, region=entry_region))
+        try:
+            if data[0] != _NODE_TAG_INDEX:
+                raise SerializationError(f"not an index-node image (tag {data[0]:#x})")
+            (level,) = _U32.unpack_from(data, 1)
+            region, offset = _rectangle_at(data, 5)
+            (count,) = _U32.unpack_from(data, offset)
+            offset += 4
+            entries: List[IndexEntry] = []
+            append = entries.append
+            for _ in range(count):
+                entry_region, offset = _rectangle_at(data, offset)
+                child, offset = _address_at(data, offset)
+                append(IndexEntry(child=child, region=entry_region))
+        except (struct.error, IndexError) as exc:
+            raise SerializationError("truncated page image") from exc
         return IndexNode(address=address, region=region, entries=entries, level=level)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic

@@ -88,7 +88,22 @@ class SplitContext:
         split is useful only when some legal split time leaves the current
         node with strictly fewer versions than before.
         """
-        for stamp in self.legal_split_times():
+        # Only a key holding two or more committed versions can shrink under
+        # a time split: a single-version key either stays current or migrates
+        # *and* leaves its redundant copy behind (rule 3), never shrinking
+        # the node.  Insert-only nodes are therefore rejected without
+        # evaluating a single candidate split.
+        counts: dict = {}
+        for version in self.versions:
+            if version.timestamp is not None:
+                counts[version.key] = counts.get(version.key, 0) + 1
+        if all(count < 2 for count in counts.values()):
+            return False
+        # Existential check: probe order is irrelevant, and late split times
+        # migrate the most history, so scanning latest-first almost always
+        # answers on the first candidate instead of grinding through every
+        # (mostly useless) early stamp.
+        for stamp in reversed(self.legal_split_times()):
             split = evaluate_time_split(self.versions, stamp)
             if split is not None and len(split.current) < len(self.versions):
                 return True

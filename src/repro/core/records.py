@@ -82,15 +82,22 @@ class Version:
 
     def serialized_size(self) -> int:
         """Bytes this version occupies inside a data-node page image."""
+        # Versions are immutable and sized constantly (page-fit tests, split
+        # evaluation, node content accounting), so the size is memoized.
+        cached = self.__dict__.get("_cached_size")
+        if cached is not None:
+            return cached
         # key + timestamp + flags byte + optional txn id + value
         txn_bytes = 9 if self.txn_id is not None else 1
-        return (
+        size = (
             key_size(self.key)
             + timestamp_size(self.timestamp)
             + 1
             + txn_bytes
             + value_size(self.value)
         )
+        object.__setattr__(self, "_cached_size", size)
+        return size
 
     def identity(self) -> Tuple[Key, Optional[int], Optional[int]]:
         """Identity used to recognise redundant copies made by time splits."""
@@ -294,6 +301,45 @@ class Rectangle:
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"{self.keys} x {self.times}"
+
+
+# ----------------------------------------------------------------------
+# Trusted fast constructors for the page-decode path
+#
+# Page images are produced by our own encoder, so re-validating every field
+# while decoding only burns time: these bypass the dataclass __init__ and
+# __post_init__ checks.  They must never be fed unvalidated user input.
+# ----------------------------------------------------------------------
+def decoded_version(
+    key: Key,
+    timestamp: Optional[int],
+    value: bytes,
+    txn_id: Optional[int],
+    is_tombstone: bool,
+) -> Version:
+    version = Version.__new__(Version)
+    fields_dict = version.__dict__
+    fields_dict["key"] = key
+    fields_dict["timestamp"] = timestamp
+    fields_dict["value"] = value
+    fields_dict["txn_id"] = txn_id
+    fields_dict["is_tombstone"] = is_tombstone
+    return version
+
+
+def decoded_rectangle(
+    low: Optional[Key], high: Optional[Key], start: int, end: Optional[int]
+) -> Rectangle:
+    keys = KeyRange.__new__(KeyRange)
+    keys.__dict__["low"] = low
+    keys.__dict__["high"] = high
+    times = TimeRange.__new__(TimeRange)
+    times.__dict__["start"] = start
+    times.__dict__["end"] = end
+    rect = Rectangle.__new__(Rectangle)
+    rect.__dict__["keys"] = keys
+    rect.__dict__["times"] = times
+    return rect
 
 
 # ----------------------------------------------------------------------

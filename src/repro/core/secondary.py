@@ -160,7 +160,14 @@ class SecondaryIndex:
             events.append(
                 (version.timestamp, None if version.is_tombstone else secondary)
             )
-        events.sort(key=lambda item: item[0])
+        # An attribute *change* writes two entries with one timestamp: the
+        # tombstone closing the old association and the insert opening the
+        # new one.  Sorted by timestamp alone their order is whatever the
+        # per-key traversal produced, and a (ts, None) landing after the
+        # (ts, new-value) step misreports the change as a deletion.  The
+        # tombstone must sort first so the last event at each timestamp is
+        # the value that actually held from then on.
+        events.sort(key=lambda item: (item[0], 0 if item[1] is None else 1))
         return events
 
     def lookup(

@@ -24,6 +24,7 @@ from __future__ import annotations
 import abc
 import enum
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Optional
 
 
@@ -91,8 +92,14 @@ class Address:
     platter: Optional[int] = None
 
     @staticmethod
+    @lru_cache(maxsize=65536)
     def magnetic(page_id: int) -> "Address":
-        """Build an address for an erasable magnetic page."""
+        """Build an address for an erasable magnetic page (interned).
+
+        A magnetic address is fully determined by its page number and the
+        dataclass is frozen, so every call site can share one instance —
+        page decoding builds tens of thousands of these on hot paths.
+        """
         return Address(tier=Tier.MAGNETIC, page_id=page_id)
 
     @staticmethod

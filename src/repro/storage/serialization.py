@@ -21,6 +21,7 @@ and independent of the values stored.
 from __future__ import annotations
 
 import struct
+from functools import lru_cache
 from typing import Optional, Union
 
 from repro.storage.device import Address, Tier
@@ -47,56 +48,82 @@ class SerializationError(Exception):
     """Raised when a page image cannot be encoded or decoded."""
 
 
+@lru_cache(maxsize=65536)
+def encode_str_key(key: str) -> bytes:
+    """UTF-8 encoding of a string key, memoized.
+
+    Workloads hit the same keys over and over (every descent re-serialises
+    the node's keys when sizing it), so the encodings are worth caching;
+    the cache is keyed by the immutable string itself.
+    """
+    return key.encode("utf-8")
+
+
+@lru_cache(maxsize=65536)
+def decode_str_key(data: bytes) -> str:
+    """Inverse of :func:`encode_str_key`, memoized on the raw bytes."""
+    return data.decode("utf-8")
+
+
 class ByteWriter:
-    """Append-only byte buffer used to build page images."""
+    """Append-only byte buffer used to build page images.
+
+    Backed by one growable ``bytearray`` (amortised O(1) appends) rather
+    than a chunk list, so building a page image does not allocate one small
+    ``bytes`` object per field.
+    """
+
+    __slots__ = ("_buf",)
 
     def __init__(self) -> None:
-        self._chunks: list[bytes] = []
-        self._size = 0
+        self._buf = bytearray()
 
     def put_u8(self, value: int) -> None:
-        self._append(_U8.pack(value))
+        self._buf += _U8.pack(value)
 
     def put_u32(self, value: int) -> None:
-        self._append(_U32.pack(value))
+        self._buf += _U32.pack(value)
 
     def put_u64(self, value: int) -> None:
-        self._append(_U64.pack(value))
+        self._buf += _U64.pack(value)
 
     def put_i64(self, value: int) -> None:
-        self._append(_I64.pack(value))
+        self._buf += _I64.pack(value)
 
     def put_bytes(self, data: bytes) -> None:
         """Write a length-prefixed byte string."""
-        self.put_u32(len(data))
-        self._append(data)
+        self._buf += _U32.pack(len(data))
+        self._buf += data
 
     def put_raw(self, data: bytes) -> None:
         """Write bytes without a length prefix."""
-        self._append(data)
-
-    def _append(self, data: bytes) -> None:
-        self._chunks.append(data)
-        self._size += len(data)
+        self._buf += data
 
     @property
     def size(self) -> int:
         """Bytes written so far."""
-        return self._size
+        return len(self._buf)
 
     def getvalue(self) -> bytes:
-        return b"".join(self._chunks)
+        return bytes(self._buf)
 
 
 class ByteReader:
     """Sequential reader over a page image produced by :class:`ByteWriter`."""
 
+    __slots__ = ("_data", "_offset", "_length")
+
     def __init__(self, data: bytes) -> None:
         self._data = data
         self._offset = 0
+        self._length = len(data)
 
     def get_u8(self) -> int:
-        return self._unpack(_U8)
+        offset = self._offset
+        if offset >= self._length:
+            raise SerializationError("truncated page image")
+        self._offset = offset + 1
+        return self._data[offset]
 
     def get_u32(self) -> int:
         return self._unpack(_U32)
@@ -112,25 +139,27 @@ class ByteReader:
         return self.get_raw(length)
 
     def get_raw(self, length: int) -> bytes:
-        if self._offset + length > len(self._data):
+        offset = self._offset
+        if offset + length > self._length:
             raise SerializationError("truncated page image")
-        data = self._data[self._offset : self._offset + length]
-        self._offset += length
+        data = self._data[offset : offset + length]
+        self._offset = offset + length
         return data
 
     @property
     def remaining(self) -> int:
-        return len(self._data) - self._offset
+        return self._length - self._offset
 
     @property
     def exhausted(self) -> bool:
         return self.remaining == 0
 
     def _unpack(self, codec: struct.Struct) -> int:
-        if self._offset + codec.size > len(self._data):
+        offset = self._offset
+        if offset + codec.size > self._length:
             raise SerializationError("truncated page image")
-        (value,) = codec.unpack_from(self._data, self._offset)
-        self._offset += codec.size
+        (value,) = codec.unpack_from(self._data, offset)
+        self._offset = offset + codec.size
         return value
 
 
@@ -145,7 +174,7 @@ def write_key(writer: ByteWriter, key: Key) -> None:
         writer.put_u8(_TAG_INT_KEY)
         writer.put_i64(key)
     else:
-        encoded = key.encode("utf-8")
+        encoded = encode_str_key(key)
         writer.put_u8(_TAG_STR_KEY)
         writer.put_bytes(encoded)
 
@@ -155,7 +184,10 @@ def read_key(reader: ByteReader) -> Key:
     if tag == _TAG_INT_KEY:
         return reader.get_i64()
     if tag == _TAG_STR_KEY:
-        return reader.get_bytes().decode("utf-8")
+        data = reader.get_bytes()
+        if not isinstance(data, bytes):
+            data = bytes(data)  # lru_cache needs a hashable key
+        return decode_str_key(data)
     raise SerializationError(f"unknown key tag {tag}")
 
 
@@ -165,7 +197,7 @@ def key_size(key: Key) -> int:
         raise SerializationError(f"unsupported key type: {type(key).__name__}")
     if isinstance(key, int):
         return 1 + 8
-    return 1 + 4 + len(key.encode("utf-8"))
+    return 1 + 4 + len(encode_str_key(key))
 
 
 # ----------------------------------------------------------------------

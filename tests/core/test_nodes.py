@@ -288,3 +288,161 @@ class TestDecodeDispatch:
             decode_node(Address.magnetic(0), b"\xffgarbage")
         with pytest.raises(SerializationError):
             decode_node(Address.magnetic(0), b"")
+
+
+def linear_find_child(node, key, timestamp):
+    """The pre-bisect reference: exhaustive containment scan."""
+    matches = [
+        entry for entry in node.entries if entry.region.contains_point(key, timestamp)
+    ]
+    if len(matches) != 1:
+        raise NodeError(f"expected one child, found {len(matches)}")
+    return matches[0]
+
+
+def linear_find_current_child(node, key):
+    """The pre-bisect reference for the current-child search rule."""
+    matches = [
+        entry
+        for entry in node.entries
+        if entry.is_current and entry.region.keys.contains(key)
+    ]
+    if len(matches) != 1:
+        raise NodeError(f"expected one current child, found {len(matches)}")
+    return matches[0]
+
+
+def grid_index_node(key_cuts, time_cuts):
+    """A realistic TSB index layout: key stripes, time-split cells per stripe.
+
+    Every key stripe gets one historical entry per time cell plus one
+    current (magnetic) entry for the open-ended latest cell — the shape
+    time and key splits actually produce.
+    """
+    entries = []
+    page = 0
+    lows = [None] + list(key_cuts)
+    highs = list(key_cuts) + [None]
+    for low, high in zip(lows, highs):
+        start = 0
+        for cut in time_cuts:
+            entries.append(
+                IndexEntry(
+                    Address.historical(page, page, 64),
+                    Rectangle(KeyRange(low, high), TimeRange(start, cut)),
+                )
+            )
+            page += 1
+            start = cut
+        entries.append(
+            IndexEntry(
+                Address.magnetic(page),
+                Rectangle(KeyRange(low, high), TimeRange(start, None)),
+            )
+        )
+        page += 1
+    return make_index_node(entries)
+
+
+class TestBisectSearchAgainstLinearReference:
+    """The bisect-based node searches must answer exactly like the linear
+    scans they replaced — including on the empty/degenerate layouts and at
+    first/last stripe boundaries."""
+
+    def test_empty_index_node_raises_on_both_searches(self):
+        node = make_index_node([])
+        with pytest.raises(NodeError):
+            node.find_child(1, 1)
+        with pytest.raises(NodeError):
+            node.find_current_child(1)
+
+    def test_single_entry_node_boundaries(self):
+        entry = IndexEntry(Address.magnetic(3), Rectangle(KeyRange(10, 20), TimeRange(0, None)))
+        node = make_index_node([entry])
+        assert node.find_current_child(10) is entry          # low edge inclusive
+        assert node.find_current_child(19) is entry
+        assert node.find_child(10, 0) is entry
+        with pytest.raises(NodeError):
+            node.find_current_child(20)                      # high edge exclusive
+        with pytest.raises(NodeError):
+            node.find_current_child(9)
+
+    def test_first_and_last_stripe_boundaries(self):
+        node = grid_index_node(key_cuts=(10, 50, 90), time_cuts=(5, 9))
+        # The unbounded first and last stripes, probed at their seams.
+        for key in (0, 9, 10, 49, 50, 89, 90, 10_000):
+            assert node.find_current_child(key) is linear_find_current_child(node, key)
+            for timestamp in (0, 4, 5, 8, 9, 10_000):
+                assert node.find_child(key, timestamp) is linear_find_child(
+                    node, key, timestamp
+                )
+
+    def test_duplicate_key_ranges_with_distinct_time_ranges(self):
+        """Time splits stack entries with identical key ranges; only the
+        timestamp separates them, and the current search must never pick a
+        historical twin."""
+        node = grid_index_node(key_cuts=(50,), time_cuts=(3, 7, 11))
+        for key in (0, 49, 50, 99):
+            current = node.find_current_child(key)
+            assert current.is_current
+            for timestamp in (0, 2, 3, 6, 7, 10, 11, 12):
+                entry = node.find_child(key, timestamp)
+                assert entry is linear_find_child(node, key, timestamp)
+                assert entry.region.contains_point(key, timestamp)
+
+    def test_overlap_is_still_detected_after_bisect(self):
+        entries = grid_index_node(key_cuts=(50,), time_cuts=(5,)).entries
+        node = make_index_node(list(entries) + [entries[-1]])  # duplicated current
+        with pytest.raises(NodeError):
+            node.find_current_child(60)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        key_cuts=st.lists(st.integers(1, 999), min_size=0, max_size=6, unique=True),
+        time_cuts=st.lists(st.integers(1, 99), min_size=0, max_size=4, unique=True),
+        probes=st.lists(
+            st.tuples(st.integers(-5, 1005), st.integers(0, 105)),
+            min_size=1,
+            max_size=20,
+        ),
+    )
+    def test_property_bisect_equals_linear_scan(self, key_cuts, time_cuts, probes):
+        node = grid_index_node(sorted(key_cuts), sorted(time_cuts))
+        for key, timestamp in probes:
+            assert node.find_child(key, timestamp) is linear_find_child(
+                node, key, timestamp
+            )
+            assert node.find_current_child(key) is linear_find_current_child(node, key)
+
+
+class TestDataNodeLookupBoundaries:
+    """Per-key lookups on the indexed data node: degenerate shapes and
+    duplicate keys at distinct timestamps."""
+
+    def test_empty_node_lookups(self):
+        node = make_data_node([])
+        assert node.versions_for_key(1) == []
+        assert node.latest_for_key(1) is None
+        assert node.version_as_of(1, 100) is None
+        assert node.distinct_key_count() == 0
+        assert node.keys() == []
+
+    def test_single_version_boundaries(self):
+        node = make_data_node([Version(key=5, timestamp=10, value=b"v")])
+        assert node.version_as_of(5, 9) is None
+        assert node.version_as_of(5, 10).value == b"v"     # exact stamp inclusive
+        assert node.version_as_of(5, 11).value == b"v"
+        assert node.latest_for_key(5).value == b"v"
+
+    def test_duplicate_keys_distinct_timestamps_stay_ordered(self):
+        stamps = [50, 10, 30, 20, 40]
+        node = make_data_node(
+            [Version(key=9, timestamp=stamp, value=b"v%d" % stamp) for stamp in stamps]
+        )
+        assert [v.timestamp for v in node.versions_for_key(9)] == sorted(stamps)
+        for stamp in stamps:
+            assert node.version_as_of(9, stamp).timestamp == stamp
+            previous = [s for s in stamps if s <= stamp - 1]
+            expected = max(previous) if previous else None
+            got = node.version_as_of(9, stamp - 1)
+            assert (got.timestamp if got else None) == expected

@@ -1,5 +1,7 @@
 """Tests for versioned secondary indexes (paper section 3.6)."""
 
+import random
+
 import pytest
 
 from repro.core import ThresholdPolicy, TSBTree, assert_tree_valid
@@ -140,6 +142,65 @@ class TestSecondaryAgainstScenarioOracle:
             if payload.decode().endswith("dept=sales")
         }
         assert {version.key: version.value for version in results} == expected
+
+    def test_value_history_orders_same_timestamp_change_correctly(self):
+        """An attribute *change* emits a tombstone and an insert at one
+        timestamp; the tombstone must come first, so the last event at each
+        timestamp is the value that actually held from then on."""
+        index = SecondaryIndex("department")
+        index.record_change("emp-1", "sales", timestamp=1)
+        index.record_change("emp-1", "legal", timestamp=4)
+        index.record_change("emp-1", "finance", timestamp=9)
+        assert index.value_history("emp-1") == [
+            (1, "sales"),
+            (4, None),
+            (4, "legal"),
+            (9, None),
+            (9, "finance"),
+        ]
+
+    def test_value_history_matches_dict_oracle(self):
+        """Differential check: replay random attribute changes into a plain
+        dict oracle and require the index's per-primary histories and as-of
+        answers to match it exactly."""
+        rng = random.Random(1989)
+        values = ("engineering", "sales", "finance", "legal", None)
+        primaries = [f"emp-{n}" for n in range(8)]
+        index = SecondaryIndex("department", page_size=512)
+
+        current: dict = {}
+        expected_events: dict = {primary: [] for primary in primaries}
+        states: list = []  # (timestamp, {primary: value}) after each step
+        for timestamp in range(1, 120):
+            primary = rng.choice(primaries)
+            new_value = rng.choice(values)
+            index.record_change(primary, new_value, timestamp=timestamp)
+            old_value = current.get(primary)
+            if old_value != new_value:
+                if old_value is not None:
+                    expected_events[primary].append((timestamp, None))
+                if new_value is not None:
+                    expected_events[primary].append((timestamp, new_value))
+                    current[primary] = new_value
+                else:
+                    current.pop(primary, None)
+            states.append((timestamp, dict(current)))
+
+        for primary in primaries:
+            assert index.value_history(primary) == expected_events[primary], primary
+
+        for timestamp, state in states[:: max(1, len(states) // 12)]:
+            for value in values:
+                if value is None:
+                    continue
+                expected_keys = sorted(
+                    primary for primary, held in state.items() if held == value
+                )
+                assert (
+                    sorted(index.primary_keys_with_value(value, as_of=timestamp))
+                    == expected_keys
+                ), (value, timestamp)
+        assert_tree_valid(index.tree)
 
     def test_primary_splits_do_not_touch_the_secondary_tree(self):
         """Section 3.6: 'When splits occur to the primary data, secondary

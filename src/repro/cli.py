@@ -544,6 +544,10 @@ def _serve_catalog(args: argparse.Namespace) -> Dict[str, StoreConfig]:
     tenants = tuple(
         name.strip() for name in args.tenants.split(",") if name.strip()
     ) or ("default",)
+    if getattr(args, "self_test", False) and "pipeline" not in tenants:
+        # Phase 3 of the self-test replays onto a fresh tenant so its
+        # digest is not polluted by the earlier phases' writes.
+        tenants = tenants + ("pipeline",)
     return default_catalog(
         tenants,
         engine=args.engine,
@@ -565,8 +569,17 @@ def _serve_self_test(server, args: argparse.Namespace) -> int:
     Phase 2 (concurrent oracle): N writers + M readers drive the *server*
     concurrently; the applied-write oracle must match the served store's
     per-key histories exactly, with zero client errors.
+
+    Phase 3 (pipelined differential): one writer keeps ``--pipeline``
+    requests in flight on a single socket against a fresh tenant; a serial
+    in-process replay of the same items must produce a byte-identical
+    digest over every read surface — proof that pipelining (and the
+    server's cross-request coalescing) changes throughput, not answers.
     """
+    import hashlib
+
     from repro.client import ReproClient
+    from repro.server import protocol as wire
 
     ops, threads = args.ops, max(2, args.threads)
     key_space = max(16, ops // 2)
@@ -622,6 +635,43 @@ def _serve_self_test(server, args: argparse.Namespace) -> int:
             f"phase 2: {result.writes} writes ({result.writes_per_s:,.0f}/s) + "
             f"{result.reads} reads from {threads}+{threads} concurrent clients — "
             f"{'oracle-consistent' if not any('oracle' in f or 'concurrent' in f for f in failures) else 'FAILED'}"
+        )
+
+    depth = max(1, getattr(args, "pipeline", 16))
+
+    def read_surface_digest(facade, keys: range, mid: int) -> str:
+        """SHA-256 over every read surface, serialized with the wire codecs."""
+        digest = hashlib.sha256()
+        digest.update(wire.pack_records(facade.range_search()))
+        snap = facade.snapshot(mid)
+        for key in sorted(snap):
+            digest.update(wire.pack_optional_record(snap[key]))
+        for key in keys:
+            digest.update(wire.pack_records(facade.key_history(key)))
+        return digest.hexdigest()
+
+    with ReproClient(server.host, server.port, tenant="pipeline", pool_size=1) as client:
+        piped = run_concurrent(
+            target=client, items=items, threads=1, batch_size=4, pipeline_depth=depth
+        )
+        if piped.errors:
+            failures.append(f"pipelined client errors: {piped.errors[:3]}")
+        mid = max(1, client.now // 2)
+        served_digest = read_surface_digest(client, range(key_space), mid)
+        with VersionStore.open(server.registry.config_for("pipeline")) as local:
+            local_run = run_concurrent(local, items, threads=1, batch_size=4)
+            if local_run.errors:
+                failures.append(f"in-process replay errors: {local_run.errors[:3]}")
+            local_digest = read_surface_digest(local, range(key_space), mid)
+        if served_digest != local_digest:
+            failures.append(
+                f"pipelined digest {served_digest[:12]} != in-process {local_digest[:12]}"
+            )
+        retries = client.counters
+        print(
+            f"phase 3: {piped.writes} pipelined writes at depth {depth} "
+            f"({piped.writes_per_s:,.0f}/s, {retries['client.busy_retries']} busy "
+            f"retries) — digest {'match' if served_digest == local_digest else 'MISMATCH'}"
         )
 
     for failure in failures:
@@ -902,6 +952,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=4,
         help="self-test concurrent writer/reader client threads (default: 4)",
+    )
+    serve.add_argument(
+        "--pipeline",
+        type=int,
+        default=16,
+        help="self-test phase-3 pipeline depth: requests kept in flight "
+        "per writer on one socket (default: 16)",
     )
     serve.set_defaults(handler=command_serve)
 

@@ -1,27 +1,43 @@
-"""The synchronous wire client: the façade surface, over a socket pool.
+"""The synchronous wire client: the façade surface, fully pipelined.
 
 :class:`ReproClient` mirrors :class:`~repro.api.store.VersionStore` —
 ``insert`` / ``put_many`` / ``get`` / ``get_as_of`` / ``range_search`` /
 ``snapshot`` / ``key_history`` / ``history_between`` / ``time_slice`` /
-``now`` — but executes every call as one request/response exchange with a
+``now`` — but executes every call as a request/response exchange with a
 :class:`~repro.server.service.ReproServer`.  Answers come back as the same
 :class:`~repro.api.engine.RecordView` objects the in-process façade
 returns, so the differential oracles (and
 :func:`repro.workload.concurrent.run_concurrent`) compare served and
 in-process runs record-for-record.
 
-Concurrency: the client is thread-safe.  A bounded **connection pool**
-(``pool_size`` sockets, created on demand) hands each in-flight call its
-own socket, so N worker threads drive N concurrent requests; when all
-sockets are busy, callers block on the pool rather than interleaving
-frames on one stream.  Each exchange matches the response's request id
-against its own — a mismatch marks the socket poisoned and it is dropped
-from the pool.
+Concurrency model: **request pipelining over demultiplexed channels**.
+The client keeps up to ``pool_size`` sockets; each socket (a
+:class:`_Channel`) carries *many* requests in flight at once, with a
+shared reader thread per channel matching response frames to waiting
+callers by request id.  N threads therefore multiplex a few sockets
+instead of blocking on a connection checkout — there is no pool wait, and
+a slow scan on one request never blocks an unrelated point read on the
+same socket.  Frames are read with ``socket.recv_into`` on a reusable
+per-channel buffer and assembled with precompiled structs, so the hot
+path allocates one ``bytes`` object per response body and nothing else.
+
+:meth:`ReproClient.pipeline` opens an explicit batch context: every call
+on it sends its request immediately and returns a
+:class:`PipelinedResult`; gather the answers with ``result()`` (the
+context exit waits for stragglers).  That is how a single thread keeps
+16+ requests in flight and lets the server coalesce them.
+
+Streamed responses (``Status.PARTIAL`` chunk runs for large scans) are
+reassembled transparently; a stream truncated mid-run surfaces as a clean
+:class:`ClientProtocolError` and poisons the channel.
 
 ``SERVER_BUSY`` responses (the server's admission control shedding load)
-are retried ``busy_retries`` times with linear backoff, then surface as
+are retried ``busy_retries`` times with linear backoff whose *total* sleep
+is capped by ``busy_backoff_cap`` seconds, then surface as
 :exc:`ServerBusyError` — pass ``busy_retries=0`` to observe rejections
-directly, as the admission-control tests do.
+directly, as the admission-control tests do.  Retries and rejections are
+counted client-side and surfaced by :meth:`ReproClient.stats` (and the
+:attr:`counters` property) so backoff is visible in metrics, not silent.
 """
 
 from __future__ import annotations
@@ -31,7 +47,7 @@ import json
 import socket
 import threading
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.api.engine import RecordView
 from repro.server import protocol
@@ -40,7 +56,7 @@ from repro.storage.serialization import ByteReader, Key
 
 
 class ClientError(Exception):
-    """Base class for client-side failures (transport, protocol, pool)."""
+    """Base class for client-side failures (transport, protocol, lifecycle)."""
 
 
 class ServerError(ClientError):
@@ -51,43 +67,384 @@ class ServerBusyError(ClientError):
     """Admission control rejected the request, and retries ran out."""
 
 
-class _PooledConnection:
-    """One socket plus its framed request/response exchange."""
+class ClientProtocolError(ClientError, ProtocolError):
+    """The byte stream violated the wire protocol (a clean protocol error,
+    still catchable as :exc:`ClientError`); the carrying socket is poisoned."""
 
-    def __init__(self, host: str, port: int, timeout: Optional[float]) -> None:
-        self.sock = socket.create_connection((host, port), timeout=timeout)
+
+class _Waiter:
+    """One in-flight request's slot: its event, chunks, and final frame."""
+
+    __slots__ = ("event", "status", "chunks", "reader", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.status: Optional[Status] = None
+        self.chunks: List[ByteReader] = []
+        self.reader: Optional[ByteReader] = None
+        self.error: Optional[Exception] = None
+
+
+class _Channel:
+    """One socket multiplexing many requests, demultiplexed by a reader thread.
+
+    Senders register a :class:`_Waiter` under their request id *before*
+    writing the frame (sends serialize on a lock; responses may arrive in
+    any order).  The reader thread reassembles frames with ``recv_into``
+    on a reusable buffer, routes ``PARTIAL`` chunks to their waiter, and
+    wakes the waiter on its final frame.  Any transport or protocol fault
+    poisons the whole channel: every pending waiter fails with the same
+    error and the socket is closed — the next request gets a fresh socket.
+    """
+
+    __slots__ = (
+        "sock",
+        "_send_lock",
+        "_lock",
+        "_waiters",
+        "_dead",
+        "_recv_buf",
+        "_reader",
+    )
+
+    def __init__(self, host: str, port: int, connect_timeout: Optional[float]) -> None:
+        self.sock = socket.create_connection((host, port), timeout=connect_timeout)
         self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        # Request timeouts are enforced by waiters; the reader thread itself
+        # blocks indefinitely between frames (an idle channel is healthy).
+        self.sock.settimeout(None)
+        self._send_lock = threading.Lock()
+        self._lock = threading.Lock()
+        self._waiters: Dict[int, _Waiter] = {}
+        self._dead: Optional[Exception] = None
+        self._recv_buf = bytearray(64 * 1024)
+        self._reader = threading.Thread(
+            target=self._read_loop, name="repro-client-demux", daemon=True
+        )
+        self._reader.start()
+
+    @property
+    def dead(self) -> bool:
+        return self._dead is not None
+
+    def register(self, request_id: int) -> _Waiter:
+        waiter = _Waiter()
+        with self._lock:
+            if self._dead is not None:
+                raise ClientError(f"channel is poisoned: {self._dead}")
+            self._waiters[request_id] = waiter
+        return waiter
+
+    def forget(self, request_id: int) -> None:
+        with self._lock:
+            self._waiters.pop(request_id, None)
+
+    def send(self, frame: bytes) -> None:
+        try:
+            with self._send_lock:
+                self.sock.sendall(frame)
+        except OSError as exc:
+            error = ClientError(f"transport failure: {exc}")
+            self.poison(error)
+            raise error from exc
+
+    def poison(self, error: Exception) -> None:
+        """Mark the channel dead, fail every pending waiter, close the socket."""
+        with self._lock:
+            if self._dead is None:
+                self._dead = error
+            waiters = list(self._waiters.values())
+            self._waiters.clear()
+        for waiter in waiters:
+            waiter.error = error
+            waiter.event.set()
+        self.close()
 
     def close(self) -> None:
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass  # already closed or never connected fully
         try:
             self.sock.close()
         except OSError:  # pragma: no cover - teardown race
             pass
 
-    def exchange(self, frame: bytes) -> bytes:
-        """Send one request frame; return the matching response body."""
-        self.sock.sendall(frame)
-        header = self._read_exactly(FRAME_HEADER.size)
-        length, crc = protocol.check_frame_header(header)
-        body = self._read_exactly(length)
-        return protocol.check_frame_body(body, crc)
+    # ------------------------------------------------------------------
+    # The demultiplexing reader
+    # ------------------------------------------------------------------
+    def _read_loop(self) -> None:
+        try:
+            while True:
+                header = self._read_exactly(FRAME_HEADER.size)
+                length, crc = protocol.check_frame_header(header)
+                body_view = self._read_exactly(length)
+                protocol.check_frame_body(body_view, crc)
+                # The one copy: the body must outlive the reusable buffer.
+                body = bytes(body_view)
+                response_id, status, reader = protocol.decode_response(body)
+                if not self._deliver(response_id, status, reader):
+                    raise ProtocolError(
+                        f"response id {response_id} matches no in-flight request"
+                    )
+        except ProtocolError as exc:
+            self.poison(ClientProtocolError(str(exc)))
+        except OSError as exc:
+            self.poison(ClientError(f"transport failure: {exc}"))
+        except Exception as exc:  # pragma: no cover - defensive
+            self.poison(ClientError(f"client reader failed: {exc}"))
 
-    def _read_exactly(self, count: int) -> bytes:
-        chunks: List[bytes] = []
-        remaining = count
-        while remaining:
-            chunk = self.sock.recv(remaining)
-            if not chunk:
+    def _read_exactly(self, count: int) -> memoryview:
+        """Fill ``count`` bytes of the reusable receive buffer via recv_into."""
+        if count > len(self._recv_buf):
+            self._recv_buf = bytearray(count)
+        view = memoryview(self._recv_buf)[:count]
+        received = 0
+        while received < count:
+            chunk = self.sock.recv_into(view[received:])
+            if chunk == 0:
                 raise protocol.TruncatedFrameError(
                     "server closed the connection mid-frame"
                 )
-            chunks.append(chunk)
-            remaining -= len(chunk)
-        return b"".join(chunks)
+            received += chunk
+        return view
+
+    def _deliver(self, response_id: int, status: Status, reader: ByteReader) -> bool:
+        with self._lock:
+            if status is Status.PARTIAL:
+                waiter = self._waiters.get(response_id)
+                if waiter is None:
+                    return False
+                waiter.chunks.append(reader)
+                return True
+            waiter = self._waiters.pop(response_id, None)
+        if waiter is None:
+            return False
+        waiter.status = status
+        waiter.reader = reader
+        waiter.event.set()
+        return True
+
+
+# ----------------------------------------------------------------------
+# Response decoders: (streamed chunks, final frame) -> façade answer
+# ----------------------------------------------------------------------
+def _decode_timestamp(chunks: List[ByteReader], final: ByteReader) -> int:
+    return protocol.unpack_timestamp_u64(final)
+
+
+def _decode_timestamps(chunks: List[ByteReader], final: ByteReader) -> List[int]:
+    return protocol.unpack_timestamps(final)
+
+
+def _decode_optional_record(
+    chunks: List[ByteReader], final: ByteReader
+) -> Optional[RecordView]:
+    return protocol.unpack_optional_record(final)
+
+
+def _decode_records(chunks: List[ByteReader], final: ByteReader) -> List[RecordView]:
+    return protocol.merge_record_chunks(chunks + [final])
+
+
+def _decode_record_map(
+    chunks: List[ByteReader], final: ByteReader
+) -> Dict[Key, RecordView]:
+    return {
+        record.key: record for record in protocol.merge_record_chunks(chunks + [final])
+    }
+
+
+def _decode_history_map(
+    chunks: List[ByteReader], final: ByteReader
+) -> Dict[Key, List[RecordView]]:
+    return protocol.merge_history_chunks(chunks + [final])
+
+
+def _decode_none(chunks: List[ByteReader], final: ByteReader) -> None:
+    return None
+
+
+class PipelinedResult:
+    """A pipelined request's pending answer; :meth:`result` gathers it.
+
+    ``result()`` blocks until the response (and every streamed chunk)
+    arrives, transparently retrying ``SERVER_BUSY`` under the client's
+    capped backoff, and returns the decoded façade answer — or raises
+    exactly what the synchronous call would have raised.  Safe to call
+    more than once; the outcome is cached.
+    """
+
+    __slots__ = ("_client", "_opcode", "_payload", "_decode", "_issued", "_outcome")
+
+    def __init__(
+        self,
+        client: "ReproClient",
+        opcode: Opcode,
+        payload: bytes,
+        decode: Callable,
+        issued: Tuple[_Channel, int, _Waiter],
+    ) -> None:
+        self._client = client
+        self._opcode = opcode
+        self._payload = payload
+        self._decode = decode
+        self._issued = issued
+        self._outcome: Optional[Tuple[bool, object]] = None
+
+    def result(self):
+        if self._outcome is None:
+            try:
+                chunks, final = self._client._resolve(
+                    self._opcode, self._payload, self._issued
+                )
+                self._outcome = (True, self._decode(chunks, final))
+            except Exception as exc:  # noqa: BLE001 - cached and re-raised
+                self._outcome = (False, exc)
+        succeeded, value = self._outcome
+        if not succeeded:
+            raise value
+        return value
+
+    @property
+    def done(self) -> bool:
+        """Whether the response already arrived (never blocks)."""
+        if self._outcome is not None:
+            return True
+        return self._issued[2].event.is_set()
+
+
+class Pipeline:
+    """An explicit request batch: send a burst, gather the results.
+
+    Every façade call on the pipeline fires its request immediately and
+    returns a :class:`PipelinedResult`; nothing blocks until ``result()``.
+    Leaving the ``with`` block waits for every outstanding response, so no
+    request is silently abandoned; an error nobody gathered re-raises at
+    exit (errors already observed via ``result()`` do not re-raise).
+    """
+
+    def __init__(self, client: "ReproClient") -> None:
+        self._client = client
+        self._pending: List[PipelinedResult] = []
+
+    # -- the pipelined façade surface ----------------------------------
+    def insert(self, key: Key, value: bytes, timestamp: Optional[int] = None):
+        return self._submit(
+            Opcode.INSERT, protocol.pack_insert(key, value, timestamp), _decode_timestamp
+        )
+
+    def put_many(self, items: Sequence[Tuple[Key, bytes]]):
+        return self._submit(
+            Opcode.PUT_MANY, protocol.pack_items(list(items)), _decode_timestamps
+        )
+
+    def delete(self, key: Key, timestamp: Optional[int] = None):
+        return self._submit(
+            Opcode.DELETE, protocol.pack_delete(key, timestamp), _decode_timestamp
+        )
+
+    def get(self, key: Key):
+        return self._submit(Opcode.GET, protocol.pack_key(key), _decode_optional_record)
+
+    def get_as_of(self, key: Key, timestamp: int):
+        return self._submit(
+            Opcode.GET_AS_OF, protocol.pack_key_at(key, timestamp), _decode_optional_record
+        )
+
+    def range_search(
+        self,
+        low: Optional[Key] = None,
+        high: Optional[Key] = None,
+        as_of: Optional[int] = None,
+    ):
+        return self._submit(
+            Opcode.RANGE, protocol.pack_range(low, high, as_of), _decode_records
+        )
+
+    def snapshot(self, timestamp: int):
+        return self._submit(
+            Opcode.SNAPSHOT, protocol.pack_timestamp_u64(timestamp), _decode_record_map
+        )
+
+    def key_history(self, key: Key):
+        return self._submit(Opcode.KEY_HISTORY, protocol.pack_key(key), _decode_records)
+
+    def history_between(self, key: Key, start: int, end: int):
+        return self._submit(
+            Opcode.HISTORY_BETWEEN, protocol.pack_window(key, start, end), _decode_records
+        )
+
+    def time_slice(
+        self,
+        start: int,
+        end: int,
+        low: Optional[Key] = None,
+        high: Optional[Key] = None,
+    ):
+        return self._submit(
+            Opcode.TIME_SLICE,
+            protocol.pack_time_slice(start, end, low, high),
+            _decode_history_map,
+        )
+
+    def now(self):
+        return self._submit(Opcode.NOW, b"", _decode_timestamp)
+
+    def ping(self):
+        return self._submit(Opcode.PING, b"", _decode_none)
+
+    # -- mechanics ------------------------------------------------------
+    def _submit(self, opcode: Opcode, payload: bytes, decode: Callable) -> PipelinedResult:
+        issued = self._client._issue(opcode, payload)
+        pending = PipelinedResult(self._client, opcode, payload, decode, issued)
+        self._pending.append(pending)
+        return pending
+
+    @property
+    def depth(self) -> int:
+        """Requests submitted through this pipeline so far."""
+        return len(self._pending)
+
+    def gather(self) -> List[object]:
+        """Wait for every submitted request; return the answers in order.
+
+        Raises the first failure *after* every response has been drained
+        (so one bad request never strands the rest mid-flight).
+        """
+        outcomes = []
+        first_error: Optional[Exception] = None
+        for pending in self._pending:
+            try:
+                outcomes.append(pending.result())
+            except Exception as exc:  # noqa: BLE001 - re-raised after the drain
+                outcomes.append(None)
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+        return outcomes
+
+    def __enter__(self) -> "Pipeline":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            return  # the in-flight exception wins; stragglers are abandoned
+        first_unobserved: Optional[Exception] = None
+        for pending in self._pending:
+            observed = pending._outcome is not None
+            try:
+                pending.result()
+            except Exception as error:  # noqa: BLE001 - re-raised below
+                if not observed and first_unobserved is None:
+                    first_unobserved = error
+        if first_unobserved is not None:
+            raise first_unobserved
 
 
 class ReproClient:
-    """A pooled, thread-safe client for one tenant of a :class:`ReproServer`.
+    """A pipelined, thread-safe client for one tenant of a :class:`ReproServer`.
 
     Parameters
     ----------
@@ -96,13 +453,19 @@ class ReproClient:
     tenant:
         The catalogued tenant every request names.
     pool_size:
-        Maximum concurrent sockets (and therefore concurrent in-flight
-        requests from this client).
+        Maximum sockets.  Unlike a classic checkout pool, every socket
+        multiplexes unlimited concurrent requests — more sockets spread
+        bytes over more TCP streams, they are not a concurrency limit.
     timeout:
-        Per-socket-operation timeout in seconds (``None`` blocks forever).
-    busy_retries, busy_backoff:
+        Per-request ceiling in seconds (``None`` blocks forever): how long
+        a caller waits for its response before the channel is declared
+        stuck and poisoned.  Also the TCP connect timeout.
+    busy_retries, busy_backoff, busy_backoff_cap:
         ``SERVER_BUSY`` handling: retry up to ``busy_retries`` times,
-        sleeping ``busy_backoff * attempt`` seconds between tries.
+        sleeping ``busy_backoff * attempt`` seconds between tries, but
+        never sleeping more than ``busy_backoff_cap`` seconds in total for
+        one logical request — the backoff is bounded by wall clock, not
+        just by attempt count.
     """
 
     def __init__(
@@ -115,11 +478,14 @@ class ReproClient:
         timeout: Optional[float] = 30.0,
         busy_retries: int = 8,
         busy_backoff: float = 0.01,
+        busy_backoff_cap: float = 2.0,
     ) -> None:
         if pool_size < 1:
             raise ValueError("pool_size must be at least 1")
         if busy_retries < 0:
             raise ValueError("busy_retries must be non-negative")
+        if busy_backoff_cap <= 0:
+            raise ValueError("busy_backoff_cap must be positive")
         self.host = host
         self.port = port
         self.tenant = tenant
@@ -127,54 +493,51 @@ class ReproClient:
         self.timeout = timeout
         self.busy_retries = busy_retries
         self.busy_backoff = busy_backoff
+        self.busy_backoff_cap = busy_backoff_cap
         self._ids = itertools.count(1)
-        self._idle: List[_PooledConnection] = []
-        self._created = 0
-        self._cond = threading.Condition()
+        self._channels: List[Optional[_Channel]] = [None] * pool_size
+        self._channel_lock = threading.Lock()
+        self._rr = itertools.count()
         self._closed = False
+        self._counter_lock = threading.Lock()
+        self._counters: Dict[str, int] = {
+            "client.requests": 0,
+            "client.busy_retries": 0,
+            "client.busy_rejected": 0,
+        }
 
     # ------------------------------------------------------------------
-    # Connection pool
+    # Channels
     # ------------------------------------------------------------------
-    def _checkout(self) -> _PooledConnection:
-        with self._cond:
-            while True:
-                if self._closed:
-                    raise ClientError("this ReproClient has been closed")
-                if self._idle:
-                    return self._idle.pop()
-                if self._created < self.pool_size:
-                    self._created += 1
-                    break
-                self._cond.wait(timeout=self.timeout)
-        try:
-            return _PooledConnection(self.host, self.port, self.timeout)
-        except OSError as exc:
-            with self._cond:
-                self._created -= 1
-                self._cond.notify()
-            raise ClientError(
-                f"could not connect to {self.host}:{self.port}: {exc}"
-            ) from exc
-
-    def _checkin(self, connection: _PooledConnection, healthy: bool) -> None:
-        with self._cond:
-            if healthy and not self._closed:
-                self._idle.append(connection)
-            else:
-                self._created -= 1
-                connection.close()
-            self._cond.notify()
+    def _channel(self) -> _Channel:
+        """A live channel, round-robin; dead/missing slots reconnect."""
+        slot = next(self._rr) % self.pool_size
+        with self._channel_lock:
+            if self._closed:
+                raise ClientError("this ReproClient has been closed")
+            channel = self._channels[slot]
+            if channel is not None and not channel.dead:
+                return channel
+            try:
+                channel = _Channel(self.host, self.port, self.timeout)
+            except OSError as exc:
+                raise ClientError(
+                    f"could not connect to {self.host}:{self.port}: {exc}"
+                ) from exc
+            self._channels[slot] = channel
+            return channel
 
     def close(self) -> None:
-        """Close every pooled socket; further calls raise :exc:`ClientError`."""
-        with self._cond:
+        """Poison and close every channel; further calls raise :exc:`ClientError`."""
+        with self._channel_lock:
             self._closed = True
-            idle, self._idle = self._idle, []
-            self._created -= len(idle)
-            self._cond.notify_all()
-        for connection in idle:
-            connection.close()
+            channels, self._channels = (
+                list(self._channels),
+                [None] * self.pool_size,
+            )
+        for channel in channels:
+            if channel is not None:
+                channel.poison(ClientError("this ReproClient has been closed"))
 
     def __enter__(self) -> "ReproClient":
         return self
@@ -182,48 +545,106 @@ class ReproClient:
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
 
+    def _count(self, name: str, amount: int = 1) -> None:
+        with self._counter_lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Client-side counters: requests sent, busy retries, rejections."""
+        with self._counter_lock:
+            return dict(self._counters)
+
     # ------------------------------------------------------------------
     # The request/response core
     # ------------------------------------------------------------------
-    def _request(self, opcode: Opcode, payload: bytes = b"") -> ByteReader:
+    def _issue(self, opcode: Opcode, payload: bytes) -> Tuple[_Channel, int, _Waiter]:
+        """Register a waiter and send one request frame; never blocks on
+        other in-flight requests."""
+        channel = self._channel()
+        request_id = next(self._ids)
+        frame = protocol.encode_request(request_id, opcode, self.tenant, payload)
+        waiter = channel.register(request_id)
+        try:
+            channel.send(frame)
+        except ClientError:
+            channel.forget(request_id)
+            raise
+        self._count("client.requests")
+        return channel, request_id, waiter
+
+    def _await(
+        self, issued: Tuple[_Channel, int, _Waiter]
+    ) -> Tuple[Status, List[ByteReader], ByteReader]:
+        channel, request_id, waiter = issued
+        if not waiter.event.wait(self.timeout):
+            error = ClientError(
+                f"timed out after {self.timeout}s waiting for response {request_id}"
+            )
+            # The response may still arrive and would desynchronize the
+            # demultiplexer's view of the stream: poison the whole channel.
+            channel.poison(error)
+            raise error
+        if waiter.error is not None:
+            raise waiter.error
+        assert waiter.status is not None and waiter.reader is not None
+        return waiter.status, waiter.chunks, waiter.reader
+
+    def _resolve(
+        self,
+        opcode: Opcode,
+        payload: bytes,
+        issued: Tuple[_Channel, int, _Waiter],
+    ) -> Tuple[List[ByteReader], ByteReader]:
+        """Wait out one issued request, retrying ``SERVER_BUSY`` re-sends
+        under the capped backoff; returns ``(chunks, final_reader)``."""
         attempt = 0
+        slept = 0.0
         while True:
-            status, body = self._exchange_once(opcode, payload)
+            status, chunks, reader = self._await(issued)
             if status is Status.OK:
-                return body
+                return chunks, reader
             if status is Status.SERVER_BUSY:
-                if attempt >= self.busy_retries:
-                    raise ServerBusyError(protocol.unpack_error(body))
+                delay = self.busy_backoff * (attempt + 1)
+                if attempt >= self.busy_retries or slept + delay > self.busy_backoff_cap:
+                    self._count("client.busy_rejected")
+                    raise ServerBusyError(protocol.unpack_error(reader))
                 attempt += 1
-                time.sleep(self.busy_backoff * attempt)
+                self._count("client.busy_retries")
+                time.sleep(delay)
+                slept += delay
+                issued = self._issue(opcode, payload)
                 continue
-            message = protocol.unpack_error(body)
+            message = protocol.unpack_error(reader)
             if status is Status.BAD_REQUEST:
                 raise ClientError(f"server rejected the request: {message}")
             raise ServerError(message)
 
-    def _exchange_once(
-        self, opcode: Opcode, payload: bytes
-    ) -> Tuple[Status, ByteReader]:
-        request_id = next(self._ids)
-        frame = protocol.encode_request(request_id, opcode, self.tenant, payload)
-        connection = self._checkout()
-        healthy = False
-        try:
-            body = connection.exchange(frame)
-            response_id, status, reader = protocol.decode_response(body)
-            if response_id != request_id:
-                raise ProtocolError(
-                    f"response id {response_id} does not match request {request_id}"
-                )
-            healthy = True
-            return status, reader
-        except (OSError, socket.timeout) as exc:
-            raise ClientError(f"transport failure: {exc}") from exc
-        except ProtocolError as exc:
-            raise ClientError(f"protocol violation: {exc}") from exc
-        finally:
-            self._checkin(connection, healthy)
+    def _exchange(
+        self, opcode: Opcode, payload: bytes = b""
+    ) -> Tuple[List[ByteReader], ByteReader]:
+        return self._resolve(opcode, payload, self._issue(opcode, payload))
+
+    def _request(self, opcode: Opcode, payload: bytes = b"") -> ByteReader:
+        """One unstreamed exchange; returns the final payload reader."""
+        _, reader = self._exchange(opcode, payload)
+        return reader
+
+    # ------------------------------------------------------------------
+    # Pipelining
+    # ------------------------------------------------------------------
+    def pipeline(self) -> Pipeline:
+        """An explicit batch context: send a burst, gather the results.
+
+        ::
+
+            with client.pipeline() as pipe:
+                pending = [pipe.put_many(chunk) for chunk in chunks]
+                stamps = [p.result() for p in pending]
+        """
+        if self._closed:
+            raise ClientError("this ReproClient has been closed")
+        return Pipeline(self)
 
     # ------------------------------------------------------------------
     # The façade surface, over the wire
@@ -260,22 +681,24 @@ class ReproClient:
         high: Optional[Key] = None,
         as_of: Optional[int] = None,
     ) -> List[RecordView]:
-        reader = self._request(Opcode.RANGE, protocol.pack_range(low, high, as_of))
-        return protocol.unpack_records(reader)
+        chunks, final = self._exchange(Opcode.RANGE, protocol.pack_range(low, high, as_of))
+        return _decode_records(chunks, final)
 
     def snapshot(self, timestamp: int) -> Dict[Key, RecordView]:
-        reader = self._request(Opcode.SNAPSHOT, protocol.pack_timestamp_u64(timestamp))
-        return protocol.unpack_record_map(reader)
+        chunks, final = self._exchange(
+            Opcode.SNAPSHOT, protocol.pack_timestamp_u64(timestamp)
+        )
+        return _decode_record_map(chunks, final)
 
     def key_history(self, key: Key) -> List[RecordView]:
-        reader = self._request(Opcode.KEY_HISTORY, protocol.pack_key(key))
-        return protocol.unpack_records(reader)
+        chunks, final = self._exchange(Opcode.KEY_HISTORY, protocol.pack_key(key))
+        return _decode_records(chunks, final)
 
     def history_between(self, key: Key, start: int, end: int) -> List[RecordView]:
-        reader = self._request(
+        chunks, final = self._exchange(
             Opcode.HISTORY_BETWEEN, protocol.pack_window(key, start, end)
         )
-        return protocol.unpack_records(reader)
+        return _decode_records(chunks, final)
 
     def time_slice(
         self,
@@ -284,10 +707,10 @@ class ReproClient:
         low: Optional[Key] = None,
         high: Optional[Key] = None,
     ) -> Dict[Key, List[RecordView]]:
-        reader = self._request(
+        chunks, final = self._exchange(
             Opcode.TIME_SLICE, protocol.pack_time_slice(start, end, low, high)
         )
-        return protocol.unpack_history_map(reader)
+        return _decode_history_map(chunks, final)
 
     @property
     def now(self) -> int:
@@ -296,12 +719,16 @@ class ReproClient:
         return protocol.unpack_timestamp_u64(reader)
 
     def stats(self, fmt: str = "json"):
-        """Server-side observability: a dict (``json``) or text (``prometheus``)."""
+        """Server-side observability — a dict (``json``) or text
+        (``prometheus``) — with this client's own counters folded in under
+        the ``"client"`` key of the JSON rendering."""
         reader = self._request(Opcode.STATS, protocol.pack_stats_request(fmt))
         blob = protocol.unpack_blob(reader)
         if fmt == "json":
-            return json.loads(blob.decode("utf-8"))
-        return blob.decode("utf-8")
+            snapshot = json.loads(bytes(blob).decode("utf-8"))
+            snapshot["client"] = self.counters
+            return snapshot
+        return bytes(blob).decode("utf-8")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

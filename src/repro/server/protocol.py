@@ -31,6 +31,7 @@ import enum
 import struct
 import zlib
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.api.engine import RecordView
@@ -52,8 +53,25 @@ FRAME_HEADER = struct.Struct(">II")
 
 #: Hard per-frame payload bound.  Large batches fit comfortably (a 4 MiB
 #: frame holds tens of thousands of typical records); anything bigger is a
-#: framing error, not a workload.
+#: framing error, not a workload.  Results too large for one frame do not
+#: fail: the streaming ops (``RANGE``/``SNAPSHOT``/``KEY_HISTORY``/
+#: ``TIME_SLICE``) travel as a run of bounded ``PARTIAL`` chunks instead.
 MAX_BODY_BYTES = 4 * 1024 * 1024
+
+#: Target payload size of one streamed chunk.  Large scan answers are cut
+#: into self-contained chunks of at most roughly this many bytes (a chunk
+#: holding a single record may exceed it; it can never exceed
+#: :data:`MAX_BODY_BYTES`), so a 100 MiB snapshot never materializes as one
+#: frame on either side and the first chunk reaches the client while the
+#: rest are still being written.
+STREAM_CHUNK_BYTES = 256 * 1024
+
+#: ``[u64 request id][u8 opcode][u32 tenant length]`` — the request
+#: envelope prefix, as one precompiled struct.
+_REQUEST_HEAD = struct.Struct(">QBI")
+#: ``[u64 request id][u8 status]`` — the response envelope prefix.
+_RESPONSE_HEAD = struct.Struct(">QB")
+_U32 = struct.Struct(">I")
 
 
 class ProtocolError(Exception):
@@ -115,6 +133,14 @@ class Status(enum.IntEnum):
     SERVER_BUSY = 2
     #: The request could not be decoded (unknown opcode, malformed payload).
     BAD_REQUEST = 3
+    #: One chunk of a streamed response.  A large scan answer travels as
+    #: ``[PARTIAL]* [OK]`` frames under the same request id: every
+    #: ``PARTIAL`` payload is a self-contained chunk in the op's own list
+    #: format, and the terminating ``OK`` frame carries the final chunk.
+    #: The client concatenates the decoded chunks; a stream that ends
+    #: without its ``OK`` frame is a truncated response (the torn-tail
+    #: discipline, per request instead of per frame).
+    PARTIAL = 4
 
 
 # ----------------------------------------------------------------------
@@ -189,41 +215,72 @@ class Request:
     payload: ByteReader
 
 
+@lru_cache(maxsize=1024)
+def _encode_tenant(tenant: str) -> bytes:
+    return tenant.encode("utf-8")
+
+
+@lru_cache(maxsize=1024)
+def _decode_tenant(raw: bytes) -> str:
+    return raw.decode("utf-8")
+
+
 def encode_request(
     request_id: int, opcode: Opcode, tenant: str, payload: bytes = b""
 ) -> bytes:
-    """One request frame, ready to write to the socket."""
-    writer = ByteWriter()
-    writer.put_u64(request_id)
-    writer.put_u8(int(opcode))
-    writer.put_bytes(tenant.encode("utf-8"))
-    writer.put_raw(payload)
-    return encode_frame(writer.getvalue())
+    """One request frame, ready to write to the socket.
+
+    Assembled from precompiled structs in two concatenations (envelope,
+    then frame) — no intermediate writer objects on the client hot path.
+    """
+    tenant_raw = _encode_tenant(tenant)
+    body = _REQUEST_HEAD.pack(request_id, int(opcode), len(tenant_raw)) + tenant_raw + payload
+    if len(body) > MAX_BODY_BYTES:
+        raise FrameTooLargeError(
+            f"frame body of {len(body)} bytes exceeds the {MAX_BODY_BYTES}-byte bound"
+        )
+    return FRAME_HEADER.pack(len(body), zlib.crc32(body)) + body
 
 
 def decode_request(body: bytes) -> Request:
-    """Decode a request frame body (raises :exc:`ProtocolError` if malformed)."""
-    reader = ByteReader(body)
+    """Decode a request frame body (raises :exc:`ProtocolError` if malformed).
+
+    The envelope is unpacked in place with precompiled structs and the
+    payload reader starts at the envelope's end on the *same* buffer — no
+    per-request slice copies.  Tenant names repeat on every request, so
+    their UTF-8 decode is memoized.
+    """
     try:
-        request_id = reader.get_u64()
-        opcode_raw = reader.get_u8()
-        tenant = reader.get_bytes().decode("utf-8")
-    except (SerializationError, UnicodeDecodeError) as exc:
+        request_id, opcode_raw, tenant_length = _REQUEST_HEAD.unpack_from(body, 0)
+    except struct.error as exc:
+        raise ProtocolError(f"malformed request envelope: {exc}") from exc
+    payload_start = _REQUEST_HEAD.size + tenant_length
+    if payload_start > len(body):
+        raise ProtocolError("malformed request envelope: truncated tenant name")
+    try:
+        tenant = _decode_tenant(bytes(body[_REQUEST_HEAD.size : payload_start]))
+    except UnicodeDecodeError as exc:
         raise ProtocolError(f"malformed request envelope: {exc}") from exc
     try:
         opcode = Opcode(opcode_raw)
     except ValueError as exc:
         raise UnknownOpcodeError(request_id, opcode_raw) from exc
-    return Request(request_id=request_id, opcode=opcode, tenant=tenant, payload=reader)
+    return Request(
+        request_id=request_id,
+        opcode=opcode,
+        tenant=tenant,
+        payload=ByteReader(body, offset=payload_start),
+    )
 
 
 def encode_response(request_id: int, status: Status, payload: bytes = b"") -> bytes:
     """One response frame, ready to write to the socket."""
-    writer = ByteWriter()
-    writer.put_u64(request_id)
-    writer.put_u8(int(status))
-    writer.put_raw(payload)
-    return encode_frame(writer.getvalue())
+    body = _RESPONSE_HEAD.pack(request_id, int(status)) + payload
+    if len(body) > MAX_BODY_BYTES:
+        raise FrameTooLargeError(
+            f"frame body of {len(body)} bytes exceeds the {MAX_BODY_BYTES}-byte bound"
+        )
+    return FRAME_HEADER.pack(len(body), zlib.crc32(body)) + body
 
 
 def decode_response(body: bytes) -> Tuple[int, Status, ByteReader]:
@@ -478,6 +535,126 @@ def unpack_history_map(reader: ByteReader) -> Dict[Key, List[RecordView]]:
     for _ in range(reader.get_u32()):
         key = read_key(reader)
         result[key] = [_read_record(reader) for _ in range(reader.get_u32())]
+    return result
+
+
+# ----------------------------------------------------------------------
+# Streamed-response chunking
+#
+# Each chunk is a *self-contained* payload in the op's own list format
+# (``pack_records`` / ``pack_history_map`` shape), so a one-chunk answer is
+# byte-identical to the unstreamed response and the client merges chunks by
+# simple concatenation.  A history-map key may span chunks; the merge
+# extends that key's version list, preserving order.
+# ----------------------------------------------------------------------
+def _encode_record(record: RecordView) -> bytes:
+    writer = ByteWriter()
+    _write_record(writer, record)
+    return writer.getvalue()
+
+
+def chunk_records(
+    records: Sequence[RecordView], chunk_bytes: int = STREAM_CHUNK_BYTES
+) -> List[bytes]:
+    """Cut ``records`` into one or more ``pack_records``-format payloads.
+
+    Always returns at least one chunk (an empty answer is one empty-list
+    chunk); every chunk except possibly a single-record one stays at or
+    under ``chunk_bytes``.
+    """
+    chunks: List[bytes] = []
+    parts: List[bytes] = []
+    size = 0
+    for record in records:
+        encoded = _encode_record(record)
+        if parts and size + len(encoded) > chunk_bytes:
+            chunks.append(_U32.pack(len(parts)) + b"".join(parts))
+            parts, size = [], 0
+        parts.append(encoded)
+        size += len(encoded)
+    chunks.append(_U32.pack(len(parts)) + b"".join(parts))
+    return chunks
+
+
+def chunk_record_map(
+    snapshot: Dict[Key, RecordView], chunk_bytes: int = STREAM_CHUNK_BYTES
+) -> List[bytes]:
+    """SNAPSHOT chunks: the records in key order, cut like :func:`chunk_records`."""
+    return chunk_records(
+        [snapshot[key] for key in _sorted_keys(snapshot)], chunk_bytes
+    )
+
+
+def chunk_history_map(
+    histories: Dict[Key, List[RecordView]], chunk_bytes: int = STREAM_CHUNK_BYTES
+) -> List[bytes]:
+    """TIME_SLICE chunks: ``pack_history_map``-format payloads in key order.
+
+    A key whose version list does not fit one chunk is continued in the
+    next chunk under the same key; :func:`merge_history_chunks` extends the
+    list, so the reassembled map is identical to the unstreamed answer.
+    """
+    flat: List[Tuple[Key, Optional[RecordView]]] = []
+    for key in _sorted_keys(histories):
+        records = histories[key]
+        if records:
+            flat.extend((key, record) for record in records)
+        else:
+            flat.append((key, None))
+    if not flat:
+        return [pack_history_map({})]
+    chunks: List[bytes] = []
+    index = 0
+    while index < len(flat):
+        entries: List[Tuple[Key, bytes, List[bytes]]] = []  # (key, key_enc, records)
+        size = 4  # the entry-count prefix
+        while index < len(flat):
+            key, record = flat[index]
+            encoded = _encode_record(record) if record is not None else b""
+            opens_entry = not entries or entries[-1][0] != key
+            cost = len(encoded)
+            if opens_entry:
+                key_writer = ByteWriter()
+                write_key(key_writer, key)
+                key_enc = key_writer.getvalue()
+                cost += len(key_enc) + 4  # the per-key record-count prefix
+            if entries and size + cost > chunk_bytes:
+                break
+            if opens_entry:
+                entries.append((key, key_enc, []))
+            if record is not None:
+                entries[-1][2].append(encoded)
+            size += cost
+            index += 1
+        writer = ByteWriter()
+        writer.put_u32(len(entries))
+        for _, key_enc, encoded_records in entries:
+            writer.put_raw(key_enc)
+            writer.put_u32(len(encoded_records))
+            for encoded in encoded_records:
+                writer.put_raw(encoded)
+        chunks.append(writer.getvalue())
+    return chunks
+
+
+def merge_record_chunks(readers: Sequence[ByteReader]) -> List[RecordView]:
+    """Reassemble a streamed record list (one reader per chunk, in order)."""
+    records: List[RecordView] = []
+    for reader in readers:
+        records.extend(unpack_records(reader))
+    return records
+
+
+def merge_history_chunks(
+    readers: Sequence[ByteReader],
+) -> Dict[Key, List[RecordView]]:
+    """Reassemble a streamed history map; a key spanning chunks extends."""
+    result: Dict[Key, List[RecordView]] = {}
+    for reader in readers:
+        for _ in range(reader.get_u32()):
+            key = read_key(reader)
+            records = [_read_record(reader) for _ in range(reader.get_u32())]
+            result.setdefault(key, []).extend(records)
     return result
 
 

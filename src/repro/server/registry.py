@@ -99,7 +99,20 @@ class StoreRegistry:
     # Lifecycle
     # ------------------------------------------------------------------
     def get(self, tenant: str) -> VersionStore:
-        """The tenant's open store — opened (or resumed) on first use."""
+        """The tenant's open store — opened (or resumed) on first use.
+
+        The common case — the store is already open — is answered from a
+        plain dict read without taking the registry lock: this method sits
+        on the server's per-request hot path, and serializing every request
+        of every tenant through one mutex would contend for nothing.  (A
+        store closed concurrently with the lock-free read fails its own
+        operation with a closed-store error, exactly as it would have had
+        the caller won the race under the lock.)  Open/resume transitions
+        still serialize on the lock.
+        """
+        store = self._stores.get(tenant)
+        if store is not None and not store.closed:
+            return store
         config = self.config_for(tenant)
         with self._lock:
             if self._closed:

@@ -13,7 +13,15 @@
 * **Dispatch** — the asyncio loop never touches a store: requests are
   bridged to the thread-safe façade on a bounded worker pool
   (``loop.run_in_executor``), so a slow scatter-gather query never stalls
-  frame reading or other connections.
+  frame reading or other connections.  The read loop drains the socket in
+  bulk and parses every complete frame per read — a pipelined client's
+  burst is admitted as one batch, read requests coalesce into a single
+  executor hop per tenant, and the batch's responses go out in one socket
+  write (observed by the ``server.pipeline.depth`` histogram).
+* **Streaming** — scan answers too large for one frame (``range_search``,
+  ``snapshot``, ``key_history``, ``time_slice``) leave as bounded
+  ``[PARTIAL]* [OK]`` chunk runs under the request's id instead of
+  failing on the frame bound (``server.stream.chunks`` counts them).
 * **Write batching** — concurrent auto-stamped ``insert`` and ``put_many``
   requests for one tenant coalesce in a per-tenant
   :class:`_WriteBatcher`: while one ``put_many`` is applying, arriving
@@ -44,9 +52,10 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
+import zlib
 from concurrent.futures import ThreadPoolExecutor
 from time import perf_counter
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.api.engine import VersionStoreError
 from repro.api.sharded import ShardedVersionStore
@@ -64,6 +73,33 @@ from repro.server.protocol import (
 from repro.server.registry import StoreRegistry
 from repro.storage.serialization import Key, SerializationError
 
+#: How much the read loop pulls off the socket per ``read()``.  A pipelined
+#: client's burst of frames lands in one read, so the parser sees — and the
+#: dispatcher coalesces — the whole burst at once.
+READ_CHUNK_BYTES = 256 * 1024
+
+#: One response: ``(request_id, status, payload)`` where the payload is
+#: either a single frame body or the list of streamed chunks.
+_Result = Tuple[int, Status, Union[bytes, List[bytes]]]
+
+#: Opcodes that coalesce into per-tenant worker-pool dispatches (one
+#: executor hop per tenant per parsed batch).  Writes keep their own tasks
+#: — the per-tenant :class:`_WriteBatcher` coalesces those — and PING /
+#: STATS stay singletons.
+_GROUPED_OPCODES = frozenset(
+    {
+        Opcode.GET,
+        Opcode.GET_AS_OF,
+        Opcode.RANGE,
+        Opcode.SNAPSHOT,
+        Opcode.KEY_HISTORY,
+        Opcode.HISTORY_BETWEEN,
+        Opcode.TIME_SLICE,
+        Opcode.NOW,
+        Opcode.DELETE,
+    }
+)
+
 
 class _Connection:
     """Per-connection server state: the writer, its lock, and backpressure."""
@@ -78,24 +114,38 @@ class _Connection:
 
     async def send(self, frame: bytes) -> None:
         """Write one response frame (serialized; concurrent tasks respond)."""
+        await self.send_many((frame,))
+
+    async def send_many(self, frames: Sequence[bytes]) -> None:
+        """Write a batch of response frames as one socket write."""
+        if not frames:
+            return
         async with self.lock:
             try:
-                self.writer.write(frame)
+                self.writer.writelines(frames)
                 await self.writer.drain()
             except (ConnectionError, OSError):
-                pass  # client went away; its request was still executed
+                pass  # client went away; its requests were still executed
 
 
 class _WriteBatcher:
-    """Coalesce one tenant's concurrent writes into ``put_many`` batches.
+    """Coalesce one tenant's concurrent writes into one worker-pool hop.
 
     Submissions append to a pending list; a single drain task (started on
     demand, never more than one per tenant) repeatedly swaps the list out,
-    applies the concatenated items as **one** ``store.put_many`` call on
-    the worker pool, and distributes the store-assigned timestamps back to
-    each submitter.  While a batch is applying, new arrivals queue for the
-    next swap — exactly the arrival-batching shape of the WAL's group
-    commit, one level up.
+    applies every queued request in **one** worker-pool dispatch, and
+    distributes the store-assigned timestamps back to each submitter.
+    While a batch is applying, new arrivals queue for the next swap —
+    exactly the arrival-batching shape of the WAL's group commit, one
+    level up.
+
+    Each request's items are applied as their *own* ``store.put_many``
+    call inside that single hop, never concatenated across requests:
+    ``put_many`` stamps per call (a WAL run shares its commit timestamp),
+    so concatenation would merge runs and produce a history a serial
+    replay of the same requests could never produce.  Coalescing here
+    removes executor round trips and event-loop latency — it must stay
+    invisible to the stamp oracle.
     """
 
     def __init__(self, server: "ReproServer", tenant: str) -> None:
@@ -114,19 +164,28 @@ class _WriteBatcher:
             self._server._track(task)
         return await future
 
-    def _apply(self, items: List[Tuple[Key, bytes]]) -> List[int]:
-        return self._server.registry.get(self._tenant).put_many(items)
+    def _apply(
+        self, batches: List[List[Tuple[Key, bytes]]]
+    ) -> List[List[int]]:
+        put_many = self._server.registry.get(self._tenant).put_many
+        return [put_many(items) for items in batches]
 
     async def _drain(self) -> None:
         loop = asyncio.get_running_loop()
         metrics = self._server.metrics
         while self._pending:
+            # Widen the coalescing window one loop tick: every submitter
+            # whose request is already parsed and scheduled — on *any*
+            # connection, now that pipelined clients present many frames at
+            # once — lands in this batch instead of waiting out a full
+            # store round trip for the next one.
+            await asyncio.sleep(0)
             batch = self._pending
             self._pending = []
-            items = [item for request_items, _ in batch for item in request_items]
+            request_items = [items for items, _ in batch]
             try:
-                stamps = await loop.run_in_executor(
-                    self._server._pool, self._apply, items
+                stamp_lists = await loop.run_in_executor(
+                    self._server._pool, self._apply, request_items
                 )
             except Exception as exc:  # noqa: BLE001 - delivered to every waiter
                 for _, future in batch:
@@ -134,13 +193,14 @@ class _WriteBatcher:
                         future.set_exception(exc)
                 continue
             metrics.observe("server.batch.requests", len(batch), bounds=COUNT_BUCKETS)
-            metrics.observe("server.batch.items", len(items), bounds=COUNT_BUCKETS)
-            offset = 0
-            for request_items, future in batch:
-                count = len(request_items)
+            metrics.observe(
+                "server.batch.items",
+                sum(len(items) for items in request_items),
+                bounds=COUNT_BUCKETS,
+            )
+            for (_, future), stamps in zip(batch, stamp_lists):
                 if not future.done():
-                    future.set_result(stamps[offset : offset + count])
-                offset += count
+                    future.set_result(stamps)
         self._draining = False
 
 
@@ -161,7 +221,8 @@ class ReproServer:
         Server-wide cap on concurrently executing requests; excess
         requests are answered ``SERVER_BUSY``.
     max_pending_per_connection:
-        Per-connection pipelining allowance, same rejection.
+        Per-connection pipelining allowance, same rejection.  The default
+        accommodates a pipelined client at depth 64 with headroom.
     """
 
     def __init__(
@@ -172,7 +233,7 @@ class ReproServer:
         *,
         workers: int = 4,
         max_inflight: int = 64,
-        max_pending_per_connection: int = 32,
+        max_pending_per_connection: int = 128,
         metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if workers < 1:
@@ -346,40 +407,109 @@ class ReproServer:
     async def _read_loop(
         self, reader: asyncio.StreamReader, connection: _Connection
     ) -> None:
+        """Drain the socket in bulk and dispatch every parsed frame at once.
+
+        Unlike a frame-at-a-time ``readexactly`` loop, one ``read()`` pulls
+        a pipelined client's whole burst into the connection buffer; the
+        parser then slices every complete frame out with memoryviews (one
+        copy per body, straight from the buffer) and the dispatcher admits
+        the batch together — which is what lets read requests coalesce into
+        single worker-pool hops and writes pile into one batcher drain.
+        """
+        buffer = bytearray()
         while True:
-            try:
-                header = await reader.readexactly(FRAME_HEADER.size)
-            except asyncio.IncompleteReadError:
-                return  # clean EOF, or the client died mid-header
-            try:
-                length, crc = protocol.check_frame_header(header)
-                body = await reader.readexactly(length)
-                protocol.check_frame_body(body, crc)
-                request = protocol.decode_request(body)
-            except protocol.UnknownOpcodeError as exc:
-                # The frame decoded cleanly — only the opcode is foreign.
-                # The stream is intact, so reject the request and carry on.
-                self.metrics.inc("server.protocol_errors")
-                await connection.send(
-                    protocol.encode_response(
-                        exc.request_id, Status.BAD_REQUEST, protocol.pack_error(str(exc))
-                    )
-                )
-                continue
-            except asyncio.IncompleteReadError:
-                # Truncated body: the peer died inside a frame — the wire
-                # analogue of the WAL's torn tail.  Nothing to answer.
-                self.metrics.inc("server.protocol_errors")
+            data = await reader.read(READ_CHUNK_BYTES)
+            if not data:
+                if buffer:
+                    # EOF inside a frame: the wire analogue of the WAL's
+                    # torn tail.  Nothing to answer.
+                    self.metrics.inc("server.protocol_errors")
                 return
-            except ProtocolError:
+            buffer += data
+            requests, consumed, rejects, poisoned = self._parse_frames(buffer)
+            del buffer[:consumed]
+            if rejects:
+                # Well-framed requests naming a foreign opcode: the stream
+                # is intact, so reject each request and carry on.
+                self.metrics.inc("server.protocol_errors", len(rejects))
+                await connection.send_many(
+                    [
+                        protocol.encode_response(
+                            request_id, Status.BAD_REQUEST, protocol.pack_error(message)
+                        )
+                        for request_id, message in rejects
+                    ]
+                )
+            if requests:
+                self.metrics.observe(
+                    "server.pipeline.depth", len(requests), bounds=COUNT_BUCKETS
+                )
+                await self._admit_and_dispatch(connection, requests)
+            if poisoned:
                 # Oversized length prefix or CRC mismatch: the byte stream
                 # itself cannot be trusted past this point, so the frame
                 # boundary is gone.  Drop the connection; the listener and
                 # every other connection carry on.
                 self.metrics.inc("server.protocol_errors")
                 return
+
+    @staticmethod
+    def _parse_frames(buffer: bytearray):
+        """Slice every complete frame off ``buffer``'s head.
+
+        Returns ``(requests, consumed_bytes, rejects, poisoned)`` where
+        ``rejects`` holds ``(request_id, message)`` for unknown-opcode
+        frames and ``poisoned`` means the stream is untrustworthy past the
+        parsed prefix (the caller must drop the connection).
+        """
+        requests: List[Request] = []
+        rejects: List[Tuple[int, str]] = []
+        offset = 0
+        poisoned = False
+        header_size = FRAME_HEADER.size
+        view = memoryview(buffer)
+        try:
+            while len(buffer) - offset >= header_size:
+                length, crc = FRAME_HEADER.unpack_from(buffer, offset)
+                if length > protocol.MAX_BODY_BYTES:
+                    poisoned = True
+                    break
+                end = offset + header_size + length
+                if len(buffer) < end:
+                    break
+                body = bytes(view[offset + header_size : end])
+                offset = end
+                if zlib.crc32(body) != crc:
+                    poisoned = True
+                    break
+                try:
+                    requests.append(protocol.decode_request(body))
+                except protocol.UnknownOpcodeError as exc:
+                    rejects.append((exc.request_id, str(exc)))
+                except ProtocolError:
+                    poisoned = True
+                    break
+        finally:
+            view.release()
+        return requests, offset, rejects, poisoned
+
+    async def _admit_and_dispatch(
+        self, connection: _Connection, requests: List[Request]
+    ) -> None:
+        """Admission-check a parsed batch, then dispatch it coalesced.
+
+        Writes and the singleton ops keep their per-request tasks (the
+        write batcher coalesces writes itself); read requests are grouped
+        per tenant and each group crosses the executor bridge **once** —
+        the read-side analogue of the write batcher.
+        """
+        loop = asyncio.get_running_loop()
+        refusals: List[bytes] = []
+        busy = 0
+        groups: Dict[str, List[Request]] = {}
+        for request in requests:
             if self._shutting_down:
-                await connection.send(
+                refusals.append(
                     protocol.encode_response(
                         request.request_id,
                         Status.ERROR,
@@ -391,8 +521,8 @@ class ReproServer:
                 self._inflight >= self.max_inflight
                 or connection.pending >= self.max_pending_per_connection
             ):
-                self.metrics.inc("server.busy")
-                await connection.send(
+                busy += 1
+                refusals.append(
                     protocol.encode_response(
                         request.request_id,
                         Status.SERVER_BUSY,
@@ -407,11 +537,18 @@ class ReproServer:
             self._inflight += 1
             connection.pending += 1
             self.metrics.inc("server.requests")
-            self.metrics.set_gauge("server.inflight", self._inflight)
-            task = asyncio.get_running_loop().create_task(
-                self._serve_request(connection, request)
-            )
-            self._track(task)
+            if request.opcode in _GROUPED_OPCODES:
+                groups.setdefault(request.tenant, []).append(request)
+            else:
+                self._track(
+                    loop.create_task(self._serve_request(connection, request))
+                )
+        self.metrics.set_gauge("server.inflight", self._inflight)
+        if busy:
+            self.metrics.inc("server.busy", busy)
+        for tenant, group in groups.items():
+            self._track(loop.create_task(self._serve_group(connection, tenant, group)))
+        await connection.send_many(refusals)
 
     async def _serve_request(self, connection: _Connection, request: Request) -> None:
         started = perf_counter()
@@ -435,6 +572,112 @@ class ReproServer:
         await connection.send(
             protocol.encode_response(request.request_id, status, payload)
         )
+
+    async def _serve_group(
+        self, connection: _Connection, tenant: str, group: List[Request]
+    ) -> None:
+        """Execute one tenant's batch of read requests in one executor hop,
+        then write every response (streamed chunks included) in one go."""
+        loop = asyncio.get_running_loop()
+        try:
+            results = await loop.run_in_executor(
+                self._pool, self._execute_group, tenant, group
+            )
+        except Exception as exc:  # noqa: BLE001 - pool shut down mid-flight
+            self.metrics.inc("server.errors")
+            payload = protocol.pack_error(f"{type(exc).__name__}: {exc}")
+            results = [(request.request_id, Status.ERROR, payload) for request in group]
+        finally:
+            self._inflight -= len(group)
+            connection.pending -= len(group)
+            self.metrics.set_gauge("server.inflight", self._inflight)
+        frames: List[bytes] = []
+        streamed = 0
+        for request_id, status, payload in results:
+            if isinstance(payload, list):
+                for chunk in payload[:-1]:
+                    frames.append(
+                        protocol.encode_response(request_id, Status.PARTIAL, chunk)
+                    )
+                frames.append(protocol.encode_response(request_id, status, payload[-1]))
+                if len(payload) > 1:
+                    streamed += len(payload)
+            else:
+                frames.append(protocol.encode_response(request_id, status, payload))
+        if streamed:
+            self.metrics.inc("server.stream.chunks", streamed)
+        await connection.send_many(frames)
+
+    def _execute_group(self, tenant: str, group: List[Request]) -> List[_Result]:
+        """Worker-thread half of :meth:`_serve_group`: every request of the
+        batch against the tenant's store, one registry lookup for all."""
+        try:
+            store = self.registry.get(tenant)
+        except Exception as exc:  # noqa: BLE001 - e.g. UnknownTenantError
+            payload = protocol.pack_error(f"{type(exc).__name__}: {exc}")
+            return [(request.request_id, Status.ERROR, payload) for request in group]
+        metrics = self.metrics
+        results: List[_Result] = []
+        for request in group:
+            started = perf_counter()
+            try:
+                payload: Union[bytes, List[bytes]] = self._apply_read(store, request)
+                status = Status.OK
+            except (ProtocolError, SerializationError) as exc:
+                metrics.inc("server.protocol_errors")
+                status, payload = Status.BAD_REQUEST, protocol.pack_error(str(exc))
+            except Exception as exc:  # noqa: BLE001 - the server outlives any op
+                metrics.inc("server.errors")
+                status, payload = (
+                    Status.ERROR,
+                    protocol.pack_error(f"{type(exc).__name__}: {exc}"),
+                )
+            metrics.observe(
+                f"server.op.{request.opcode.name.lower()}", perf_counter() - started
+            )
+            results.append((request.request_id, status, payload))
+        return results
+
+    def _apply_read(self, store, request: Request) -> Union[bytes, List[bytes]]:
+        """One grouped op against an open store.
+
+        The scan ops return a *list* of chunk payloads (length 1 when the
+        answer fits one chunk — byte-identical to the unstreamed response);
+        everything else returns a single payload.
+        """
+        opcode, reader = request.opcode, request.payload
+        if opcode is Opcode.GET:
+            return protocol.pack_optional_record(store.get(protocol.unpack_key(reader)))
+        if opcode is Opcode.GET_AS_OF:
+            key, timestamp = protocol.unpack_key_at(reader)
+            return protocol.pack_optional_record(store.get_as_of(key, timestamp))
+        if opcode is Opcode.RANGE:
+            low, high, as_of = protocol.unpack_range(reader)
+            return protocol.chunk_records(store.range_search(low, high, as_of=as_of))
+        if opcode is Opcode.SNAPSHOT:
+            timestamp = protocol.unpack_timestamp_u64(reader)
+            return protocol.chunk_record_map(store.snapshot(timestamp))
+        if opcode is Opcode.KEY_HISTORY:
+            return protocol.chunk_records(store.key_history(protocol.unpack_key(reader)))
+        if opcode is Opcode.HISTORY_BETWEEN:
+            key, start, end = protocol.unpack_window(reader)
+            return protocol.chunk_records(store.history_between(key, start, end))
+        if opcode is Opcode.TIME_SLICE:
+            start, end, low, high = protocol.unpack_time_slice(reader)
+            if not isinstance(store, ShardedVersionStore):
+                raise VersionStoreError(
+                    "time_slice requires a sharded store; tenant "
+                    f"{request.tenant!r} is single-shard"
+                )
+            return protocol.chunk_history_map(
+                store.time_slice(start, end, low=low, high=high)
+            )
+        if opcode is Opcode.NOW:
+            return protocol.pack_timestamp_u64(store.now)
+        if opcode is Opcode.DELETE:
+            key, timestamp = protocol.unpack_delete(reader)
+            return protocol.pack_timestamp_u64(store.delete(key, timestamp=timestamp))
+        raise ProtocolError(f"unhandled opcode {opcode!r}")  # pragma: no cover
 
     # ------------------------------------------------------------------
     # Request execution
@@ -469,48 +712,10 @@ class ReproServer:
                 self._pool, self._insert_at, request.tenant, key, value, timestamp
             )
             return Status.OK, protocol.pack_timestamp_u64(stamped)
-        payload = await loop.run_in_executor(self._pool, self._dispatch_sync, request)
-        return Status.OK, payload
+        raise ProtocolError(f"unhandled opcode {opcode!r}")  # pragma: no cover
 
     def _insert_at(self, tenant: str, key: Key, value: bytes, timestamp: int) -> int:
         return self.registry.get(tenant).insert(key, value, timestamp=timestamp)
-
-    def _dispatch_sync(self, request: Request) -> bytes:
-        """Read-side (and explicitly stamped) ops, on a worker thread."""
-        opcode, reader = request.opcode, request.payload
-        store = self.registry.get(request.tenant)
-        if opcode is Opcode.GET:
-            return protocol.pack_optional_record(store.get(protocol.unpack_key(reader)))
-        if opcode is Opcode.GET_AS_OF:
-            key, timestamp = protocol.unpack_key_at(reader)
-            return protocol.pack_optional_record(store.get_as_of(key, timestamp))
-        if opcode is Opcode.RANGE:
-            low, high, as_of = protocol.unpack_range(reader)
-            return protocol.pack_records(store.range_search(low, high, as_of=as_of))
-        if opcode is Opcode.SNAPSHOT:
-            timestamp = protocol.unpack_timestamp_u64(reader)
-            return protocol.pack_record_map(store.snapshot(timestamp))
-        if opcode is Opcode.KEY_HISTORY:
-            return protocol.pack_records(store.key_history(protocol.unpack_key(reader)))
-        if opcode is Opcode.HISTORY_BETWEEN:
-            key, start, end = protocol.unpack_window(reader)
-            return protocol.pack_records(store.history_between(key, start, end))
-        if opcode is Opcode.TIME_SLICE:
-            start, end, low, high = protocol.unpack_time_slice(reader)
-            if not isinstance(store, ShardedVersionStore):
-                raise VersionStoreError(
-                    "time_slice requires a sharded store; tenant "
-                    f"{request.tenant!r} is single-shard"
-                )
-            return protocol.pack_history_map(
-                store.time_slice(start, end, low=low, high=high)
-            )
-        if opcode is Opcode.NOW:
-            return protocol.pack_timestamp_u64(store.now)
-        if opcode is Opcode.DELETE:
-            key, timestamp = protocol.unpack_delete(reader)
-            return protocol.pack_timestamp_u64(store.delete(key, timestamp=timestamp))
-        raise ProtocolError(f"unhandled opcode {opcode!r}")  # pragma: no cover
 
     # ------------------------------------------------------------------
     # Stats rendering (the STATS opcode)

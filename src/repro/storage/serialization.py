@@ -109,13 +109,18 @@ class ByteWriter:
 
 
 class ByteReader:
-    """Sequential reader over a page image produced by :class:`ByteWriter`."""
+    """Sequential reader over a page image produced by :class:`ByteWriter`.
+
+    ``offset`` starts the read cursor past an already-decoded prefix (e.g.
+    a wire envelope) without slicing ``data`` — the reader shares the
+    original buffer, so skipping the prefix costs no copy.
+    """
 
     __slots__ = ("_data", "_offset", "_length")
 
-    def __init__(self, data: bytes) -> None:
+    def __init__(self, data: bytes, offset: int = 0) -> None:
         self._data = data
-        self._offset = 0
+        self._offset = offset
         self._length = len(data)
 
     def get_u8(self) -> int:

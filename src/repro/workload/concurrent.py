@@ -27,6 +27,7 @@ from __future__ import annotations
 import random
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -69,6 +70,8 @@ class ConcurrentRunResult:
     reads: int
     applied: List[AppliedWrite]
     per_thread: List[ThreadReport]
+    #: Requests each writer kept in flight (1 = classic lock-step issue).
+    pipeline_depth: int = 1
     #: Merged client-side latency snapshots keyed by role: ``{"write":
     #: <histogram snapshot>, "read": ...}``.  Empty when nothing ran.
     latency: Dict[str, Dict[str, object]] = field(default_factory=dict)
@@ -120,6 +123,7 @@ def run_concurrent(
     threads: int = 4,
     reader_threads: int = 0,
     batch_size: int = 1,
+    pipeline_depth: int = 1,
     read_keys: Optional[Sequence] = None,
     seed: int = 1989,
     metrics: Optional[MetricsRegistry] = None,
@@ -142,6 +146,14 @@ def run_concurrent(
     logged transactional path riding group commit.  Readers pick keys from
     ``read_keys`` (default: the written keys) and stop when writers finish.
 
+    ``pipeline_depth > 1`` makes each writer keep that many requests in
+    flight through ``target.pipeline()`` (the wire client's explicit batch
+    context) instead of issuing lock-step: a request is gathered only once
+    the window is full, so the server sees a standing queue per writer and
+    can coalesce.  Targets without a ``pipeline()`` method (the in-process
+    façade) silently run at depth 1 — the applied history is identical
+    either way, which is exactly what the differential oracles check.
+
     Every client times each store call into a per-thread
     :class:`~repro.obs.registry.Histogram`; the merged write/read
     distributions land in ``result.latency`` and, when a ``metrics``
@@ -158,6 +170,9 @@ def run_concurrent(
         raise ValueError("at least one writer thread is required")
     if reader_threads < 0:
         raise ValueError("reader_threads cannot be negative")
+    if pipeline_depth < 1:
+        raise ValueError("pipeline_depth must be at least 1")
+    use_pipeline = pipeline_depth > 1 and hasattr(store, "pipeline")
     pairs = _normalize(items)
     if not pairs:
         # Nothing to write means nothing for readers to key on either —
@@ -192,11 +207,47 @@ def run_concurrent(
     barrier = threading.Barrier(threads + reader_threads + 1)
     writers_done = threading.Event()
 
+    def record(report: ThreadReport, index: int, chunk, stamps) -> None:
+        with applied_lock:
+            for (key, value), stamp in zip(chunk, stamps):
+                applied.append(
+                    AppliedWrite(thread=index, key=key, timestamp=stamp, value=value)
+                )
+        report.operations += len(chunk)
+
+    def pipelined_writer(report: ThreadReport, index: int, mine) -> None:
+        """Keep ``pipeline_depth`` write requests in flight, gather in order."""
+        inflight: deque = deque()
+
+        def settle() -> None:
+            chunk, pending = inflight.popleft()
+            with report.latency.time():
+                outcome = pending.result()
+            record(report, index, chunk, outcome if batch_size > 1 else [outcome])
+
+        with store.pipeline() as pipe:
+            position = 0
+            while position < len(mine):
+                chunk = mine[position : position + max(1, batch_size)]
+                if batch_size > 1:
+                    pending = pipe.put_many(chunk)
+                else:
+                    pending = pipe.insert(chunk[0][0], chunk[0][1])
+                inflight.append((chunk, pending))
+                if len(inflight) >= pipeline_depth:
+                    settle()
+                position += len(chunk)
+            while inflight:
+                settle()
+
     def writer(index: int) -> None:
         report = reports[index]
         mine = slices[index]
         barrier.wait()
         try:
+            if use_pipeline:
+                pipelined_writer(report, index, mine)
+                return
             position = 0
             while position < len(mine):
                 chunk = mine[position : position + max(1, batch_size)]
@@ -208,14 +259,7 @@ def run_concurrent(
                     for key, value in chunk:
                         with report.latency.time():
                             stamps.append(store.insert(key, value))
-                with applied_lock:
-                    for (key, value), stamp in zip(chunk, stamps):
-                        applied.append(
-                            AppliedWrite(
-                                thread=index, key=key, timestamp=stamp, value=value
-                            )
-                        )
-                report.operations += len(chunk)
+                record(report, index, chunk, stamps)
                 position += len(chunk)
         except Exception as exc:  # noqa: BLE001 - reported, asserted on by callers
             report.errors.append(f"{type(exc).__name__}: {exc}")
@@ -289,5 +333,6 @@ def run_concurrent(
         reads=sum(r.operations for r in reports if r.role == "reader"),
         applied=applied,
         per_thread=reports,
+        pipeline_depth=pipeline_depth if use_pipeline else 1,
         latency=latency,
     )

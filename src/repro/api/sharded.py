@@ -882,6 +882,31 @@ class ShardedVersionStore(VersionStore):
         """Merged :class:`TreeCounters` across all TSB-tree shards."""
         return self.sharded_engine.tree_counters()
 
+    def durable_lsns(self) -> List[int]:
+        """Per-shard durable LSNs (``0`` for shards without a WAL).
+
+        Each shard logs independently, so a replication subscriber resumes
+        per shard — ``SUBSCRIBE(shard, from_lsn=durable_lsns()[shard])``.
+        """
+        return [store.durable_lsn() for store in self.sharded_engine.stores]
+
+    def durable_lsn(self) -> int:
+        """The *replicated-prefix* durable LSN: the minimum across shards.
+
+        Every shard has forced at least this LSN, so a subscriber set that
+        has acknowledged it holds a durable prefix of every shard's log.
+        """
+        lsns = self.durable_lsns()
+        return min(lsns) if lsns else 0
+
+    def watermark(self) -> Tuple[int, int]:
+        """``(durable_lsn, timestamp)``: the replicated-prefix LSN and the
+        store clock.  Every commit is applied locally the instant it is
+        stamped, so the primary's watermark timestamp is simply ``now`` —
+        a shard that has seen no writes imposes no bound (there is nothing
+        of it to wait for)."""
+        return self.durable_lsn(), self.now
+
     def time_slice(
         self,
         start: int,
@@ -918,6 +943,7 @@ class ShardedVersionStore(VersionStore):
                     "current_pages": engine._current_device_pages(store),
                     "utilization": round(engine.utilization(index), 4),
                     "now": store.now,
+                    "durable_lsn": store.durable_lsn(),
                 }
             )
         return rows
@@ -999,6 +1025,7 @@ class ShardedVersionStore(VersionStore):
                         "shard": index,
                         "range": f"[{low_text}, {high_text})",
                         "now": store.now,
+                        "durable_lsn": store.durable_lsn(),
                         "ops": ops,
                     }
                 )

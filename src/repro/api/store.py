@@ -536,6 +536,14 @@ class VersionStore:
             log_manager = LogManager(
                 log_device,
                 group_commit_size=config.group_commit_size,
+                # A resumed tree carries the LSN of its last checkpoint in
+                # the superblock anchor; the fresh log continues *after* it
+                # so LSNs stay monotone across close/reopen.  Restarting at
+                # 1 (the old behaviour) would hand out LSNs the previous
+                # incarnation already made durable — a replication
+                # subscriber resuming at ``from_lsn`` would silently skip
+                # the reopened store's new records.
+                next_lsn=tree.log_anchor + 1 if resuming else 1,
                 flush_interval=(
                     config.group_commit_interval
                     if config.group_commit_interval > 0
@@ -612,6 +620,34 @@ class VersionStore:
     def log(self):
         """The attached :class:`~repro.recovery.log_manager.LogManager`, if any."""
         return self._log
+
+    @property
+    def log_device(self):
+        """The WAL's :class:`~repro.storage.logdevice.LogDevice`, if any.
+
+        This is the device a :class:`~repro.replication.ReplicationPrimary`
+        tails: its durable byte range is exactly the record prefix a
+        subscriber may ship.
+        """
+        return self._log_device
+
+    def durable_lsn(self) -> int:
+        """The highest LSN whose record is durable (forced to the log).
+
+        ``0`` for stores without a WAL.  This is the resume point a
+        replication subscriber presents in ``SUBSCRIBE(from_lsn)`` and the
+        per-tenant high-water mark ``repro stats`` reports.
+        """
+        return self._log.flushed_lsn if self._log is not None else 0
+
+    def watermark(self) -> Tuple[int, int]:
+        """``(durable_lsn, timestamp)`` — the store's replication watermark.
+
+        The timestamp is the commit clock's high-water mark: every commit
+        at or below it is present, so a follower serving reads at its own
+        watermark answers a consistent prefix of the primary's history.
+        """
+        return self.durable_lsn(), self.now
 
     @property
     def now(self) -> int:
@@ -859,6 +895,7 @@ class VersionStore:
             snapshot["wal"] = {
                 "last_lsn": self._log.last_lsn,
                 "flushed_lsn": self._log.flushed_lsn,
+                "durable_lsn": self.durable_lsn(),
                 "pending_commits": self._log.pending_commits,
                 "group_commit_size": self._log.group_commit_size,
             }

@@ -72,6 +72,20 @@ class ClientProtocolError(ClientError, ProtocolError):
     still catchable as :exc:`ClientError`); the carrying socket is poisoned."""
 
 
+class WrongShardError(ClientError):
+    """The addressed node does not own the key range.
+
+    Carries the owning node's view of the routing table —
+    ``[(low, high, owner, epoch), ...]`` — so the caller can re-route and
+    retry instead of failing the write (see
+    :class:`repro.replication.cluster.ClusterClient`).
+    """
+
+    def __init__(self, message: str, routes) -> None:
+        super().__init__(message)
+        self.routes = routes
+
+
 class _Waiter:
     """One in-flight request's slot: its event, chunks, and final frame."""
 
@@ -466,6 +480,21 @@ class ReproClient:
         never sleeping more than ``busy_backoff_cap`` seconds in total for
         one logical request — the backoff is bounded by wall clock, not
         just by attempt count.
+    followers:
+        ``[(host, port), ...]`` of replica servers (each a
+        :meth:`repro.replication.replica.Replica.serve` endpoint) eligible
+        to answer reads.
+    read_preference:
+        ``"primary"`` (default) answers every request from the primary;
+        ``"follower"`` routes read operations round-robin across the
+        ``followers``.  Staleness contract: a follower answers from a
+        consistent prefix of the primary's commit history.  Untimestamped
+        reads (``get``, plain ``range_search``) may trail the primary;
+        timestamped reads (``get_as_of``, ``snapshot``, ``time_slice``,
+        ``history_between``) first wait for the follower's watermark to
+        reach the requested timestamp, and then return exactly the
+        primary's answer for that time — bounded staleness, never a torn
+        transaction.  Writes always go to the primary.
     """
 
     def __init__(
@@ -479,6 +508,8 @@ class ReproClient:
         busy_retries: int = 8,
         busy_backoff: float = 0.01,
         busy_backoff_cap: float = 2.0,
+        followers: Sequence[Tuple[str, int]] = (),
+        read_preference: str = "primary",
     ) -> None:
         if pool_size < 1:
             raise ValueError("pool_size must be at least 1")
@@ -486,6 +517,10 @@ class ReproClient:
             raise ValueError("busy_retries must be non-negative")
         if busy_backoff_cap <= 0:
             raise ValueError("busy_backoff_cap must be positive")
+        if read_preference not in ("primary", "follower"):
+            raise ValueError('read_preference must be "primary" or "follower"')
+        if read_preference == "follower" and not followers:
+            raise ValueError('read_preference="follower" needs followers=[...]')
         self.host = host
         self.port = port
         self.tenant = tenant
@@ -494,6 +529,21 @@ class ReproClient:
         self.busy_retries = busy_retries
         self.busy_backoff = busy_backoff
         self.busy_backoff_cap = busy_backoff_cap
+        self.read_preference = read_preference
+        self._followers: List["ReproClient"] = [
+            ReproClient(
+                follower_host,
+                follower_port,
+                tenant=tenant,
+                pool_size=pool_size,
+                timeout=timeout,
+                busy_retries=busy_retries,
+                busy_backoff=busy_backoff,
+                busy_backoff_cap=busy_backoff_cap,
+            )
+            for follower_host, follower_port in followers
+        ]
+        self._follower_rr = itertools.count()
         self._ids = itertools.count(1)
         self._channels: List[Optional[_Channel]] = [None] * pool_size
         self._channel_lock = threading.Lock()
@@ -538,6 +588,8 @@ class ReproClient:
         for channel in channels:
             if channel is not None:
                 channel.poison(ClientError("this ReproClient has been closed"))
+        for follower in self._followers:
+            follower.close()
 
     def __enter__(self) -> "ReproClient":
         return self
@@ -604,6 +656,13 @@ class ReproClient:
             status, chunks, reader = self._await(issued)
             if status is Status.OK:
                 return chunks, reader
+            if status is Status.WRONG_SHARD:
+                # The payload is a routing table, not an error string: hand
+                # the fresh routes to the caller for re-route-and-retry.
+                raise WrongShardError(
+                    "key range is owned by another node",
+                    protocol.unpack_routing(reader),
+                )
             if status is Status.SERVER_BUSY:
                 delay = self.busy_backoff * (attempt + 1)
                 if attempt >= self.busy_retries or slept + delay > self.busy_backoff_cap:
@@ -647,6 +706,43 @@ class ReproClient:
         return Pipeline(self)
 
     # ------------------------------------------------------------------
+    # Follower read routing
+    # ------------------------------------------------------------------
+    def _reader(self, timestamp: Optional[int] = None) -> "ReproClient":
+        """The client a read should go to: a follower (round-robin) under
+        ``read_preference="follower"``, else this client itself.
+
+        For a timestamped read, the chosen follower first waits for its
+        replication watermark to reach ``timestamp`` — the read then sees
+        the same committed prefix the primary would answer from.
+        """
+        if self.read_preference != "follower" or not self._followers:
+            return self
+        follower = self._followers[next(self._follower_rr) % len(self._followers)]
+        if timestamp is not None:
+            follower.wait_for_watermark(timestamp, timeout=self.timeout or 10.0)
+        return follower
+
+    def watermark(self) -> Tuple[int, int]:
+        """``(durable_lsn, watermark_ts)`` of the addressed server.
+
+        On a primary both track its own WAL; on a follower they are the
+        replication watermark — the prefix its reads are served from.
+        """
+        reader = self._request(Opcode.WATERMARK)
+        return protocol.unpack_watermark(reader)
+
+    def wait_for_watermark(self, timestamp: int, timeout: float = 10.0) -> bool:
+        """Block until this server's watermark reaches ``timestamp``."""
+        deadline = time.monotonic() + timeout
+        while True:
+            if self.watermark()[1] >= timestamp:
+                return True
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(0.001)
+
+    # ------------------------------------------------------------------
     # The façade surface, over the wire
     # ------------------------------------------------------------------
     def ping(self) -> bool:
@@ -668,11 +764,13 @@ class ReproClient:
         return protocol.unpack_timestamp_u64(reader)
 
     def get(self, key: Key) -> Optional[RecordView]:
-        reader = self._request(Opcode.GET, protocol.pack_key(key))
+        target = self._reader()
+        reader = target._request(Opcode.GET, protocol.pack_key(key))
         return protocol.unpack_optional_record(reader)
 
     def get_as_of(self, key: Key, timestamp: int) -> Optional[RecordView]:
-        reader = self._request(Opcode.GET_AS_OF, protocol.pack_key_at(key, timestamp))
+        target = self._reader(timestamp)
+        reader = target._request(Opcode.GET_AS_OF, protocol.pack_key_at(key, timestamp))
         return protocol.unpack_optional_record(reader)
 
     def range_search(
@@ -681,21 +779,29 @@ class ReproClient:
         high: Optional[Key] = None,
         as_of: Optional[int] = None,
     ) -> List[RecordView]:
-        chunks, final = self._exchange(Opcode.RANGE, protocol.pack_range(low, high, as_of))
+        target = self._reader(as_of)
+        chunks, final = target._exchange(
+            Opcode.RANGE, protocol.pack_range(low, high, as_of)
+        )
         return _decode_records(chunks, final)
 
     def snapshot(self, timestamp: int) -> Dict[Key, RecordView]:
-        chunks, final = self._exchange(
+        target = self._reader(timestamp)
+        chunks, final = target._exchange(
             Opcode.SNAPSHOT, protocol.pack_timestamp_u64(timestamp)
         )
         return _decode_record_map(chunks, final)
 
     def key_history(self, key: Key) -> List[RecordView]:
-        chunks, final = self._exchange(Opcode.KEY_HISTORY, protocol.pack_key(key))
+        target = self._reader()
+        chunks, final = target._exchange(Opcode.KEY_HISTORY, protocol.pack_key(key))
         return _decode_records(chunks, final)
 
     def history_between(self, key: Key, start: int, end: int) -> List[RecordView]:
-        chunks, final = self._exchange(
+        # No watermark wait: ``end`` is routinely an open upper bound (now+1),
+        # which a follower's watermark may never reach while writes are idle.
+        target = self._reader()
+        chunks, final = target._exchange(
             Opcode.HISTORY_BETWEEN, protocol.pack_window(key, start, end)
         )
         return _decode_records(chunks, final)
@@ -707,7 +813,8 @@ class ReproClient:
         low: Optional[Key] = None,
         high: Optional[Key] = None,
     ) -> Dict[Key, List[RecordView]]:
-        chunks, final = self._exchange(
+        target = self._reader()  # ``end`` may be an open upper bound; no wait
+        chunks, final = target._exchange(
             Opcode.TIME_SLICE, protocol.pack_time_slice(start, end, low, high)
         )
         return _decode_history_map(chunks, final)
@@ -717,6 +824,51 @@ class ReproClient:
         """The tenant store's current logical clock."""
         reader = self._request(Opcode.NOW)
         return protocol.unpack_timestamp_u64(reader)
+
+    # ------------------------------------------------------------------
+    # Cluster / migration verbs (servers with a cluster node attached)
+    # ------------------------------------------------------------------
+    def route(self):
+        """The addressed node's routing table: ``[(low, high, owner, epoch)]``."""
+        reader = self._request(Opcode.ROUTE)
+        return protocol.unpack_routing(reader)
+
+    def migrate_read(
+        self,
+        low: Optional[Key],
+        high: Optional[Key],
+        offsets: Sequence[Tuple[int, int]] = (),
+    ):
+        """Read migration events for ``[low, high)`` from the source node.
+
+        With empty ``offsets``: the full consistent snapshot of the range,
+        plus the per-shard WAL copy positions to catch up from.  With
+        offsets: the *delta* — events committed at or past each position.
+        Returns ``(events, new_offsets)``.
+        """
+        chunks, final = self._exchange(
+            Opcode.SNAPSHOT_READ, protocol.pack_migrate_read(low, high, offsets)
+        )
+        events = protocol.merge_event_chunks(chunks)
+        return events, protocol.unpack_copy_state(final)
+
+    def migrate_apply(self, events_payload: bytes) -> None:
+        """Push one ``pack_events`` payload into the target node."""
+        self._request(Opcode.SNAPSHOT_CHUNK, events_payload)
+
+    def cutover(
+        self,
+        phase: int,
+        low: Optional[Key],
+        high: Optional[Key],
+        epoch: int,
+        target: str,
+    ):
+        """Drive one cutover phase; returns the node's updated routes."""
+        reader = self._request(
+            Opcode.CUTOVER, protocol.pack_cutover(phase, low, high, epoch, target)
+        )
+        return protocol.unpack_routing(reader)
 
     def stats(self, fmt: str = "json"):
         """Server-side observability — a dict (``json``) or text

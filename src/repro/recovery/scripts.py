@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.recovery.system import RecoverableSystem
+from repro.storage.logdevice import LogDevice
 from repro.storage.serialization import Key
 
 
@@ -174,3 +175,185 @@ class ScriptRunner:
             flushed_lsn = self.system.log.flushed_lsn
         durable = [ts for lsn, ts, _ in self.commit_events if lsn <= flushed_lsn]
         return max(durable, default=0)
+
+
+# ----------------------------------------------------------------------
+# Replicated crash injection
+# ----------------------------------------------------------------------
+@dataclass
+class ReplicaCheck:
+    """One survivor's prefix-consistency verdict after a crash."""
+
+    replica: int
+    applied_lsn: int
+    consistent: bool
+    missing: Dict[Key, bytes]
+    extra: Dict[Key, bytes]
+
+
+class ReplicatedCrashHarness:
+    """Crash injection for the replication tier, on top of :class:`ScriptRunner`.
+
+    The harness models WAL shipping at the byte level, which is exactly what
+    :class:`~repro.replication.primary.ReplicationPrimary` does on the wire:
+    every replica's mirror :class:`~repro.storage.logdevice.LogDevice` holds
+    a contiguous **byte prefix** of the primary's durable log.  :meth:`ship`
+    may cut that prefix anywhere — including mid-record — so killing the
+    primary or a replica between ships is indistinguishable from a machine
+    loss mid-frame.  A torn record at a mirror's tail is simply ignored by
+    replay (``decode_stream`` stops at the first incomplete frame) and is
+    *completed* by the next catch-up bytes, because prefixes of the same
+    byte stream always realign.
+
+    The correctness claims the harness checks:
+
+    * **Prefix consistency** (:meth:`check_survivors`): each live replica's
+      mirror, replayed through :class:`~repro.replication.apply.LogReplayer`,
+      yields exactly the runner's oracle state at that replica's applied LSN
+      — no lost committed transaction below it, no phantom above it.
+    * **Convergence** (:meth:`converge`): after electing the survivor with
+      the longest durable prefix and shipping its suffix to the others, all
+      survivors agree byte-for-byte and state-for-state.
+    """
+
+    def __init__(
+        self,
+        system: RecoverableSystem,
+        runner: ScriptRunner,
+        replicas: int = 2,
+    ) -> None:
+        if replicas < 1:
+            raise ValueError("need at least one replica")
+        self.system = system
+        self.runner = runner
+        self.mirrors = [LogDevice(name=f"mirror{i}") for i in range(replicas)]
+        self.replica_alive = [True] * replicas
+        self.primary_alive = True
+
+    @classmethod
+    def fresh(cls, replicas: int = 2, **system_kwargs) -> "ReplicatedCrashHarness":
+        system = RecoverableSystem(**system_kwargs)
+        return cls(system, ScriptRunner(system), replicas=replicas)
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+    def ship(self, replica: int, max_bytes: Optional[int] = None) -> int:
+        """Ship up to ``max_bytes`` new durable log bytes to ``replica``.
+
+        Only the primary's *durable* prefix ships (unforced group-commit
+        tails are invisible to subscribers).  A ``max_bytes`` cut may land
+        mid-record — that is the point: it is the wire state at the instant
+        a kill lands.  Returns the bytes shipped.
+        """
+        if not self.primary_alive:
+            raise RuntimeError("primary is dead: nothing ships")
+        if not self.replica_alive[replica]:
+            raise RuntimeError(f"replica {replica} is dead: cannot receive")
+        mirror = self.mirrors[replica]
+        data = self.system.log_device.durable_contents()
+        pending = data[mirror.appended_bytes :]
+        if max_bytes is not None:
+            pending = pending[:max_bytes]
+        if not pending:
+            return 0
+        mirror.append(pending)
+        mirror.force()
+        return len(pending)
+
+    def ship_all(self, max_bytes: Optional[int] = None) -> List[int]:
+        return [
+            self.ship(i, max_bytes=max_bytes) if alive else 0
+            for i, alive in enumerate(self.replica_alive)
+        ]
+
+    def kill_primary(self) -> None:
+        """The primary machine is lost mid-stream; no further ships."""
+        self.primary_alive = False
+
+    def kill_replica(self, replica: int) -> None:
+        """A replica machine is lost; its unforced tail goes with it."""
+        self.mirrors[replica].lose_volatile_tail()
+        self.replica_alive[replica] = False
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def survivors(self) -> List[int]:
+        return [i for i, alive in enumerate(self.replica_alive) if alive]
+
+    def replayer(self, replica: int):
+        """Replay ``replica``'s mirror into a fresh tree (ground truth)."""
+        from repro.replication.apply import replay_device
+
+        return replay_device(self.mirrors[replica])
+
+    def durable_lsns(self) -> Dict[int, int]:
+        """Highest whole-record LSN in each live survivor's mirror."""
+        return {i: self.replayer(i).applied_lsn for i in self.survivors()}
+
+    def elect(self) -> int:
+        """The survivor with the longest durable prefix wins the election."""
+        lsns = self.durable_lsns()
+        if not lsns:
+            raise RuntimeError("no surviving replica to elect")
+        return max(lsns, key=lambda i: (lsns[i], -i))
+
+    # ------------------------------------------------------------------
+    # Oracle checks
+    # ------------------------------------------------------------------
+    def check_survivors(self) -> List[ReplicaCheck]:
+        """Prefix-consistency verdict for every live survivor.
+
+        Each survivor is compared against the runner's oracle *at its own
+        applied LSN*: replicas at different prefix lengths are individually
+        consistent even before they converge.
+        """
+        checks: List[ReplicaCheck] = []
+        for replica in self.survivors():
+            replayer = self.replayer(replica)
+            expected = self.runner.expected_visible(replayer.applied_lsn)
+            actual = replayer.visible_state()
+            missing = {
+                key: value for key, value in expected.items()
+                if actual.get(key) != value
+            }
+            extra = {
+                key: value for key, value in actual.items()
+                if expected.get(key) != value
+            }
+            checks.append(
+                ReplicaCheck(
+                    replica=replica,
+                    applied_lsn=replayer.applied_lsn,
+                    consistent=not missing and not extra,
+                    missing=missing,
+                    extra=extra,
+                )
+            )
+        return checks
+
+    def converge(self) -> List[ReplicaCheck]:
+        """Catch every survivor up to the elected leader, then re-check.
+
+        Ships the leader's durable suffix to each shorter survivor (byte
+        prefixes of one stream realign exactly, completing any torn tail)
+        and returns the post-convergence checks — all at the leader's LSN.
+        """
+        leader = self.elect()
+        leader_data = self.mirrors[leader].durable_contents()
+        for replica in self.survivors():
+            if replica == leader:
+                continue
+            mirror = self.mirrors[replica]
+            suffix = leader_data[mirror.appended_bytes :]
+            if suffix:
+                mirror.append(suffix)
+                mirror.force()
+        checks = self.check_survivors()
+        lsns = {check.applied_lsn for check in checks}
+        if len(lsns) > 1:
+            raise AssertionError(
+                f"survivors failed to converge: applied LSNs {sorted(lsns)}"
+            )
+        return checks

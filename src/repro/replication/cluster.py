@@ -1,0 +1,545 @@
+"""Multi-node routing and online shard migration.
+
+A *cluster* here is a set of :class:`ClusterNode`\\ s — each an ordinary
+:class:`~repro.server.service.ReproServer` over a WAL-enabled sharded
+store, plus a :class:`NodeRole` that knows which key ranges this node
+owns.  Ownership lives in a :class:`RoutingTable` of
+``(low, high, owner, epoch)`` entries; every node holds its own copy, and
+a request for a key the node does not own answers ``WRONG_SHARD`` with
+the node's current table, so stale clients self-correct without any
+central coordinator.
+
+Online migration of ``[low, high)`` from ``source`` to ``target``
+(:func:`migrate_range`) is the classic copy / catch-up / cutover dance:
+
+1. **Copy.**  ``SNAPSHOT_READ`` takes a consistent snapshot of the
+   range under the source's read latch — *every version* of every
+   in-range key, as ``(timestamp, key, tombstone, value)`` events — and
+   records each shard's WAL position at the copy point.  The events are
+   pushed to the target with ``SNAPSHOT_CHUNK``; replayed in timestamp
+   order they reproduce the range byte-identically, every as-of answer
+   included.  Writes continue on the source throughout.
+2. **Catch-up.**  Repeated delta reads scan the source WAL from the
+   copy positions and ship only committed in-range events, advancing the
+   positions, until a round comes back (nearly) empty.
+3. **Cutover.**  ``CUTOVER(PREPARE)`` freezes the range on the source
+   (in-range requests answer ``WRONG_SHARD``; clients buffer-and-retry),
+   one final delta drains whatever landed between the last catch-up and
+   the freeze, and ``CUTOVER(COMMIT)`` installs ``range -> target`` at a
+   bumped epoch on every node.  Retrying clients then learn the new
+   owner from any node's table and their writes land on the target — no
+   write ever *fails*; writes to the range merely stall for the freeze
+   window (which :mod:`benchmarks.bench_replication` measures).
+
+:class:`ClusterClient` is the matching client: it routes each key to its
+owner, fans scatter reads out to every node (each node clips to the
+ranges it owns, so the union is exact), and turns ``WRONG_SHARD`` into
+install-routes-and-retry.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.api.engine import VersionStoreError
+from repro.api.sharded import ShardedVersionStore
+from repro.api.store import StoreConfig, VersionStore
+from repro.client import ReproClient, WrongShardError as ClientWrongShardError
+from repro.recovery.log_records import LogRecordType, decode_stream
+from repro.server import protocol
+from repro.server.protocol import (
+    ByteReader,
+    CUTOVER_COMMIT,
+    CUTOVER_PREPARE,
+    Event,
+)
+from repro.server.registry import StoreRegistry
+from repro.server.service import ReproServer
+from repro.storage.serialization import Key
+
+Route = Tuple[Optional[Key], Optional[Key], str, int]
+
+
+def _contains(low: Optional[Key], high: Optional[Key], key: Key) -> bool:
+    """Half-open range membership: ``low <= key < high`` (None = unbounded)."""
+    if low is not None and key < low:
+        return False
+    if high is not None and key >= high:
+        return False
+    return True
+
+
+class RoutingTable:
+    """``(low, high, owner, epoch)`` entries; highest epoch wins per key.
+
+    The table only ever *grows* (cutovers append at a bumped epoch), so
+    merging tables from different nodes is a plain union and a stale
+    client converges by installing whatever a fresher node answers.
+    """
+
+    def __init__(self, entries: Sequence[Route]) -> None:
+        self._entries: List[Route] = list(entries)
+        self._lock = threading.Lock()
+
+    def routes(self) -> List[Route]:
+        with self._lock:
+            return list(self._entries)
+
+    def owner(self, key: Key) -> Optional[str]:
+        """The owning node's name: the highest-epoch entry containing ``key``."""
+        best: Optional[Route] = None
+        with self._lock:
+            for entry in self._entries:
+                low, high, _, epoch = entry
+                if _contains(low, high, key) and (best is None or epoch > best[3]):
+                    best = entry
+        return best[2] if best is not None else None
+
+    def max_epoch(self) -> int:
+        with self._lock:
+            return max((entry[3] for entry in self._entries), default=0)
+
+    def install(self, routes: Sequence[Route]) -> None:
+        """Union in routes learned from another node (or a cutover)."""
+        with self._lock:
+            for route in routes:
+                if route not in self._entries:
+                    self._entries.append(tuple(route))
+
+
+class NodeRole:
+    """One node's cluster membership: ownership checks and migration ops.
+
+    This is the object :class:`~repro.server.service.ReproServer` consults
+    (its ``node`` hook) — keyed requests go through :meth:`check_key`,
+    scatter reads clip with :meth:`owns`, and the migration opcodes land
+    on :meth:`snapshot_read` / :meth:`apply_chunk` / :meth:`cutover`.
+    """
+
+    def __init__(self, name: str, table: RoutingTable) -> None:
+        self.name = name
+        self.table = table
+        #: Ranges frozen by CUTOVER_PREPARE: owned here, but deflecting
+        #: every request until the matching COMMIT moves them for good.
+        self._frozen: List[Tuple[Optional[Key], Optional[Key]]] = []
+        self._lock = threading.Lock()
+
+    # -- ownership -----------------------------------------------------
+    def owns(self, tenant: str, key: Key) -> bool:
+        with self._lock:
+            for low, high in self._frozen:
+                if _contains(low, high, key):
+                    return False
+        return self.table.owner(key) == self.name
+
+    def check_key(self, tenant: str, key: Key) -> None:
+        if not self.owns(tenant, key):
+            raise protocol.WrongShardError(self.table.routes())
+
+    def routes(self, tenant: str) -> List[Route]:
+        return self.table.routes()
+
+    # -- migration: source side ----------------------------------------
+    def snapshot_read(self, store, reader: ByteReader) -> List[bytes]:
+        """Serve one SNAPSHOT_READ: event chunks + a final copy-state payload.
+
+        Empty ``offsets`` → the full consistent snapshot of the range (all
+        versions, tombstones included) plus each shard's WAL position at
+        the copy point.  Non-empty → the committed in-range delta from
+        those positions, with advanced positions.  Either way the read
+        holds the store's latch, so the events and the positions are one
+        atomic cut: every committed transaction is either in the events or
+        past the returned positions, never both, never neither.
+        """
+        low, high, offsets = protocol.unpack_migrate_read(reader)
+        if not isinstance(store, ShardedVersionStore):
+            raise protocol.ProtocolError(
+                "online migration requires a sharded WAL store"
+            )
+        if offsets:
+            events, new_offsets = self._delta_events(store, low, high, offsets)
+        else:
+            events, new_offsets = self._snapshot_events(store, low, high)
+        chunks = protocol.chunk_events(events)
+        chunks.append(protocol.pack_copy_state(new_offsets))
+        return chunks
+
+    @staticmethod
+    def _snapshot_events(
+        store: ShardedVersionStore, low: Optional[Key], high: Optional[Key]
+    ) -> Tuple[List[Event], List[Tuple[int, int]]]:
+        engine = store.sharded_engine
+        events: List[Event] = []
+        offsets: List[Tuple[int, int]] = []
+        # Exclusive hold: the façade latch is not reentrant, so histories
+        # are read at the engine level; exclusivity also pins every shard's
+        # WAL append position to the same instant as the events.
+        with store.write_latched():
+            for index, inner in enumerate(engine.stores):
+                device = inner.log_device
+                if device is None:
+                    raise protocol.ProtocolError(
+                        f"shard {index} has no WAL; migration needs wal=True"
+                    )
+                offsets.append((index, device.appended_bytes))
+                for key in engine._shard_keys[index]:
+                    if not _contains(low, high, key):
+                        continue
+                    for version in inner.engine.tree.key_history(key):
+                        if version.timestamp is None:
+                            continue  # provisional: not committed, not copied
+                        events.append(
+                            (
+                                version.timestamp,
+                                key,
+                                version.is_tombstone,
+                                version.value,
+                            )
+                        )
+        events.sort(key=lambda event: event[0])
+        return events, offsets
+
+    @staticmethod
+    def _delta_events(
+        store: ShardedVersionStore,
+        low: Optional[Key],
+        high: Optional[Key],
+        offsets: Sequence[Tuple[int, int]],
+    ) -> Tuple[List[Event], List[Tuple[int, int]]]:
+        engine = store.sharded_engine
+        events: List[Event] = []
+        new_offsets: List[Tuple[int, int]] = []
+        with store.write_latched():
+            for shard, offset in offsets:
+                inner = engine.stores[shard]
+                device = inner.log_device
+                # Push any group-commit tail out so the delta covers every
+                # committed transaction up to this instant.
+                device.force()
+                data = device.durable_suffix(offset)
+                new_offsets.append((shard, offset + len(data)))
+                events.extend(_committed_events(data, low, high))
+        events.sort(key=lambda event: event[0])
+        return events, new_offsets
+
+    # -- migration: target side ----------------------------------------
+    def apply_chunk(self, store, payload: ByteReader) -> bytes:
+        """Apply one batch of migration events at their original timestamps.
+
+        Replay is idempotent: an event whose version already exists on the
+        target (a retried chunk, or a range migrating back to a node that
+        once owned it and still holds its history) is a no-op, not an
+        error.
+        """
+        events = protocol.unpack_events(payload)
+        for timestamp, key, tombstone, value in events:
+            try:
+                if tombstone:
+                    store.delete(key, timestamp=timestamp)
+                else:
+                    store.insert(key, value, timestamp=timestamp)
+            except VersionStoreError:
+                continue  # version already present at this timestamp
+        return b""
+
+    # -- cutover -------------------------------------------------------
+    def cutover(self, tenant: str, payload: ByteReader) -> bytes:
+        phase, low, high, epoch, target = protocol.unpack_cutover(payload)
+        if phase == CUTOVER_PREPARE:
+            with self._lock:
+                self._frozen.append((low, high))
+        elif phase == CUTOVER_COMMIT:
+            self.table.install([(low, high, target, epoch)])
+            with self._lock:
+                self._frozen = [
+                    frozen for frozen in self._frozen if frozen != (low, high)
+                ]
+        else:
+            raise protocol.ProtocolError(f"unknown cutover phase {phase}")
+        return protocol.pack_routing(self.table.routes())
+
+
+def _committed_events(
+    data: bytes, low: Optional[Key], high: Optional[Key]
+) -> List[Event]:
+    """Committed in-range events from a WAL byte slice, in commit order.
+
+    Transactions whose COMMIT is not in the slice contribute nothing (the
+    slice boundaries fall between whole transactions: the source logs each
+    transaction under one latch hold, and the cut is taken under the same
+    latch).
+    """
+    images: Dict[int, List[Tuple[bool, Key, bytes]]] = {}
+    events: List[Event] = []
+    for record in decode_stream(data):
+        kind = record.kind
+        if kind is LogRecordType.BEGIN:
+            images[record.txn_id] = []
+        elif kind is LogRecordType.INSERT:
+            images.setdefault(record.txn_id, []).append(
+                (False, record.key, record.value)
+            )
+        elif kind is LogRecordType.DELETE:
+            images.setdefault(record.txn_id, []).append((True, record.key, b""))
+        elif kind is LogRecordType.COMMIT:
+            for is_delete, key, value in images.pop(record.txn_id, []):
+                if _contains(low, high, key):
+                    events.append(
+                        (record.commit_timestamp, key, is_delete, value)
+                    )
+        elif kind is LogRecordType.ABORT:
+            images.pop(record.txn_id, None)
+    return events
+
+
+class ClusterNode:
+    """One live node: a served sharded WAL store plus its cluster role."""
+
+    def __init__(
+        self,
+        name: str,
+        config: StoreConfig,
+        tenant: str = "default",
+        table: Optional[RoutingTable] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        **server_kwargs,
+    ) -> None:
+        self.name = name
+        self.tenant = tenant
+        self.role = NodeRole(name, table or RoutingTable([(None, None, name, 0)]))
+        self.registry = StoreRegistry({tenant: config})
+        self.server = ReproServer(
+            self.registry, host=host, port=port, node=self.role, **server_kwargs
+        )
+
+    def start(self) -> "ClusterNode":
+        self.server.start()
+        return self
+
+    def stop(self) -> None:
+        self.server.stop()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.server.address
+
+    @property
+    def store(self) -> VersionStore:
+        return self.registry.get(self.tenant)
+
+    def __enter__(self) -> "ClusterNode":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+class ClusterClient:
+    """Route-aware client over a set of cluster nodes.
+
+    Writes go to each key's owner; a ``WRONG_SHARD`` answer installs the
+    fresh routes and retries, so a write outlasts any cutover (it stalls
+    through the freeze window, it never fails).  Scatter reads fan out to
+    every node and union the answers — each node clips to the ranges it
+    owns, so the union is exact and duplicate-free.
+    """
+
+    def __init__(
+        self,
+        nodes: Dict[str, Tuple[str, int]],
+        tenant: str = "default",
+        retry_sleep: float = 0.002,
+        **client_kwargs,
+    ) -> None:
+        self.clients: Dict[str, ReproClient] = {
+            name: ReproClient(host, port, tenant=tenant, **client_kwargs)
+            for name, (host, port) in nodes.items()
+        }
+        self.retry_sleep = retry_sleep
+        first = next(iter(self.clients.values()))
+        self.table = RoutingTable(first.route())
+
+    def close(self) -> None:
+        for client in self.clients.values():
+            client.close()
+
+    def __enter__(self) -> "ClusterClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- routing mechanics ---------------------------------------------
+    def _client_for(self, key: Key) -> ReproClient:
+        owner = self.table.owner(key)
+        if owner is None or owner not in self.clients:
+            raise ClientWrongShardError(
+                f"no live node owns key {key!r}", self.table.routes()
+            )
+        return self.clients[owner]
+
+    def _note_wrong_shard(self, error: ClientWrongShardError) -> None:
+        """Install fresher routes; briefly back off if nothing was fresher
+        (the cutover freeze window: same epoch, same owner, just frozen)."""
+        before = self.table.max_epoch()
+        self.table.install(error.routes)
+        if self.table.max_epoch() <= before:
+            time.sleep(self.retry_sleep)
+
+    # -- writes --------------------------------------------------------
+    def put_many(self, items: Sequence[Tuple[Key, bytes]]) -> List[int]:
+        """Batch write across owners; never fails on a concurrent cutover."""
+        stamps: List[Optional[int]] = [None] * len(items)
+        pending = list(enumerate(items))
+        while pending:
+            groups: Dict[str, List[Tuple[int, Key, bytes]]] = {}
+            for index, (key, value) in pending:
+                owner = self.table.owner(key)
+                if owner is None or owner not in self.clients:
+                    raise ClientWrongShardError(
+                        f"no live node owns key {key!r}", self.table.routes()
+                    )
+                groups.setdefault(owner, []).append((index, key, value))
+            pending = []
+            for owner, group in groups.items():
+                try:
+                    batch_stamps = self.clients[owner].put_many(
+                        [(key, value) for _, key, value in group]
+                    )
+                except ClientWrongShardError as error:
+                    self._note_wrong_shard(error)
+                    pending.extend(
+                        (index, (key, value)) for index, key, value in group
+                    )
+                    continue
+                for (index, _, _), stamp in zip(group, batch_stamps):
+                    stamps[index] = stamp
+        return stamps  # type: ignore[return-value]
+
+    def insert(self, key: Key, value: bytes) -> int:
+        return self.put_many([(key, value)])[0]
+
+    # -- keyed reads ---------------------------------------------------
+    def _keyed_read(self, key: Key, operation):
+        while True:
+            try:
+                return operation(self._client_for(key))
+            except ClientWrongShardError as error:
+                self._note_wrong_shard(error)
+
+    def get(self, key: Key):
+        return self._keyed_read(key, lambda client: client.get(key))
+
+    def get_as_of(self, key: Key, timestamp: int):
+        return self._keyed_read(
+            key, lambda client: client.get_as_of(key, timestamp)
+        )
+
+    def key_history(self, key: Key):
+        return self._keyed_read(key, lambda client: client.key_history(key))
+
+    # -- scatter reads -------------------------------------------------
+    def snapshot(self, timestamp: int):
+        merged: Dict[Key, object] = {}
+        for client in self.clients.values():
+            merged.update(client.snapshot(timestamp))
+        return merged
+
+    def range_search(
+        self,
+        low: Optional[Key] = None,
+        high: Optional[Key] = None,
+        as_of: Optional[int] = None,
+    ):
+        records = []
+        for client in self.clients.values():
+            records.extend(client.range_search(low, high, as_of))
+        records.sort(key=lambda record: record.key)
+        return records
+
+    @property
+    def now(self) -> int:
+        return max(client.now for client in self.clients.values())
+
+
+@dataclass
+class MigrationReport:
+    """What :func:`migrate_range` did, and what it cost."""
+
+    low: Optional[Key]
+    high: Optional[Key]
+    source: str
+    target: str
+    epoch: int
+    snapshot_events: int
+    catchup_rounds: int
+    catchup_events: int
+    final_delta_events: int
+    #: Wall-clock seconds the range's writes were frozen (PREPARE → COMMIT):
+    #: the migration's only write-visible cost.
+    stall_seconds: float = field(default=0.0)
+
+
+def migrate_range(
+    cluster: ClusterClient,
+    low: Optional[Key],
+    high: Optional[Key],
+    source: str,
+    target: str,
+    max_catchup_rounds: int = 8,
+    settle_events: int = 16,
+) -> MigrationReport:
+    """Move ``[low, high)`` from ``source`` to ``target``, live.
+
+    Writes to the range keep landing on the source until the cutover
+    freeze; the freeze lasts exactly one final delta plus the COMMIT
+    fan-out, and retrying clients never observe a failed write.
+    """
+    source_client = cluster.clients[source]
+    target_client = cluster.clients[target]
+
+    events, offsets = source_client.migrate_read(low, high)
+    for payload in protocol.chunk_events(events):
+        target_client.migrate_apply(payload)
+    snapshot_events = len(events)
+
+    catchup_rounds = 0
+    catchup_events = 0
+    for _ in range(max_catchup_rounds):
+        events, offsets = source_client.migrate_read(low, high, offsets)
+        if events:
+            catchup_rounds += 1
+            catchup_events += len(events)
+            for payload in protocol.chunk_events(events):
+                target_client.migrate_apply(payload)
+        if len(events) <= settle_events:
+            break
+
+    epoch = cluster.table.max_epoch() + 1
+    stall_started = time.perf_counter()
+    source_client.cutover(CUTOVER_PREPARE, low, high, epoch, target)
+    # The range is frozen: this delta is the last word on it.
+    events, offsets = source_client.migrate_read(low, high, offsets)
+    for payload in protocol.chunk_events(events):
+        target_client.migrate_apply(payload)
+    for client in cluster.clients.values():
+        client.cutover(CUTOVER_COMMIT, low, high, epoch, target)
+    stall_seconds = time.perf_counter() - stall_started
+
+    cluster.table.install([(low, high, target, epoch)])
+    return MigrationReport(
+        low=low,
+        high=high,
+        source=source,
+        target=target,
+        epoch=epoch,
+        snapshot_events=snapshot_events,
+        catchup_rounds=catchup_rounds,
+        catchup_events=catchup_events,
+        final_delta_events=len(events),
+        stall_seconds=stall_seconds,
+    )

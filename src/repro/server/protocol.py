@@ -103,6 +103,24 @@ class UnknownOpcodeError(ProtocolError):
         self.request_id = request_id
 
 
+class WrongShardError(Exception):
+    """A keyed operation reached a node that does not own the key's range.
+
+    Not a framing error: the frame decoded cleanly, the *routing* was
+    stale.  Server-side the node raises it with its current routing table;
+    the wire answer is :data:`Status.WRONG_SHARD` with a ``pack_routing``
+    payload, and the client re-raises it carrying the decoded routes so
+    callers (``ClusterClient``) can install the fresh table and retry.
+
+    ``routes`` is a list of ``(low, high, node, epoch)`` tuples — the same
+    shape :func:`pack_routing` / :func:`unpack_routing` speak.
+    """
+
+    def __init__(self, routes: Sequence[Tuple[Optional[Key], Optional[Key], str, int]]) -> None:
+        super().__init__("key range is owned by another node")
+        self.routes = list(routes)
+
+
 class Opcode(enum.IntEnum):
     """Request discriminator: one opcode per façade surface."""
 
@@ -119,6 +137,28 @@ class Opcode(enum.IntEnum):
     TIME_SLICE = 11
     NOW = 12
     STATS = 13
+    # -- replication tier (PR 10) ------------------------------------
+    #: Start a WAL subscription: ``(shard, from_lsn)``.  Answered by an
+    #: unbounded run of ``PARTIAL`` frames whose payloads are LOG_BATCH
+    #: bodies; the stream ends only when either side disconnects.
+    SUBSCRIBE = 20
+    #: One shipped slice of a shard's WAL (self-contained record frames).
+    LOG_BATCH = 21
+    #: Replica → primary durability acknowledgement: ``(shard, lsn)``.
+    ACK = 22
+    #: One chunk of a migration snapshot (raw version events).
+    SNAPSHOT_CHUNK = 23
+    #: Migration cutover control: prepare (freeze the range) / commit
+    #: (transfer ownership at a bumped epoch).
+    CUTOVER = 24
+    #: Replication watermark probe: ``(durable_lsn, watermark_ts)``.
+    WATERMARK = 25
+    #: Fetch the node's routing table (ranges → owner, per-range epoch).
+    ROUTE = 26
+    #: Fetch the primary's shard topology (boundaries, page size, WAL).
+    TOPOLOGY = 27
+    #: Migration snapshot / delta read of a key range (streamed).
+    SNAPSHOT_READ = 28
 
 
 class Status(enum.IntEnum):
@@ -141,6 +181,11 @@ class Status(enum.IntEnum):
     #: without its ``OK`` frame is a truncated response (the torn-tail
     #: discipline, per request instead of per frame).
     PARTIAL = 4
+    #: The keyed operation landed on a node that does not own the key's
+    #: range (the range migrated, or a cutover is in flight).  The payload
+    #: is a ``pack_routing`` table: the client installs it and retries
+    #: against the named owner.  The request was NOT executed.
+    WRONG_SHARD = 5
 
 
 # ----------------------------------------------------------------------
@@ -676,3 +721,306 @@ def pack_blob(data: bytes) -> bytes:
 
 def unpack_blob(reader: ByteReader) -> bytes:
     return reader.get_bytes()
+
+
+# ----------------------------------------------------------------------
+# Replication codecs (SUBSCRIBE / LOG_BATCH / ACK / WATERMARK / TOPOLOGY)
+#
+# LOG_BATCH payloads carry a raw slice of a shard's WAL — whole
+# ``[len][crc][body]`` record frames, byte-identical to what the primary's
+# LogDevice holds — so a replica can append them verbatim to its mirror
+# device and replay them through the ordinary redo path.  The batch is
+# validated on decode: every contained frame must check out (length, CRC)
+# and the final record's LSN must equal the declared ``last_lsn``; a torn
+# or corrupted batch raises before any byte reaches the mirror.
+# ----------------------------------------------------------------------
+_U64 = struct.Struct(">Q")
+
+
+def iter_wal_records(data: bytes, base: int = 0):
+    """Walk WAL record frames in ``data``; yield ``(offset, lsn, end)``.
+
+    Offsets are absolute (``base`` + position in ``data``).  Stops cleanly
+    at a torn or corrupt tail, exactly like the recovery scan — the caller
+    decides whether a short walk is an error (wire) or normal (crash).
+    """
+    position = 0
+    limit = len(data)
+    while position + FRAME_HEADER.size <= limit:
+        length, crc = FRAME_HEADER.unpack_from(data, position)
+        body_start = position + FRAME_HEADER.size
+        end = body_start + length
+        if length < _U64.size or end > limit:
+            return
+        body = data[body_start:end]
+        if zlib.crc32(body) != crc:
+            return
+        (lsn,) = _U64.unpack_from(body, 0)
+        yield base + position, lsn, base + end
+        position = end
+
+
+def wal_batch_end(data: bytes) -> Tuple[int, int]:
+    """``(bytes_consumed, last_lsn)`` of the well-formed prefix of ``data``."""
+    consumed, last_lsn = 0, 0
+    for _, lsn, end in iter_wal_records(data):
+        consumed, last_lsn = end, lsn
+    return consumed, last_lsn
+
+
+def pack_subscribe(shard: int, from_lsn: int) -> bytes:
+    writer = ByteWriter()
+    writer.put_u32(shard)
+    writer.put_u64(from_lsn)
+    return writer.getvalue()
+
+
+def unpack_subscribe(reader: ByteReader) -> Tuple[int, int]:
+    return reader.get_u32(), reader.get_u64()
+
+
+def pack_log_batch(shard: int, last_lsn: int, records: bytes) -> bytes:
+    writer = ByteWriter()
+    writer.put_u32(shard)
+    writer.put_u64(last_lsn)
+    writer.put_bytes(records)
+    return writer.getvalue()
+
+
+def unpack_log_batch(reader: ByteReader) -> Tuple[int, int, bytes]:
+    """Decode and *validate* one LOG_BATCH: ``(shard, last_lsn, records)``.
+
+    Raises :exc:`ChecksumError` when the contained record frames do not
+    decode cleanly end-to-end (torn tail, CRC mismatch, trailing garbage)
+    and :exc:`ProtocolError` when the declared ``last_lsn`` disagrees with
+    the records — a batch that fails here must not touch the mirror log.
+    """
+    shard = reader.get_u32()
+    last_lsn = reader.get_u64()
+    records = reader.get_bytes()
+    consumed, walked_lsn = wal_batch_end(records)
+    if consumed != len(records):
+        raise ChecksumError(
+            f"LOG_BATCH records truncated or corrupt: {consumed} of "
+            f"{len(records)} bytes decode cleanly"
+        )
+    if walked_lsn != last_lsn:
+        raise ProtocolError(
+            f"LOG_BATCH declares last_lsn={last_lsn} but its records end at "
+            f"LSN {walked_lsn}"
+        )
+    return shard, last_lsn, records
+
+
+def pack_ack(shard: int, lsn: int) -> bytes:
+    writer = ByteWriter()
+    writer.put_u32(shard)
+    writer.put_u64(lsn)
+    return writer.getvalue()
+
+
+def unpack_ack(reader: ByteReader) -> Tuple[int, int]:
+    return reader.get_u32(), reader.get_u64()
+
+
+def pack_watermark(durable_lsn: int, watermark: int) -> bytes:
+    writer = ByteWriter()
+    writer.put_u64(durable_lsn)
+    writer.put_u64(watermark)
+    return writer.getvalue()
+
+
+def unpack_watermark(reader: ByteReader) -> Tuple[int, int]:
+    return reader.get_u64(), reader.get_u64()
+
+
+def pack_topology(
+    sharded: bool,
+    boundaries: Sequence[Key],
+    page_size: int,
+    group_commit_size: int,
+) -> bytes:
+    writer = ByteWriter()
+    writer.put_u8(1 if sharded else 0)
+    writer.put_u32(len(boundaries))
+    for key in boundaries:
+        write_key(writer, key)
+    writer.put_u32(page_size)
+    writer.put_u32(group_commit_size)
+    return writer.getvalue()
+
+
+def unpack_topology(reader: ByteReader) -> Tuple[bool, List[Key], int, int]:
+    sharded = bool(reader.get_u8())
+    boundaries = [read_key(reader) for _ in range(reader.get_u32())]
+    return sharded, boundaries, reader.get_u32(), reader.get_u32()
+
+
+# ----------------------------------------------------------------------
+# Migration codecs (SNAPSHOT_READ / SNAPSHOT_CHUNK / CUTOVER / ROUTE)
+#
+# A migration snapshot travels as raw version *events* — ``(timestamp,
+# key, tombstone, value)`` in global timestamp order — because events are
+# the representation that replays identically into an empty target shard:
+# inserts and deletes land at their original commit timestamps, so every
+# as-of answer over the moved range is byte-identical on the target.
+# ----------------------------------------------------------------------
+#: One migration event: ``(timestamp, key, is_tombstone, value)``.
+Event = Tuple[int, Key, bool, bytes]
+
+#: Cutover phases.
+CUTOVER_PREPARE = 1
+CUTOVER_COMMIT = 2
+
+
+def _write_event(writer: ByteWriter, event: Event) -> None:
+    timestamp, key, tombstone, value = event
+    writer.put_u64(timestamp)
+    write_key(writer, key)
+    writer.put_u8(1 if tombstone else 0)
+    write_value(writer, value)
+
+
+def _read_event(reader: ByteReader) -> Event:
+    timestamp = reader.get_u64()
+    key = read_key(reader)
+    tombstone = bool(reader.get_u8())
+    return timestamp, key, tombstone, read_value(reader)
+
+
+def pack_events(events: Sequence[Event]) -> bytes:
+    writer = ByteWriter()
+    writer.put_u32(len(events))
+    for event in events:
+        _write_event(writer, event)
+    return writer.getvalue()
+
+
+def unpack_events(reader: ByteReader) -> List[Event]:
+    return [_read_event(reader) for _ in range(reader.get_u32())]
+
+
+def chunk_events(
+    events: Sequence[Event], chunk_bytes: int = STREAM_CHUNK_BYTES
+) -> List[bytes]:
+    """Cut ``events`` into one or more ``pack_events``-format payloads."""
+    chunks: List[bytes] = []
+    parts: List[bytes] = []
+    size = 0
+    for event in events:
+        writer = ByteWriter()
+        _write_event(writer, event)
+        encoded = writer.getvalue()
+        if parts and size + len(encoded) > chunk_bytes:
+            chunks.append(_U32.pack(len(parts)) + b"".join(parts))
+            parts, size = [], 0
+        parts.append(encoded)
+        size += len(encoded)
+    chunks.append(_U32.pack(len(parts)) + b"".join(parts))
+    return chunks
+
+
+def merge_event_chunks(readers: Sequence[ByteReader]) -> List[Event]:
+    events: List[Event] = []
+    for reader in readers:
+        events.extend(unpack_events(reader))
+    return events
+
+
+def pack_copy_state(offsets: Sequence[Tuple[int, int]]) -> bytes:
+    """Per-shard WAL copy positions: ``[(shard, byte_offset), ...]``."""
+    writer = ByteWriter()
+    writer.put_u32(len(offsets))
+    for shard, offset in offsets:
+        writer.put_u32(shard)
+        writer.put_u64(offset)
+    return writer.getvalue()
+
+
+def unpack_copy_state(reader: ByteReader) -> List[Tuple[int, int]]:
+    return [(reader.get_u32(), reader.get_u64()) for _ in range(reader.get_u32())]
+
+
+def pack_migrate_read(
+    low: Optional[Key],
+    high: Optional[Key],
+    offsets: Sequence[Tuple[int, int]] = (),
+) -> bytes:
+    """SNAPSHOT_READ request: a range, plus per-shard WAL offsets.
+
+    An empty ``offsets`` list asks for the full consistent snapshot of the
+    range; a non-empty list asks for the *delta* — committed events logged
+    at or past each shard's offset — enabling log catch-up from the copy
+    point.
+    """
+    writer = ByteWriter()
+    _write_optional_key(writer, low)
+    _write_optional_key(writer, high)
+    writer.put_u32(len(offsets))
+    for shard, offset in offsets:
+        writer.put_u32(shard)
+        writer.put_u64(offset)
+    return writer.getvalue()
+
+
+def unpack_migrate_read(
+    reader: ByteReader,
+) -> Tuple[Optional[Key], Optional[Key], List[Tuple[int, int]]]:
+    low = _read_optional_key(reader)
+    high = _read_optional_key(reader)
+    offsets = [(reader.get_u32(), reader.get_u64()) for _ in range(reader.get_u32())]
+    return low, high, offsets
+
+
+def pack_cutover(
+    phase: int,
+    low: Optional[Key],
+    high: Optional[Key],
+    epoch: int,
+    target: str,
+) -> bytes:
+    writer = ByteWriter()
+    writer.put_u8(phase)
+    _write_optional_key(writer, low)
+    _write_optional_key(writer, high)
+    writer.put_u32(epoch)
+    writer.put_bytes(target.encode("utf-8"))
+    return writer.getvalue()
+
+
+def unpack_cutover(
+    reader: ByteReader,
+) -> Tuple[int, Optional[Key], Optional[Key], int, str]:
+    phase = reader.get_u8()
+    low = _read_optional_key(reader)
+    high = _read_optional_key(reader)
+    epoch = reader.get_u32()
+    target = reader.get_bytes().decode("utf-8")
+    return phase, low, high, epoch, target
+
+
+def pack_routing(
+    routes: Sequence[Tuple[Optional[Key], Optional[Key], str, int]]
+) -> bytes:
+    """Routing table: ``[(low, high, owner_node, epoch), ...]``."""
+    writer = ByteWriter()
+    writer.put_u32(len(routes))
+    for low, high, node, epoch in routes:
+        _write_optional_key(writer, low)
+        _write_optional_key(writer, high)
+        writer.put_bytes(node.encode("utf-8"))
+        writer.put_u32(epoch)
+    return writer.getvalue()
+
+
+def unpack_routing(
+    reader: ByteReader,
+) -> List[Tuple[Optional[Key], Optional[Key], str, int]]:
+    routes: List[Tuple[Optional[Key], Optional[Key], str, int]] = []
+    for _ in range(reader.get_u32()):
+        low = _read_optional_key(reader)
+        high = _read_optional_key(reader)
+        node = reader.get_bytes().decode("utf-8")
+        epoch = reader.get_u32()
+        routes.append((low, high, node, epoch))
+    return routes

@@ -66,6 +66,7 @@ class StoreRegistry:
         self._catalog = dict(catalog)
         self._stores: Dict[str, VersionStore] = {}
         self._resume: Dict[str, _ResumeState] = {}
+        self._read_only: set = set()
         self._lock = threading.Lock()
         self._closed = False
 
@@ -124,6 +125,44 @@ class StoreRegistry:
             store = self._open(config, resume)
             self._stores[tenant] = store
             return store
+
+    def install(
+        self, tenant: str, store: VersionStore, read_only: bool = False
+    ) -> None:
+        """Register an externally built, already-open store under ``tenant``.
+
+        The replication tier uses this to serve a :class:`Replica`'s
+        follower store through an ordinary :class:`ReproServer`: the store
+        is assembled by the replication machinery (its tree is fed by WAL
+        replay, not by client writes), then installed here — with
+        ``read_only=True`` so the server refuses the write opcodes while
+        the replay tailer remains the only writer.
+        """
+        with self._lock:
+            if self._closed:
+                raise VersionStoreError("this StoreRegistry has been shut down")
+            self._catalog[tenant] = store.config
+            self._stores[tenant] = store
+            if read_only:
+                self._read_only.add(tenant)
+            else:
+                self._read_only.discard(tenant)
+
+    def is_read_only(self, tenant: str) -> bool:
+        """Whether ``tenant`` was installed follower-side (writes refused)."""
+        return tenant in self._read_only
+
+    def durable_lsns(self, tenant: str) -> List[int]:
+        """Per-shard durable LSNs for the tenant's open store.
+
+        One entry per shard (a single store answers one entry); ``0`` where
+        no WAL is attached.  This is the resume vector a replication
+        subscriber presents as ``SUBSCRIBE(shard, from_lsn)``.
+        """
+        store = self.get(tenant)
+        if isinstance(store, ShardedVersionStore):
+            return store.durable_lsns()
+        return [store.durable_lsn()]
 
     @staticmethod
     def _open(config: StoreConfig, resume: Optional[_ResumeState]) -> VersionStore:

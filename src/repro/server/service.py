@@ -97,6 +97,9 @@ _GROUPED_OPCODES = frozenset(
         Opcode.TIME_SLICE,
         Opcode.NOW,
         Opcode.DELETE,
+        Opcode.WATERMARK,
+        Opcode.ROUTE,
+        Opcode.SNAPSHOT_READ,
     }
 )
 
@@ -166,9 +169,24 @@ class _WriteBatcher:
 
     def _apply(
         self, batches: List[List[Tuple[Key, bytes]]]
-    ) -> List[List[int]]:
-        put_many = self._server.registry.get(self._tenant).put_many
-        return [put_many(items) for items in batches]
+    ) -> List[Union[List[int], BaseException]]:
+        """Apply each request's items; per-request failures stay per-request.
+
+        A request whose keys this node does not own fails alone (with
+        :exc:`~repro.server.protocol.WrongShardError`) instead of failing
+        every co-batched submitter — routing staleness is one client's
+        problem, not the batch's.
+        """
+        server = self._server
+        put_many = server.registry.get(self._tenant).put_many
+        results: List[Union[List[int], BaseException]] = []
+        for items in batches:
+            try:
+                server._check_items(self._tenant, items)
+                results.append(put_many(items))
+            except Exception as exc:  # noqa: BLE001 - delivered to the submitter
+                results.append(exc)
+        return results
 
     async def _drain(self) -> None:
         loop = asyncio.get_running_loop()
@@ -198,9 +216,13 @@ class _WriteBatcher:
                 sum(len(items) for items in request_items),
                 bounds=COUNT_BUCKETS,
             )
-            for (_, future), stamps in zip(batch, stamp_lists):
-                if not future.done():
-                    future.set_result(stamps)
+            for (_, future), outcome in zip(batch, stamp_lists):
+                if future.done():
+                    continue
+                if isinstance(outcome, BaseException):
+                    future.set_exception(outcome)
+                else:
+                    future.set_result(outcome)
         self._draining = False
 
 
@@ -235,6 +257,7 @@ class ReproServer:
         max_inflight: int = 64,
         max_pending_per_connection: int = 128,
         metrics: Optional[MetricsRegistry] = None,
+        node=None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -253,6 +276,13 @@ class ReproServer:
         #: Per-op service latencies, connection/inflight gauges, request /
         #: busy / error counters — the server's face in ``repro.obs``.
         self.metrics = metrics or MetricsRegistry(name="server")
+        #: Optional cluster-membership hook (a ``NodeRole`` from
+        #: :mod:`repro.replication.cluster`).  When set, keyed operations
+        #: are ownership-checked (stale routing answers ``WRONG_SHARD``
+        #: with the node's current routing table), scatter reads are
+        #: clipped to owned ranges, and the migration opcodes (``ROUTE``,
+        #: ``SNAPSHOT_READ``, ``SNAPSHOT_CHUNK``, ``CUTOVER``) are live.
+        self.node = node
 
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
@@ -555,6 +585,9 @@ class ReproServer:
         opname = request.opcode.name.lower()
         try:
             status, payload = await self._execute(request)
+        except protocol.WrongShardError as exc:
+            self.metrics.inc("server.wrong_shard")
+            status, payload = Status.WRONG_SHARD, protocol.pack_routing(exc.routes)
         except (ProtocolError, SerializationError) as exc:
             self.metrics.inc("server.protocol_errors")
             status, payload = Status.BAD_REQUEST, protocol.pack_error(str(exc))
@@ -623,6 +656,9 @@ class ReproServer:
             try:
                 payload: Union[bytes, List[bytes]] = self._apply_read(store, request)
                 status = Status.OK
+            except protocol.WrongShardError as exc:
+                metrics.inc("server.wrong_shard")
+                status, payload = Status.WRONG_SHARD, protocol.pack_routing(exc.routes)
             except (ProtocolError, SerializationError) as exc:
                 metrics.inc("server.protocol_errors")
                 status, payload = Status.BAD_REQUEST, protocol.pack_error(str(exc))
@@ -644,23 +680,44 @@ class ReproServer:
         The scan ops return a *list* of chunk payloads (length 1 when the
         answer fits one chunk — byte-identical to the unstreamed response);
         everything else returns a single payload.
+
+        With a cluster :attr:`node` attached, keyed ops are ownership-
+        checked (an unowned key raises ``WrongShardError``) and scatter
+        answers are clipped to owned ranges — a migrated-away range's
+        frozen local copy is never served.
         """
-        opcode, reader = request.opcode, request.payload
+        opcode, reader, tenant = request.opcode, request.payload, request.tenant
         if opcode is Opcode.GET:
-            return protocol.pack_optional_record(store.get(protocol.unpack_key(reader)))
+            key = protocol.unpack_key(reader)
+            self._check_owned(tenant, key)
+            return protocol.pack_optional_record(store.get(key))
         if opcode is Opcode.GET_AS_OF:
             key, timestamp = protocol.unpack_key_at(reader)
+            self._check_owned(tenant, key)
             return protocol.pack_optional_record(store.get_as_of(key, timestamp))
         if opcode is Opcode.RANGE:
             low, high, as_of = protocol.unpack_range(reader)
-            return protocol.chunk_records(store.range_search(low, high, as_of=as_of))
+            records = store.range_search(low, high, as_of=as_of)
+            if self.node is not None:
+                records = [r for r in records if self.node.owns(tenant, r.key)]
+            return protocol.chunk_records(records)
         if opcode is Opcode.SNAPSHOT:
             timestamp = protocol.unpack_timestamp_u64(reader)
-            return protocol.chunk_record_map(store.snapshot(timestamp))
+            snapshot = store.snapshot(timestamp)
+            if self.node is not None:
+                snapshot = {
+                    key: record
+                    for key, record in snapshot.items()
+                    if self.node.owns(tenant, key)
+                }
+            return protocol.chunk_record_map(snapshot)
         if opcode is Opcode.KEY_HISTORY:
-            return protocol.chunk_records(store.key_history(protocol.unpack_key(reader)))
+            key = protocol.unpack_key(reader)
+            self._check_owned(tenant, key)
+            return protocol.chunk_records(store.key_history(key))
         if opcode is Opcode.HISTORY_BETWEEN:
             key, start, end = protocol.unpack_window(reader)
+            self._check_owned(tenant, key)
             return protocol.chunk_records(store.history_between(key, start, end))
         if opcode is Opcode.TIME_SLICE:
             start, end, low, high = protocol.unpack_time_slice(reader)
@@ -669,15 +726,53 @@ class ReproServer:
                     "time_slice requires a sharded store; tenant "
                     f"{request.tenant!r} is single-shard"
                 )
-            return protocol.chunk_history_map(
-                store.time_slice(start, end, low=low, high=high)
-            )
+            histories = store.time_slice(start, end, low=low, high=high)
+            if self.node is not None:
+                histories = {
+                    key: records
+                    for key, records in histories.items()
+                    if self.node.owns(tenant, key)
+                }
+            return protocol.chunk_history_map(histories)
         if opcode is Opcode.NOW:
             return protocol.pack_timestamp_u64(store.now)
         if opcode is Opcode.DELETE:
+            self._check_writable(tenant)
             key, timestamp = protocol.unpack_delete(reader)
+            self._check_owned(tenant, key)
             return protocol.pack_timestamp_u64(store.delete(key, timestamp=timestamp))
+        if opcode is Opcode.WATERMARK:
+            durable, timestamp = store.watermark()
+            return protocol.pack_watermark(durable, timestamp)
+        if opcode is Opcode.ROUTE:
+            if self.node is None:
+                raise VersionStoreError("this server has no cluster node attached")
+            return protocol.pack_routing(self.node.routes(tenant))
+        if opcode is Opcode.SNAPSHOT_READ:
+            if self.node is None:
+                raise VersionStoreError("this server has no cluster node attached")
+            return self.node.snapshot_read(store, reader)
         raise ProtocolError(f"unhandled opcode {opcode!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Cluster-membership checks (no-ops without a node)
+    # ------------------------------------------------------------------
+    def _check_owned(self, tenant: str, key: Key) -> None:
+        if self.node is not None:
+            self.node.check_key(tenant, key)  # raises WrongShardError
+
+    def _check_items(self, tenant: str, items) -> None:
+        self._check_writable(tenant)
+        if self.node is not None:
+            for key, _ in items:
+                self.node.check_key(tenant, key)
+
+    def _check_writable(self, tenant: str) -> None:
+        if self.registry.is_read_only(tenant):
+            raise VersionStoreError(
+                f"tenant {tenant!r} is a read-only follower; writes go to "
+                "the primary"
+            )
 
     # ------------------------------------------------------------------
     # Request execution
@@ -712,9 +807,25 @@ class ReproServer:
                 self._pool, self._insert_at, request.tenant, key, value, timestamp
             )
             return Status.OK, protocol.pack_timestamp_u64(stamped)
-        raise ProtocolError(f"unhandled opcode {opcode!r}")  # pragma: no cover
+        if opcode is Opcode.SNAPSHOT_CHUNK or opcode is Opcode.CUTOVER:
+            if self.node is None:
+                raise ProtocolError(
+                    "this server has no cluster node attached; "
+                    f"{opcode.name} is a migration opcode"
+                )
+            payload = await loop.run_in_executor(self._pool, self._node_op, request)
+            return Status.OK, payload
+        raise ProtocolError(f"unhandled opcode {opcode!r}")
+
+    def _node_op(self, request: Request) -> bytes:
+        if request.opcode is Opcode.SNAPSHOT_CHUNK:
+            store = self.registry.get(request.tenant)
+            return self.node.apply_chunk(store, request.payload)
+        return self.node.cutover(request.tenant, request.payload)
 
     def _insert_at(self, tenant: str, key: Key, value: bytes, timestamp: int) -> int:
+        self._check_writable(tenant)
+        self._check_owned(tenant, key)
         return self.registry.get(tenant).insert(key, value, timestamp=timestamp)
 
     # ------------------------------------------------------------------
